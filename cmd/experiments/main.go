@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	experiments [-fig all|fig2a|fig2b|fig5|fig9|fig16|fig17|fig18|fig19|fig20|fig21|fig22|ablation]
+//	            [-volunteers N] [-trials N] [-seed N] [-fast]
+//
+// Each figure prints the same rows/series the paper reports, plus the
+// paper's reference numbers for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id to regenerate, or 'all'")
+	volunteers := flag.Int("volunteers", 5, "cohort size")
+	trials := flag.Int("trials", 12, "AoA trials per volunteer")
+	seed := flag.Int64("seed", 0, "evaluation seed (0 = default)")
+	fast := flag.Bool("fast", false, "smaller cohort and trial counts")
+	markdown := flag.String("markdown", "", "also write a Markdown report to this file (only with -fig all)")
+	flag.Parse()
+
+	study := experiments.NewStudy(experiments.Config{
+		Volunteers:            *volunteers,
+		AoATrialsPerVolunteer: *trials,
+		Seed:                  *seed,
+		Fast:                  *fast,
+	})
+
+	if *fig == "all" {
+		results, err := experiments.RunAll(study, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if *markdown != "" {
+			f, err := os.Create(*markdown)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := experiments.WriteMarkdown(f, results, time.Now()); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *markdown)
+		}
+		return
+	}
+	for _, id := range strings.Split(*fig, ",") {
+		res, err := experiments.Run(strings.TrimSpace(id), study)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Text)
+	}
+}

@@ -1,0 +1,62 @@
+// Command hrtfgen generates reference HRTF datasets: per-volunteer
+// ground-truth far-field tables (the simulated anechoic chamber) and the
+// global population template.
+//
+// Usage:
+//
+//	hrtfgen [-volunteers N] [-seed N] [-step deg] [-dir out/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/hrtf"
+	"repro/internal/sim"
+)
+
+func main() {
+	volunteers := flag.Int("volunteers", 5, "number of virtual volunteers")
+	seed := flag.Int64("seed", 20210823, "cohort seed")
+	step := flag.Float64("step", 1, "angular resolution in degrees")
+	dir := flag.String("dir", "hrtf-data", "output directory")
+	rate := flag.Float64("rate", 48000, "sample rate in Hz")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name string, t *hrtf.Table) {
+		path := filepath.Join(*dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := t.Encode(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d angles)\n", path, t.NumAngles())
+	}
+
+	glob, err := sim.GlobalTemplateFar(*rate, *step)
+	if err != nil {
+		fatal(err)
+	}
+	write("global.json", glob)
+
+	for _, v := range sim.Cohort(*volunteers, *seed) {
+		gnd, err := sim.MeasureGroundTruthFar(v, *rate, *step)
+		if err != nil {
+			fatal(err)
+		}
+		write(fmt.Sprintf("volunteer%02d-groundtruth.json", v.ID), gnd)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hrtfgen: %v\n", err)
+	os.Exit(1)
+}

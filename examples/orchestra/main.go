@@ -1,0 +1,114 @@
+// Orchestra demonstrates the paper's AR/VR vision (intro application #3)
+// with the §7 3-D extension: instruments are pinned to fixed positions
+// around — and above — the listener, and as the head turns (earphone IMU),
+// each instrument is re-rendered from its updated relative direction so
+// the stage stays put. Elevation matters here: the flourish of violins
+// sits above the horizon, the cellos below.
+//
+//	go run ./examples/orchestra
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/dsp"
+	"repro/uniq"
+)
+
+type instrument struct {
+	name     string
+	azDeg    float64 // world-fixed bearing
+	elevDeg  float64 // elevation above the horizon
+	register float64 // pitch scale for the synthesized part
+}
+
+func main() {
+	user := uniq.VirtualUser{ID: 7, Seed: 2025}
+	fmt.Println("measuring the user on three elevation rings (arm low / level / high)...")
+	rings, err := uniq.SimulateSphericalSession(user, uniq.GestureGood, []float64{-25, 0, 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p3, err := uniq.PersonalizeSpherical(rings, uniq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3D profile ready (rings at %v degrees)\n", p3.Elevations())
+
+	stage := []instrument{
+		{"violins", 35, 20, 2.0},
+		{"violas", 70, 5, 1.5},
+		{"cellos", 110, -15, 1.0},
+		{"basses", 150, -20, 0.5},
+	}
+	sr := 48000.0
+	rng := rand.New(rand.NewSource(8))
+
+	// The listener slowly turns their head 30 degrees during the chord.
+	yaw := func(t float64) float64 { return 30 * t / 1.0 }
+
+	var mixL, mixR []float64
+	for _, inst := range stage {
+		part := dsp.Scale(dsp.Music(1.0, sr, rng), inst.register*0.4)
+		// Head rotation changes the relative azimuth over time; render
+		// the part in short blocks at the current relative direction.
+		block := int(0.05 * sr)
+		for start := 0; start < len(part); start += block {
+			end := start + block
+			if end > len(part) {
+				end = len(part)
+			}
+			t := float64(start) / sr
+			rel := inst.azDeg - yaw(t)
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > 180 {
+				rel = 360 - rel
+			}
+			l, r, err := p3.Render(part[start:end], rel, inst.elevDeg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mixL = mixAt(mixL, l, start)
+			mixR = mixAt(mixR, r, start)
+		}
+		fmt.Printf("  %-8s pinned at az %3.0f°, elev %+3.0f°\n", inst.name, inst.azDeg, inst.elevDeg)
+	}
+
+	peak := dsp.MaxAbs(mixL)
+	if p := dsp.MaxAbs(mixR); p > peak {
+		peak = p
+	}
+	if peak > 1 {
+		mixL = dsp.Scale(mixL, 0.9/peak)
+		mixR = dsp.Scale(mixR, 0.9/peak)
+	}
+	out, err := os.CreateTemp("", "uniq-orchestra-*.wav")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	ring, err := p3.RingProfile(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ring.WriteWAV(out, mixL, mixR); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote the binaural concert (head turning 30° through it): %s\n", out.Name())
+}
+
+func mixAt(dst, src []float64, offset int) []float64 {
+	need := offset + len(src)
+	if need > len(dst) {
+		dst = append(dst, make([]float64, need-len(dst))...)
+	}
+	for i, v := range src {
+		dst[offset+i] += v
+	}
+	return dst
+}

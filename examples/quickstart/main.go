@@ -1,0 +1,86 @@
+// Quickstart: personalize an HRTF from a (simulated) phone sweep and render
+// a spatial sound with it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/dsp"
+	"repro/uniq"
+)
+
+func main() {
+	// 1. Collect a measurement session. On real hardware this is the
+	// user sweeping their phone around their head; here a virtual user
+	// stands in.
+	user := uniq.VirtualUser{ID: 1, Seed: 42}
+	session, err := uniq.SimulateSession(user, uniq.GestureGood)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measurement session: %d stops at %.0f Hz, %d gyro samples\n",
+		len(session.Stops), session.SampleRate, len(session.IMU))
+
+	// 2. Personalize.
+	profile, err := uniq.Personalize(session, uniq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("personalized profile: head %v, residual %.1f°\n",
+		profile.HeadParams, profile.MeanResidualDeg)
+
+	// 3. Render a sound from 60° to the user's left, far field.
+	tone := dsp.Music(1.0, session.SampleRate, rand.New(rand.NewSource(7)))
+	left, right, err := profile.Render(tone, 60, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rendered binaural pair: %d/%d samples; left leads right: %v\n",
+		len(left), len(right), leadingEar(left, right) == "left")
+
+	// 4. Write the binaural render as a playable WAV.
+	peak := dsp.MaxAbs(left)
+	if p := dsp.MaxAbs(right); p > peak {
+		peak = p
+	}
+	if peak > 1 {
+		left = dsp.Scale(left, 0.9/peak)
+		right = dsp.Scale(right, 0.9/peak)
+	}
+	wavFile, err := os.CreateTemp("", "uniq-spatial-*.wav")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wavFile.Close()
+	if err := profile.WriteWAV(wavFile, left, right); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote binaural audio: %s\n", wavFile.Name())
+
+	// 5. Export the lookup table for the earphone app.
+	f, err := os.CreateTemp("", "uniq-profile-*.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	if err := profile.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("exported lookup table: %s (%d KiB)\n", f.Name(), info.Size()/1024)
+}
+
+// leadingEar reports which channel's energy arrives first.
+func leadingEar(left, right []float64) string {
+	li, _ := dsp.FirstPeak(left, 0.3)
+	ri, _ := dsp.FirstPeak(right, 0.3)
+	if li <= ri {
+		return "left"
+	}
+	return "right"
+}

@@ -1,0 +1,79 @@
+// Virtualmeeting demonstrates the paper's second motivating application: a
+// virtual meeting room where each participant is seated at a fixed angle
+// around the listener and every voice is rendered binaurally from its seat,
+// with the personalized far-field HRTF keeping the seats stable even as the
+// listener's head turns (the earphone IMU supplies the head rotation).
+//
+//	go run ./examples/virtualmeeting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/uniq"
+)
+
+type participant struct {
+	name    string
+	seatDeg float64 // absolute seat bearing, 0 = listener's initial nose
+}
+
+func main() {
+	user := uniq.VirtualUser{ID: 3, Seed: 99}
+	session, err := uniq.SimulateSession(user, uniq.GestureGood)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := uniq.Personalize(session, uniq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seats := []participant{
+		{"amira", 30},
+		{"bo", 90},
+		{"chen", 150},
+	}
+	fmt.Println("virtual meeting: three participants seated to the listener's left")
+
+	rng := rand.New(rand.NewSource(11))
+	mix := []float64{}
+	// The listener turns their head during the meeting; the seats must
+	// stay fixed in the room.
+	for turnIdx, headDeg := range []float64{0, 20, -15} {
+		fmt.Printf("\nlistener head at %+.0f°\n", headDeg)
+		for _, p := range seats {
+			rel := p.seatDeg - headDeg
+			if rel < 0 {
+				rel = -rel // mirror to the tabulated hemisphere
+			}
+			if rel > 180 {
+				rel = 360 - rel
+			}
+			utterance := dsp.Speech(0.3, session.SampleRate, rng)
+			left, right, err := profile.Render(utterance, rel, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Report the interaural delay of the HRIR used for this
+			// seat (speech onsets are too gradual to read it off the
+			// rendered audio).
+			h, err := profile.Table.FarAt(rel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6s seat %3.0f° -> rendered at %3.0f° relative, ITD %+6.0f µs, %d samples out\n",
+				p.name, p.seatDeg, rel, h.ITD()*1e6, len(left))
+			_ = right
+			if turnIdx == 0 {
+				mix = dsp.Add(mix, dsp.Scale(left, 0.33))
+			}
+		}
+	}
+	fmt.Printf("\nmixed left-channel meeting audio: %d samples, peak %.2f\n",
+		len(mix), dsp.MaxAbs(mix))
+	fmt.Println("(each voice keeps its absolute seat as the head turns — the spatial-audio contract)")
+}

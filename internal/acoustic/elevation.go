@@ -1,0 +1,175 @@
+package acoustic
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/geom"
+	"repro/internal/head"
+)
+
+// This file implements the acoustic side of the paper's §7 "3D HRTF"
+// extension: the user sweeps the phone on several *elevation rings* instead
+// of a single horizontal circle. The head is treated as an ellipsoid whose
+// horizontal cross-section at height z is the familiar two-half-ellipse
+// scaled by s(z) = sqrt(1 - (z/V)^2); diffraction for an elevated source is
+// computed on the cross-section at half the source height (where the
+// creeping wave travels) and slant-corrected for the out-of-plane leg.
+// Pinna responses gain an elevation dependency (pinna.TapsAt3D).
+
+// VerticalSemiAxis is the assumed head semi-height V in metres.
+const VerticalSemiAxis = 0.115
+
+// crossSectionScale returns s(z) for the ellipsoid slice at height z.
+func crossSectionScale(z float64) float64 {
+	r := z / VerticalSemiAxis
+	if r > 0.85 {
+		r = 0.85
+	}
+	if r < -0.85 {
+		r = -0.85
+	}
+	return math.Sqrt(1 - r*r)
+}
+
+// ElevatedRing is a derived view of a World for one elevation ring.
+type ElevatedRing struct {
+	world    *World
+	model    *head.Model // scaled cross-section
+	elevDeg  float64
+	elevRad  float64
+	ringSina float64 // sin(elevation)
+	ringCosa float64
+}
+
+// Ring builds the world view for sources on the ring at elevDeg (degrees
+// above the horizontal ear plane; positive = up). elevDeg 0 returns a view
+// equivalent to the base world.
+func (w *World) Ring(elevDeg float64) (*ElevatedRing, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if elevDeg < -60 || elevDeg > 60 {
+		return nil, errors.New("acoustic: ring elevation must be within ±60 degrees")
+	}
+	elev := geom.Radians(elevDeg)
+	// The creeping wave from an elevated source rides the head between
+	// ear height and the source's height; use the slice at half height
+	// of a nominal arm radius.
+	const nominalRadius = 0.32
+	z := nominalRadius * math.Sin(elev) / 2
+	s := crossSectionScale(z)
+	p := w.Head.Params()
+	scaled := head.Params{A: p.A * s, B: p.B * s, C: p.C * s}
+	model, err := head.NewWithResolution(scaled, head.DefaultVertices)
+	if err != nil {
+		return nil, err
+	}
+	return &ElevatedRing{
+		world:    w,
+		model:    model,
+		elevDeg:  elevDeg,
+		elevRad:  elev,
+		ringSina: math.Sin(elev),
+		ringCosa: math.Cos(elev),
+	}, nil
+}
+
+// ElevationDeg returns the ring's elevation.
+func (r *ElevatedRing) ElevationDeg() float64 { return r.elevDeg }
+
+// BinauralIR renders the impulse response from a ring source at polar
+// angle azimuth (the angle within the ring plane, paper convention) and
+// slant radius radius (metres from head center along the ring).
+func (r *ElevatedRing) BinauralIR(azimuthDeg, radius float64, length int) (left, right []float64, err error) {
+	left = make([]float64, length)
+	right = make([]float64, length)
+	// Horizontal projection of the ring source.
+	hor := geom.FromPolar(geom.Radians(azimuthDeg), radius*r.ringCosa)
+	z := radius * r.ringSina
+	for _, e := range []head.Ear{head.Left, head.Right} {
+		info, err := r.model.PathTo(hor, e)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Slant correction: the horizontal path plus the vertical leg.
+		dist := math.Hypot(info.Distance, z)
+		delay := dist / head.SpeedOfSound
+		att := math.Min(1/math.Max(dist, 0.05), 20) * math.Exp(-16*info.ArcLength)
+		dst := left
+		if e == head.Right {
+			dst = right
+		}
+		base := (delay + leadInSeconds) * r.world.SampleRate
+		dsp.AddDelayedImpulse(dst, base, att)
+		theta := hor.PolarAngle()
+		for _, t := range r.world.Pinna[e].TapsAt3D(theta, r.elevRad) {
+			dsp.AddDelayedImpulse(dst, base+t.Delay*r.world.SampleRate, att*t.Gain)
+		}
+	}
+	return left, right, nil
+}
+
+// FarFieldIR renders the anechoic far-field HRIR for a plane wave arriving
+// from (azimuthDeg, ring elevation).
+func (r *ElevatedRing) FarFieldIR(azimuthDeg float64, length int) (left, right []float64, err error) {
+	left = make([]float64, length)
+	right = make([]float64, length)
+	theta := geom.Radians(azimuthDeg)
+	for _, e := range []head.Ear{head.Left, head.Right} {
+		info := r.model.FarField(azimuthDeg, e)
+		// Plane-wave slant: interaural geometry compresses with cos(elev)
+		// which the scaled cross-section already approximates; the
+		// out-of-plane component adds no interaural asymmetry.
+		dst := left
+		if e == head.Right {
+			dst = right
+		}
+		base := (info.ExtraDelay*r.ringCosa + leadInSeconds) * r.world.SampleRate
+		dsp.AddDelayedImpulse(dst, base, info.Attenuation)
+		for _, t := range r.world.Pinna[e].TapsAt3D(theta, r.elevRad) {
+			dsp.AddDelayedImpulse(dst, base+t.Delay*r.world.SampleRate, info.Attenuation*t.Gain)
+		}
+	}
+	return left, right, nil
+}
+
+// ArrivalDelay returns the true first-arrival delay from a ring source —
+// evaluation-side ground truth.
+func (r *ElevatedRing) ArrivalDelay(azimuthDeg, radius float64, e head.Ear) (float64, error) {
+	hor := geom.FromPolar(geom.Radians(azimuthDeg), radius*r.ringCosa)
+	info, err := r.model.PathTo(hor, e)
+	if err != nil {
+		return 0, err
+	}
+	z := radius * r.ringSina
+	return math.Hypot(info.Distance, z) / head.SpeedOfSound, nil
+}
+
+// Record simulates the earbuds capturing src played from the ring position.
+func (r *ElevatedRing) Record(src []float64, azimuthDeg, radius float64, opt RecordOptions) (Recording, error) {
+	irLen := opt.IRLength
+	if irLen <= 0 {
+		irLen = int(0.012 * r.world.SampleRate)
+	}
+	hl, hr, err := r.BinauralIR(azimuthDeg, radius, irLen)
+	if err != nil {
+		return Recording{}, err
+	}
+	emitted := src
+	if opt.System != nil {
+		emitted = opt.System.Apply(src)
+	}
+	left := dsp.Convolve(emitted, hl)
+	right := dsp.Convolve(emitted, hr)
+	if opt.Rng != nil && opt.NoiseStd > 0 {
+		for i := range left {
+			left[i] += opt.Rng.NormFloat64() * opt.NoiseStd
+		}
+		for i := range right {
+			right[i] += opt.Rng.NormFloat64() * opt.NoiseStd
+		}
+	}
+	return Recording{Left: left, Right: right, SampleRate: r.world.SampleRate}, nil
+}

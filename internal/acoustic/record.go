@@ -1,0 +1,93 @@
+package acoustic
+
+import (
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/geom"
+)
+
+// Recording is one synchronized stereo earbud capture.
+type Recording struct {
+	// Left and Right are the in-ear microphone signals.
+	Left, Right []float64
+	// SampleRate in Hz.
+	SampleRate float64
+}
+
+// RecordOptions tunes a capture.
+type RecordOptions struct {
+	// System is the speaker–mic response applied to the emitted signal
+	// (nil = ideal hardware).
+	System *SystemResponse
+	// NoiseStd is the per-sample Gaussian sensor/ambient noise standard
+	// deviation (relative to a unit-amplitude source at 1 m).
+	NoiseStd float64
+	// IRLength is the rendered impulse-response length in samples
+	// (0 = auto: covers the room's longest echo).
+	IRLength int
+	// Rng supplies the noise; nil disables noise regardless of NoiseStd.
+	Rng *rand.Rand
+}
+
+// Record simulates the earbuds capturing the given source signal emitted
+// from point p. The returned channels are aligned to a shared clock (the
+// paper's phone/earbud synchronization), with the world's lead-in before
+// the first arrival.
+func (w *World) Record(src []float64, p geom.Vec, opt RecordOptions) (Recording, error) {
+	irLen := opt.IRLength
+	if irLen <= 0 {
+		// Direct path + room detour headroom.
+		maxDelay := 0.004 + 0.002 // near-field paths + pinna
+		if w.Room.MaxOrder > 0 {
+			detour := float64(w.Room.MaxOrder+1) * (w.Room.Width + w.Room.Depth)
+			maxDelay = detour/343.0 + 0.002
+		}
+		irLen = int(maxDelay * w.SampleRate)
+	}
+	hl, hr, err := w.BinauralIR(p, irLen)
+	if err != nil {
+		return Recording{}, err
+	}
+	emitted := src
+	if opt.System != nil {
+		emitted = opt.System.Apply(src)
+	}
+	left := dsp.Convolve(emitted, hl)
+	right := dsp.Convolve(emitted, hr)
+	if opt.Rng != nil && opt.NoiseStd > 0 {
+		for i := range left {
+			left[i] += opt.Rng.NormFloat64() * opt.NoiseStd
+		}
+		for i := range right {
+			right[i] += opt.Rng.NormFloat64() * opt.NoiseStd
+		}
+	}
+	return Recording{Left: left, Right: right, SampleRate: w.SampleRate}, nil
+}
+
+// RecordFarField simulates the earbuds capturing an ambient far-field
+// source arriving from polar angle thetaDeg — the input to the AoA
+// application (§4.5). Hardware coloration is omitted (ambient sources do
+// not pass through the phone speaker) but sensor noise still applies.
+func (w *World) RecordFarField(src []float64, thetaDeg float64, opt RecordOptions) (Recording, error) {
+	irLen := opt.IRLength
+	if irLen <= 0 {
+		irLen = int(0.006 * w.SampleRate)
+	}
+	hl, hr, err := w.FarFieldIR(thetaDeg, irLen)
+	if err != nil {
+		return Recording{}, err
+	}
+	left := dsp.Convolve(src, hl)
+	right := dsp.Convolve(src, hr)
+	if opt.Rng != nil && opt.NoiseStd > 0 {
+		for i := range left {
+			left[i] += opt.Rng.NormFloat64() * opt.NoiseStd
+		}
+		for i := range right {
+			right[i] += opt.Rng.NormFloat64() * opt.NoiseStd
+		}
+	}
+	return Recording{Left: left, Right: right, SampleRate: w.SampleRate}, nil
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/hrtf"
+)
+
+// AoAOptions tunes the binaural angle-of-arrival estimators (§4.5).
+type AoAOptions struct {
+	// Lambda weights the first-tap delay term of the known-source target
+	// function (eq. 9) against the channel-shape correlation terms. It
+	// multiplies a delay in seconds; see TrainLambda. Default 4000.
+	Lambda float64
+	// MaxCandidates bounds how many relative-channel peaks the
+	// unknown-source estimator expands into candidate AoAs (default 4).
+	MaxCandidates int
+	// CIRLength for known-source channel extraction, samples (default
+	// 6 ms worth).
+	CIRLength int
+}
+
+func (o *AoAOptions) fillDefaults(sr float64) {
+	if o.Lambda <= 0 {
+		o.Lambda = 4000
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 4
+	}
+	if o.CIRLength <= 0 {
+		o.CIRLength = int(6e-3 * sr)
+	}
+}
+
+// ErrEmptyTable is returned when an AoA estimator gets an unusable HRTF
+// table.
+var ErrEmptyTable = errors.New("core: AoA estimation needs a populated far-field table")
+
+// AoAEstimate reports an estimated arrival angle.
+type AoAEstimate struct {
+	// AngleDeg is the estimated arrival angle in [0, 180].
+	AngleDeg float64
+	// Score is the value of the matching objective at the estimate
+	// (lower is better).
+	Score float64
+}
+
+// EstimateAoAKnown estimates the arrival angle of a *known* far-field
+// source from a stereo earbud recording by matching the measured binaural
+// channels against the personalized far-field HRIR templates (eq. 9): the
+// match combines the first-tap relative delay and the time-domain channel
+// shapes of both ears.
+func EstimateAoAKnown(left, right, src []float64, table *hrtf.Table, opt AoAOptions) (AoAEstimate, error) {
+	if table == nil || table.NumAngles() == 0 {
+		return AoAEstimate{}, ErrEmptyTable
+	}
+	sr := table.SampleRate
+	opt.fillDefaults(sr)
+	cl := dsp.Deconvolve(left, src, opt.CIRLength, 1e-3)
+	cr := dsp.Deconvolve(right, src, opt.CIRLength, 1e-3)
+	li, _ := dsp.FirstPeak(cl, 0.3)
+	ri, _ := dsp.FirstPeak(cr, 0.3)
+	if li < 0 || ri < 0 {
+		return AoAEstimate{}, ErrNoFirstTap
+	}
+	t0 := (li - ri) / sr // measured relative first-tap delay (s)
+
+	best := AoAEstimate{Score: math.Inf(1)}
+	for i := 0; i < table.NumAngles(); i++ {
+		h := table.Far[i]
+		if h.Empty() {
+			continue
+		}
+		tTheta := h.ITD()
+		cL, _ := dsp.NormXCorrPeak(cl, h.Left)
+		cR, _ := dsp.NormXCorrPeak(cr, h.Right)
+		score := opt.Lambda*math.Abs(t0-tTheta) + (1 - cL) + (1 - cR)
+		if score < best.Score {
+			best = AoAEstimate{AngleDeg: table.Angle(i), Score: score}
+		}
+	}
+	if math.IsInf(best.Score, 1) {
+		return AoAEstimate{}, ErrEmptyTable
+	}
+	return best, nil
+}
+
+// EstimateAoAUnknown estimates the arrival angle of an *unknown* far-field
+// source. The per-ear channels cannot be extracted, so the estimator works
+// from the relative channel between the two ear recordings: its peaks give
+// candidate relative delays, each of which maps to a front and a back
+// candidate angle via the HRIR templates; the multiplication-form identity
+// L×HRTF_R(θ) = R×HRTF_L(θ) (eq. 11) disambiguates.
+func EstimateAoAUnknown(left, right []float64, table *hrtf.Table, opt AoAOptions) (AoAEstimate, error) {
+	if table == nil || table.NumAngles() == 0 {
+		return AoAEstimate{}, ErrEmptyTable
+	}
+	sr := table.SampleRate
+	opt.fillDefaults(sr)
+
+	// Relative channel via regularized spectral division (L/R).
+	maxLag := int(1.2e-3 * sr) // beyond the largest human ITD
+	rel := relativeChannel(left, right, maxLag)
+	peaks := dsp.FindPeaks(rel, 0.5, 3)
+	if len(peaks) == 0 {
+		return AoAEstimate{}, ErrNoFirstTap
+	}
+	if len(peaks) > opt.MaxCandidates {
+		// Keep the strongest few.
+		peaks = strongestPeaks(peaks, opt.MaxCandidates)
+	}
+
+	// Table ITD per angle, used to invert delays into candidate angles.
+	itds := make([]float64, table.NumAngles())
+	for i := range itds {
+		itds[i] = table.Far[i].ITD()
+	}
+
+	var candidates []int
+	for _, p := range peaks {
+		dt := float64(p.Index-maxLag) / sr // relative delay (left - right)
+		candidates = append(candidates, anglesForITD(itds, dt)...)
+	}
+	if len(candidates) == 0 {
+		return AoAEstimate{}, ErrEmptyTable
+	}
+
+	best := AoAEstimate{Score: math.Inf(1)}
+	for _, idx := range candidates {
+		h := table.Far[idx]
+		if h.Empty() {
+			continue
+		}
+		score := eq11Mismatch(left, right, h)
+		if score < best.Score {
+			best = AoAEstimate{AngleDeg: table.Angle(idx), Score: score}
+		}
+	}
+	if math.IsInf(best.Score, 1) {
+		return AoAEstimate{}, ErrEmptyTable
+	}
+	return best, nil
+}
+
+// relativeChannel estimates the time-domain relative channel between the
+// left and right recordings, windowed to lags within ±maxLag around zero;
+// index maxLag corresponds to zero lag.
+func relativeChannel(left, right []float64, maxLag int) []float64 {
+	n := dsp.NextPow2(len(left) + len(right))
+	fl := dsp.FFTReal(dsp.ZeroPad(left, n))
+	fr := dsp.FFTReal(dsp.ZeroPad(right, n))
+	rel := dsp.SpectralDivide(fl, fr, 1e-2)
+	td := dsp.IFFTReal(rel)
+	// Unwrap circularly: positive lags at the front, negative at the end.
+	out := make([]float64, 2*maxLag+1)
+	for k := -maxLag; k <= maxLag; k++ {
+		idx := k
+		if idx < 0 {
+			idx += n
+		}
+		out[k+maxLag] = td[idx]
+	}
+	return out
+}
+
+// strongestPeaks keeps the k peaks with the largest magnitude.
+func strongestPeaks(peaks []dsp.Peak, k int) []dsp.Peak {
+	sorted := append([]dsp.Peak(nil), peaks...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if math.Abs(sorted[j].Value) > math.Abs(sorted[i].Value) {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	return sorted[:k]
+}
+
+// anglesForITD returns the table indices whose ITD locally best matches dt:
+// the global best and the best on the other side of the front/back split,
+// mirroring the paper's two candidate AoAs per relative delay.
+func anglesForITD(itds []float64, dt float64) []int {
+	if len(itds) == 0 {
+		return nil
+	}
+	half := len(itds) / 2
+	bestFront, bestBack := 0, half
+	for i := 0; i < len(itds); i++ {
+		if i < half {
+			if math.Abs(itds[i]-dt) < math.Abs(itds[bestFront]-dt) {
+				bestFront = i
+			}
+		} else {
+			if math.Abs(itds[i]-dt) < math.Abs(itds[bestBack]-dt) {
+				bestBack = i
+			}
+		}
+	}
+	return []int{bestFront, bestBack}
+}
+
+// eq11Mismatch scores how badly L×HRTF_R(θ) differs from R×HRTF_L(θ),
+// normalized so the score is comparable across angles.
+func eq11Mismatch(left, right []float64, h hrtf.HRIR) float64 {
+	a := dsp.Convolve(left, h.Right)
+	b := dsp.Convolve(right, h.Left)
+	// Normalized difference energy; correlation-style to be robust to an
+	// overall gain difference.
+	c, _ := dsp.NormXCorrPeak(a, b)
+	return 1 - c
+}
+
+// FrontBack classifies an angle in [0,180] as front (<90) or back (>90).
+// It returns true for front.
+func FrontBack(angleDeg float64) bool { return angleDeg < 90 }
+
+// TrainLambda tunes eq. 9's λ on labelled examples: it sweeps a log grid
+// and returns the λ minimizing the mean absolute AoA error. Examples pair a
+// stereo recording of a known source with its true angle.
+type LabelledRecording struct {
+	Left, Right []float64
+	Src         []float64
+	TrueDeg     float64
+}
+
+// TrainLambda selects the delay-term weight for known-source AoA.
+func TrainLambda(examples []LabelledRecording, table *hrtf.Table, opt AoAOptions) (float64, error) {
+	if len(examples) == 0 {
+		return 0, errors.New("core: TrainLambda needs examples")
+	}
+	bestLambda, bestErr := 4000.0, math.Inf(1)
+	for _, lambda := range []float64{250, 500, 1000, 2000, 4000, 8000, 16000, 32000} {
+		o := opt
+		o.Lambda = lambda
+		total := 0.0
+		for _, ex := range examples {
+			est, err := EstimateAoAKnown(ex.Left, ex.Right, ex.Src, table, o)
+			if err != nil {
+				total += 180
+				continue
+			}
+			total += math.Abs(est.AngleDeg - ex.TrueDeg)
+		}
+		if total < bestErr {
+			bestErr, bestLambda = total, lambda
+		}
+	}
+	return bestLambda, nil
+}

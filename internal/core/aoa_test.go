@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/acoustic"
+	"repro/internal/dsp"
+	"repro/internal/hrtf"
+	"repro/internal/room"
+	"repro/internal/sim"
+)
+
+// aoaFixture bundles a volunteer's acoustic world with a personalized
+// far-field table (ground-truth quality, isolating AoA behaviour from
+// pipeline error) and the global template.
+type aoaFixture struct {
+	world    *acoustic.World
+	personal *hrtf.Table
+	global   *hrtf.Table
+}
+
+func newAoAFixture(t *testing.T, volID int) *aoaFixture {
+	t.Helper()
+	sr := 48000.0
+	v := sim.NewVolunteer(volID, 500)
+	personal, err := sim.MeasureGroundTruthFar(v, sr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := sim.GlobalTemplateFar(sr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := v.World(sr, room.Config{Width: 8, Depth: 8, Absorption: 0.9, MaxOrder: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &aoaFixture{world: w, personal: personal, global: global}
+}
+
+func TestAoAKnownSourcePersonalBeatsGlobal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AoA sweep")
+	}
+	f := newAoAFixture(t, 1)
+	rng := rand.New(rand.NewSource(9))
+	src := dsp.Chirp(200, 18000, 0.05, f.world.SampleRate)
+	var persErr, globErr []float64
+	for _, deg := range []float64{15, 40, 70, 95, 120, 150, 170} {
+		rec, err := f.world.RecordFarField(src, deg, acoustic.RecordOptions{NoiseStd: 0.005, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := EstimateAoAKnown(rec.Left, rec.Right, src, f.personal, AoAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := EstimateAoAKnown(rec.Left, rec.Right, src, f.global, AoAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		persErr = append(persErr, math.Abs(p.AngleDeg-deg))
+		globErr = append(globErr, math.Abs(g.AngleDeg-deg))
+	}
+	mp, mg := dsp.Mean(persErr), dsp.Mean(globErr)
+	t.Logf("known-source mean AoA error: personal %.1f deg, global %.1f deg", mp, mg)
+	if mp > 12 {
+		t.Errorf("personal-template AoA error %.1f deg too large", mp)
+	}
+	if mp >= mg {
+		t.Errorf("personalized template (%.1f) should beat global (%.1f)", mp, mg)
+	}
+}
+
+func TestAoAUnknownSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AoA sweep")
+	}
+	f := newAoAFixture(t, 2)
+	rng := rand.New(rand.NewSource(17))
+	src := dsp.WhiteNoise(int(0.2*f.world.SampleRate), rng)
+	var errs []float64
+	for _, deg := range []float64{20, 55, 85, 125, 160} {
+		rec, err := f.world.RecordFarField(src, deg, acoustic.RecordOptions{NoiseStd: 0.004, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := EstimateAoAUnknown(rec.Left, rec.Right, f.personal, AoAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, math.Abs(est.AngleDeg-deg))
+	}
+	med := median(errs)
+	t.Logf("unknown-source (white noise) AoA errors: %v (median %.1f)", errs, med)
+	if med > 25 {
+		t.Errorf("median unknown-source AoA error %.1f deg too large", med)
+	}
+}
+
+func TestAoAFrontBackDisambiguation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AoA sweep")
+	}
+	// Mirrored angles share nearly identical ITDs; only the channel
+	// shape separates them. The personalized eq. 11 check should get
+	// most of them right.
+	f := newAoAFixture(t, 3)
+	rng := rand.New(rand.NewSource(23))
+	src := dsp.WhiteNoise(int(0.2*f.world.SampleRate), rng)
+	correct := 0
+	cases := []float64{30, 60, 120, 150}
+	for _, deg := range cases {
+		rec, err := f.world.RecordFarField(src, deg, acoustic.RecordOptions{NoiseStd: 0.003, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := EstimateAoAUnknown(rec.Left, rec.Right, f.personal, AoAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if FrontBack(est.AngleDeg) == FrontBack(deg) {
+			correct++
+		}
+	}
+	if correct < 3 {
+		t.Errorf("front/back correct for only %d/%d cases", correct, len(cases))
+	}
+}
+
+func TestFrontBackHelper(t *testing.T) {
+	if !FrontBack(45) || FrontBack(135) {
+		t.Error("FrontBack classification wrong")
+	}
+}
+
+func TestTrainLambdaPicksReasonableValue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	f := newAoAFixture(t, 4)
+	rng := rand.New(rand.NewSource(31))
+	src := dsp.Chirp(200, 18000, 0.05, f.world.SampleRate)
+	var examples []LabelledRecording
+	for _, deg := range []float64{25, 80, 140} {
+		rec, err := f.world.RecordFarField(src, deg, acoustic.RecordOptions{NoiseStd: 0.005, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		examples = append(examples, LabelledRecording{Left: rec.Left, Right: rec.Right, Src: src, TrueDeg: deg})
+	}
+	lambda, err := TrainLambda(examples, f.personal, AoAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda < 250 || lambda > 32000 {
+		t.Errorf("trained lambda %g outside the sweep range", lambda)
+	}
+	if _, err := TrainLambda(nil, f.personal, AoAOptions{}); err == nil {
+		t.Error("empty training set should fail")
+	}
+}
+
+func TestAoAErrorsPaths(t *testing.T) {
+	if _, err := EstimateAoAKnown(nil, nil, nil, nil, AoAOptions{}); err != ErrEmptyTable {
+		t.Errorf("nil table should give ErrEmptyTable, got %v", err)
+	}
+	if _, err := EstimateAoAUnknown(nil, nil, nil, AoAOptions{}); err != ErrEmptyTable {
+		t.Errorf("nil table should give ErrEmptyTable, got %v", err)
+	}
+	empty := hrtf.NewTable(48000, 0, 1, 0)
+	if _, err := EstimateAoAUnknown([]float64{1}, []float64{1}, empty, AoAOptions{}); err != ErrEmptyTable {
+		t.Errorf("empty table should give ErrEmptyTable, got %v", err)
+	}
+}
+
+func TestGestureCheck(t *testing.T) {
+	good := FusionResult{
+		Radii:                []float64{0.3, 0.31, 0.29, 0.32},
+		MeanAngleResidualRad: 0.03,
+	}
+	rep := CheckGesture(good, GestureLimits{})
+	if !rep.OK {
+		t.Errorf("good gesture rejected: %s", rep.Reason)
+	}
+	droop := FusionResult{
+		Radii:                []float64{0.3, 0.18, 0.15, 0.14},
+		MeanAngleResidualRad: 0.03,
+	}
+	rep = CheckGesture(droop, GestureLimits{})
+	if rep.OK {
+		t.Error("arm droop not detected")
+	}
+	wild := FusionResult{
+		Radii:                []float64{0.3, 0.31, 0.32, 0.3},
+		MeanAngleResidualRad: 0.5,
+	}
+	rep = CheckGesture(wild, GestureLimits{})
+	if rep.OK {
+		t.Error("wild residual not detected")
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// This file implements the paper's two "additional attempts" at principled
+// near-to-far conversion (§4.3). Both are *negative results* in the paper
+// and here: they are not part of the pipeline, but the code and tests
+// document exactly why they fail, which is half their value.
+//
+// Attempt 1 (speaker beamforming): use the phone's two speakers to emit
+// time-varying beam patterns w_t(θ) and solve the linear system
+//
+//	H_near(X_k) = Σ_i w_t(θ_i)·H(X_k, θ_i)   for every pattern t (eq. 6)
+//
+// for the per-direction components H(X_k, θ_i). The paper: "the 2 speakers
+// are unable to create a spatially narrow beam pattern... the system of
+// equations being ill-ranked".
+//
+// Attempt 2 (blind decoupling): model each near-field measurement as
+// (Σ_i A_i δ(τ_i)) ∗ h_k (eq. 8) with known geometric delays τ_i but
+// unknown ray gains A_i and pinna filter h_k, and recover both by
+// alternating least squares. The paper: identifiability fails — many
+// (A, h) pairs explain the data.
+
+// BeamformingDesign models the phone's speaker array for attempt 1.
+type BeamformingDesign struct {
+	// NumSpeakers is the array size. Phones have 2; larger values serve
+	// as the "what if we could beamform" control.
+	NumSpeakers int
+	// SpeakerSpacing is the element spacing, metres (phones: 7–15 cm
+	// between earpiece and bottom speaker).
+	SpeakerSpacing float64
+	// Frequency is the beam's carrier frequency, Hz.
+	Frequency float64
+	// NumPatterns is how many distinct steering phases to emit.
+	NumPatterns int
+	// NumDirections is how many ray directions to solve for.
+	NumDirections int
+}
+
+// DefaultBeamformingDesign mirrors a phone: 2 speakers 12 cm apart, 2 kHz.
+func DefaultBeamformingDesign() BeamformingDesign {
+	return BeamformingDesign{
+		NumSpeakers:    2,
+		SpeakerSpacing: 0.12,
+		Frequency:      2000,
+		NumPatterns:    24,
+		NumDirections:  12,
+	}
+}
+
+// PatternMatrix builds the w_t(θ_i) matrix of eq. 6: each row is one
+// steered array pattern sampled at the solve directions.
+func (d BeamformingDesign) PatternMatrix() *linalg.Matrix {
+	n := d.NumSpeakers
+	if n < 2 {
+		n = 2
+	}
+	m := linalg.NewMatrix(d.NumPatterns, d.NumDirections)
+	wavelength := 343.0 / d.Frequency
+	for t := 0; t < d.NumPatterns; t++ {
+		// Sweep the per-element steering phase over the patterns.
+		phase := 2 * math.Pi * float64(t) / float64(d.NumPatterns)
+		for i := 0; i < d.NumDirections; i++ {
+			// Interior sampling: the endpoints 0 and π alias onto each
+			// other for half-wavelength arrays.
+			theta := math.Pi * (float64(i) + 0.5) / float64(d.NumDirections)
+			// Uniform-line-array factor |Σ_k e^{jk(phase + k0·d·cosθ)}|.
+			arg := phase + 2*math.Pi/wavelength*d.SpeakerSpacing*math.Cos(theta)
+			var re, im float64
+			for k := 0; k < n; k++ {
+				re += math.Cos(float64(k) * arg)
+				im += math.Sin(float64(k) * arg)
+			}
+			m.Set(t, i, math.Hypot(re, im)/float64(n))
+		}
+	}
+	return m
+}
+
+// BeamformingConditioning reports the condition number of the attempt-1
+// system and the per-direction recovery error on a synthetic ground truth.
+// Large outputs reproduce the paper's conclusion.
+type BeamformingConditioning struct {
+	// Cond is the 2-norm condition estimate of the pattern matrix.
+	Cond float64
+	// RelativeError is ‖recovered − truth‖ / ‖truth‖ for a noiseless
+	// synthetic solve with 0.1% measurement noise.
+	RelativeError float64
+}
+
+// EvaluateBeamforming builds the eq. 6 system, solves it for a synthetic
+// per-direction component vector under slight measurement noise, and
+// reports how badly conditioning amplifies that noise.
+func EvaluateBeamforming(d BeamformingDesign, rng *rand.Rand) (BeamformingConditioning, error) {
+	if d.NumPatterns < d.NumDirections {
+		return BeamformingConditioning{}, errors.New("core: need at least as many patterns as directions")
+	}
+	m := d.PatternMatrix()
+	truth := make([]float64, d.NumDirections)
+	for i := range truth {
+		truth[i] = 0.3 + rng.Float64()
+	}
+	b := m.MulVec(truth)
+	for i := range b {
+		b[i] *= 1 + 0.001*rng.NormFloat64() // 0.1% measurement noise
+	}
+	recovered, err := linalg.LeastSquares(m, b, 0)
+	if err != nil {
+		// Singular normal equations: the clearest form of "ill-ranked".
+		return BeamformingConditioning{Cond: math.Inf(1), RelativeError: math.Inf(1)}, nil
+	}
+	var num, den float64
+	for i := range truth {
+		dfi := recovered[i] - truth[i]
+		num += dfi * dfi
+		den += truth[i] * truth[i]
+	}
+	return BeamformingConditioning{
+		Cond:          linalg.CondEstimate(m, 0, rng),
+		RelativeError: math.Sqrt(num / den),
+	}, nil
+}
+
+// BlindDecouplingResult reports an attempt-2 run.
+type BlindDecouplingResult struct {
+	// FitResidual is the final relative data-fit error — typically small
+	// (the model explains the measurement).
+	FitResidual float64
+	// PinnaCorrelation is the normalized correlation between the
+	// recovered h_k and the true pinna filter — typically poor and
+	// init-dependent (the decomposition is not identifiable).
+	PinnaCorrelation float64
+}
+
+// BlindDecouple runs alternating least squares on eq. 8: given a measured
+// channel (length n), the known ray delays tau (in samples), and an
+// assumed pinna-filter length, it alternates between solving for the ray
+// gains A (given h) and the pinna filter h (given A), from a seeded random
+// initialization.
+func BlindDecouple(measured []float64, tauSamples []int, pinnaLen, iters int, truePinna []float64, rng *rand.Rand) (BlindDecouplingResult, error) {
+	n := len(measured)
+	if n == 0 || len(tauSamples) == 0 || pinnaLen <= 0 {
+		return BlindDecouplingResult{}, errors.New("core: blind decoupling needs data, delays and a filter length")
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	// Unknowns: gains A (one per ray) and pinna h (pinnaLen taps).
+	gains := make([]float64, len(tauSamples))
+	for i := range gains {
+		gains[i] = 0.5 + rng.Float64()
+	}
+	h := make([]float64, pinnaLen)
+	for i := range h {
+		h[i] = rng.NormFloat64() * 0.1
+	}
+	h[0] = 1
+
+	for it := 0; it < iters; it++ {
+		// Solve for h given gains: measured ≈ C_h · h where column j of
+		// C_h places Σ_i gains_i at tau_i + j.
+		ch := linalg.NewMatrix(n, pinnaLen)
+		for j := 0; j < pinnaLen; j++ {
+			for i, tau := range tauSamples {
+				row := tau + j
+				if row >= 0 && row < n {
+					ch.Set(row, j, ch.At(row, j)+gains[i])
+				}
+			}
+		}
+		if sol, err := linalg.LeastSquares(ch, measured, 1e-9); err == nil {
+			h = sol
+		}
+		// Solve for gains given h: measured ≈ C_g · gains where column i
+		// is h delayed by tau_i.
+		cg := linalg.NewMatrix(n, len(tauSamples))
+		for i, tau := range tauSamples {
+			for j := 0; j < pinnaLen; j++ {
+				row := tau + j
+				if row >= 0 && row < n {
+					cg.Set(row, i, h[j])
+				}
+			}
+		}
+		if sol, err := linalg.LeastSquares(cg, measured, 1e-9); err == nil {
+			gains = sol
+		}
+	}
+
+	// Final data fit.
+	recon := make([]float64, n)
+	for i, tau := range tauSamples {
+		for j := 0; j < pinnaLen; j++ {
+			row := tau + j
+			if row >= 0 && row < n {
+				recon[row] += gains[i] * h[j]
+			}
+		}
+	}
+	var num, den float64
+	for i := range measured {
+		d := recon[i] - measured[i]
+		num += d * d
+		den += measured[i] * measured[i]
+	}
+	res := BlindDecouplingResult{FitResidual: math.Sqrt(num / math.Max(den, 1e-30))}
+	if len(truePinna) > 0 {
+		res.PinnaCorrelation = normCorr(h, truePinna)
+	}
+	return res, nil
+}
+
+// normCorr is the peak normalized cross-correlation of two vectors.
+func normCorr(a, b []float64) float64 {
+	var ea, eb float64
+	for _, v := range a {
+		ea += v * v
+	}
+	for _, v := range b {
+		eb += v * v
+	}
+	if ea == 0 || eb == 0 {
+		return 0
+	}
+	best := 0.0
+	for lag := -len(b) + 1; lag < len(a); lag++ {
+		s := 0.0
+		for t := range b {
+			j := t + lag
+			if j >= 0 && j < len(a) {
+				s += b[t] * a[j]
+			}
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best / math.Sqrt(ea*eb)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/hrtf"
+)
+
+// This file implements the hearing-aid application §4.5 motivates:
+// "earphones could serve as hearing aids, and beamform in the direction of
+// a desired speech signal; thus, Alice and Bob could listen to each other
+// more clearly by wearing headphones in a noisy bar." With only two
+// microphones the achievable gain is modest, but an HRTF-aware filter-and-
+// sum beats naive delay-and-sum because the personalized HRIRs describe
+// exactly how the target direction reaches each ear.
+
+// BeamformOptions tunes the binaural enhancer.
+type BeamformOptions struct {
+	// Reg is the Tikhonov regularization of the matched-filter inversion
+	// (default 5e-2). Larger values are more robust to HRTF error.
+	Reg float64
+	// NullAngleDeg, when non-nil, steers a spatial null at a known
+	// interferer direction (e.g. estimated with EstimateAoAUnknown).
+	// With two microphones one null is the most the array affords, but
+	// it buys far more rejection than blind matched combining.
+	NullAngleDeg *float64
+	// AdaptiveNull refines NullAngleDeg by scanning ±12° around it and
+	// keeping the placement that minimizes output power — the classic
+	// power-minimization criterion, which absorbs AoA-estimation error.
+	AdaptiveNull bool
+}
+
+// BeamformToward enhances the signal arriving from angleDeg by HRTF-aware
+// matched-filter combining: per frequency bin, the two ear spectra are
+// combined with the conjugate steering vector given by the personalized
+// HRIRs of the target direction,
+//
+//	S(f) = (H_L*(f)·Y_L(f) + H_R*(f)·Y_R(f)) / (|H_L(f)|² + |H_R(f)|² + ε)
+//
+// which sums the target coherently while sources from other directions —
+// whose interaural structure mismatches the steering vector — combine
+// incoherently. The output is a mono estimate of the target source.
+func BeamformToward(left, right []float64, angleDeg float64, table *hrtf.Table, opt BeamformOptions) ([]float64, error) {
+	if table == nil || table.NumAngles() == 0 {
+		return nil, ErrEmptyTable
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nil, errors.New("core: beamforming needs two channels")
+	}
+	if opt.Reg <= 0 {
+		opt.Reg = 5e-2
+	}
+	if opt.AdaptiveNull && opt.NullAngleDeg != nil {
+		refined := refineNull(left, right, angleDeg, *opt.NullAngleDeg, table, opt)
+		opt.NullAngleDeg = &refined
+		opt.AdaptiveNull = false
+	}
+	h, err := table.FarAt(angleDeg)
+	if err != nil {
+		return nil, err
+	}
+	if h.Empty() {
+		return nil, errors.New("core: no HRIR at the target angle")
+	}
+	n := len(left)
+	if len(right) > n {
+		n = len(right)
+	}
+	m := dsp.NextPow2(n + len(h.Left))
+	fyL := dsp.FFTReal(dsp.ZeroPad(left, m))
+	fyR := dsp.FFTReal(dsp.ZeroPad(right, m))
+	fhL := dsp.FFTReal(dsp.ZeroPad(h.Left, m))
+	fhR := dsp.FFTReal(dsp.ZeroPad(h.Right, m))
+	// Regularize against the peak steering power so spectral nulls of
+	// the HRIRs do not blow up.
+	maxPow := 0.0
+	for i := range fhL {
+		p := sqAbs(fhL[i]) + sqAbs(fhR[i])
+		if p > maxPow {
+			maxPow = p
+		}
+	}
+	eps := opt.Reg * maxPow
+	if eps == 0 {
+		eps = 1e-30
+	}
+	var fnL, fnR []complex128
+	if opt.NullAngleDeg != nil {
+		hn, err := table.FarAt(*opt.NullAngleDeg)
+		if err != nil {
+			return nil, err
+		}
+		if !hn.Empty() {
+			fnL = dsp.FFTReal(dsp.ZeroPad(hn.Left, m))
+			fnR = dsp.FFTReal(dsp.ZeroPad(hn.Right, m))
+		}
+	}
+	spec := make([]complex128, m)
+	for i := range spec {
+		wL, wR := conj(fhL[i]), conj(fhR[i])
+		if fnL != nil {
+			// Project the steering vector orthogonal to the
+			// interferer's: w = d_t - (d_i^H d_t / |d_i|^2) d_i. The
+			// projection uses only a hair of regularization — softening
+			// it would soften the null, which is the whole point.
+			den := sqAbs(fnL[i]) + sqAbs(fnR[i]) + 1e-9*maxPow
+			g := (conj(fnL[i])*fhL[i] + conj(fnR[i])*fhR[i]) / complex(den, 0)
+			wL = conj(fhL[i] - g*fnL[i])
+			wR = conj(fhR[i] - g*fnR[i])
+		}
+		num := wL*fyL[i] + wR*fyR[i]
+		// Unity gain toward the target: divide by w^H d_t.
+		den := wL*fhL[i] + wR*fhR[i]
+		spec[i] = num * conj(den) / complex(sqAbs(den)+eps*eps, 0)
+	}
+	td := dsp.IFFTReal(spec)
+	return td[:n], nil
+}
+
+// refineNull scans candidate null placements around the hint and returns
+// the one minimizing the beamformed output power: the true interferer
+// direction removes the most energy.
+func refineNull(left, right []float64, targetDeg, hintDeg float64, table *hrtf.Table, opt BeamformOptions) float64 {
+	best, bestPow := hintDeg, math.Inf(1)
+	probe := opt
+	probe.AdaptiveNull = false
+	for d := hintDeg - 12; d <= hintDeg+12; d += 3 {
+		cand := dsp.Clamp(d, table.MinAngle, table.MaxAngle())
+		if math.Abs(cand-targetDeg) < 10 {
+			continue // never null the target itself
+		}
+		probe.NullAngleDeg = &cand
+		out, err := BeamformToward(left, right, targetDeg, table, probe)
+		if err != nil {
+			continue
+		}
+		if p := dsp.Energy(out); p < bestPow {
+			bestPow, best = p, cand
+		}
+	}
+	return best
+}
+
+func sqAbs(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }
+
+func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// BeamformGain measures the SNR improvement (dB) the beamformer provides
+// for a unit test scenario: clean is the target source signal, and the
+// mixed ear recordings contain the target plus interference. It compares
+// the correlation-derived SNR of the beamformed output against the better
+// of the two raw ears.
+func BeamformGain(clean, left, right, enhanced []float64) float64 {
+	rawL := correlationSNR(clean, left)
+	rawR := correlationSNR(clean, right)
+	raw := math.Max(rawL, rawR)
+	return correlationSNR(clean, enhanced) - raw
+}
+
+// correlationSNR estimates the SNR (dB) of a degraded signal w.r.t. a clean
+// reference using the peak normalized correlation: SNR = c²/(1−c²).
+func correlationSNR(clean, degraded []float64) float64 {
+	c, _ := dsp.NormXCorrPeak(clean, degraded)
+	c = math.Abs(c)
+	if c >= 0.999999 {
+		return 60
+	}
+	if c <= 0 {
+		return -60
+	}
+	return 10 * math.Log10(c*c/(1-c*c))
+}

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/dsp"
+)
+
+// MeasureSyncOffset calibrates the playback chain's latency from a loopback
+// recording: the app plays the probe with the microphone next to the
+// speaker (or through an electrical loopback) and records; the first
+// arrival's position is the offset every subsequent measurement must
+// subtract. This is how a real deployment obtains SessionInput.SyncOffset.
+func MeasureSyncOffset(loopback, probe []float64, sampleRate float64) (float64, error) {
+	if len(loopback) == 0 || len(probe) == 0 || sampleRate <= 0 {
+		return 0, errors.New("core: sync calibration needs a loopback recording, the probe, and a sample rate")
+	}
+	cir := dsp.Deconvolve(loopback, probe, dsp.NextPow2(len(probe)/4+256), 1e-3)
+	idx, _ := dsp.FirstPeak(cir, 0.3)
+	if idx < 0 {
+		return 0, ErrNoFirstTap
+	}
+	return idx / sampleRate, nil
+}

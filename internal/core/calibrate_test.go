@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestMeasureSyncOffset(t *testing.T) {
+	sr := 48000.0
+	probe := dsp.Chirp(150, 20000, 0.04, sr)
+	// Simulate a loopback with 3.7 ms of output latency and mild gain.
+	latency := 3.7e-3
+	delayed := dsp.FractionalDelay(probe, latency*sr)
+	loop := dsp.Scale(delayed, 0.8)
+	got, err := MeasureSyncOffset(loop, probe, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-latency) > 3e-5 {
+		t.Errorf("measured %g s, want %g", got, latency)
+	}
+}
+
+func TestMeasureSyncOffsetErrors(t *testing.T) {
+	if _, err := MeasureSyncOffset(nil, []float64{1}, 48000); err == nil {
+		t.Error("empty loopback should fail")
+	}
+	if _, err := MeasureSyncOffset([]float64{1}, nil, 48000); err == nil {
+		t.Error("empty probe should fail")
+	}
+	if _, err := MeasureSyncOffset([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("zero rate should fail")
+	}
+	silent := make([]float64, 4096)
+	probe := dsp.Chirp(150, 20000, 0.02, 48000)
+	if _, err := MeasureSyncOffset(silent, probe, 48000); err != ErrNoFirstTap {
+		t.Errorf("silent loopback: want ErrNoFirstTap, got %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/dsp"
+)
+
+// ErrNoFirstTap is returned when a channel estimate has no identifiable
+// first arrival (e.g. the recording was silence).
+var ErrNoFirstTap = errors.New("core: no identifiable first tap in channel")
+
+// BinauralChannel is one estimated acoustic channel pair with its measured
+// first-arrival delays.
+type BinauralChannel struct {
+	// Left and Right are the time-domain channel impulse responses,
+	// sample 0 = probe emission time.
+	Left, Right []float64
+	// SampleRate in Hz.
+	SampleRate float64
+	// DelayLeft and DelayRight are the first-tap (diffraction path)
+	// absolute delays in seconds, already corrected for the playback
+	// chain's sync offset.
+	DelayLeft, DelayRight float64
+}
+
+// RelativeDelay returns the left-minus-right first-tap delay in seconds —
+// the paper's Δt (eq. 1).
+func (c BinauralChannel) RelativeDelay() float64 { return c.DelayLeft - c.DelayRight }
+
+// ChannelEstimator turns probe recordings into clean binaural channel
+// estimates.
+type ChannelEstimator struct {
+	// Probe is the known source signal.
+	Probe []float64
+	// SampleRate in Hz.
+	SampleRate float64
+	// SystemIR is the measured speaker–mic response; when non-nil its
+	// coloration is divided out of every estimate (§4.6 compensation).
+	SystemIR []float64
+	// SyncOffset is the calibrated playback latency (seconds) to
+	// subtract from measured tap positions.
+	SyncOffset float64
+	// CIRLength is the estimated channel length in samples
+	// (default: 12 ms worth).
+	CIRLength int
+	// TruncateRoomEchoes controls the §4.6 pre-processing step that
+	// zeroes channel taps arriving later than the head/pinna multipath
+	// window after the first tap.
+	TruncateRoomEchoes bool
+	// MultipathWindow is the post-first-tap window kept by truncation,
+	// seconds (default 0.9 ms: head diffraction + pinna echoes).
+	MultipathWindow float64
+	// FirstTapMinRel is the relative magnitude threshold for first-tap
+	// picking (default 0.28).
+	FirstTapMinRel float64
+}
+
+func (e *ChannelEstimator) fillDefaults() {
+	if e.CIRLength <= 0 {
+		e.CIRLength = int(0.012 * e.SampleRate)
+	}
+	if e.MultipathWindow <= 0 {
+		e.MultipathWindow = 0.9e-3
+	}
+	if e.FirstTapMinRel <= 0 {
+		e.FirstTapMinRel = 0.28
+	}
+}
+
+// Estimate deconvolves one stereo recording into a BinauralChannel.
+func (e *ChannelEstimator) Estimate(left, right []float64) (BinauralChannel, error) {
+	if len(e.Probe) == 0 || e.SampleRate <= 0 {
+		return BinauralChannel{}, errors.New("core: channel estimator needs a probe and sample rate")
+	}
+	e.fillDefaults()
+	cl := e.estimateOne(left)
+	cr := e.estimateOne(right)
+	li, _ := dsp.FirstPeak(cl, e.FirstTapMinRel)
+	ri, _ := dsp.FirstPeak(cr, e.FirstTapMinRel)
+	if li < 0 || ri < 0 {
+		return BinauralChannel{}, ErrNoFirstTap
+	}
+	if e.TruncateRoomEchoes {
+		win := int(e.MultipathWindow * e.SampleRate)
+		cl = dsp.TruncateAfter(cl, int(li)+win)
+		cr = dsp.TruncateAfter(cr, int(ri)+win)
+	}
+	return BinauralChannel{
+		Left:       cl,
+		Right:      cr,
+		SampleRate: e.SampleRate,
+		DelayLeft:  li/e.SampleRate - e.SyncOffset,
+		DelayRight: ri/e.SampleRate - e.SyncOffset,
+	}, nil
+}
+
+// estimateOne deconvolves one ear's recording and compensates the hardware
+// response.
+func (e *ChannelEstimator) estimateOne(rec []float64) []float64 {
+	cir := dsp.Deconvolve(rec, e.Probe, e.CIRLength, 1e-3)
+	if len(e.SystemIR) == 0 {
+		return cir
+	}
+	// Divide the measured system response out in the frequency domain.
+	n := dsp.NextPow2(len(cir) + len(e.SystemIR))
+	fc := dsp.FFTReal(dsp.ZeroPad(cir, n))
+	fs := dsp.FFTReal(dsp.ZeroPad(e.SystemIR, n))
+	comp := dsp.SpectralDivide(fc, fs, 3e-3)
+	out := dsp.IFFTReal(comp)
+	return out[:len(cir)]
+}

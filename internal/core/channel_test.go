@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/acoustic"
+	"repro/internal/dsp"
+	"repro/internal/geom"
+	"repro/internal/head"
+	"repro/internal/pinna"
+	"repro/internal/room"
+)
+
+func channelWorld(t *testing.T, reverberant bool) *acoustic.World {
+	t.Helper()
+	hm, err := head.New(head.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	rm := room.Config{Width: 4, Depth: 5, Absorption: 0.5, MaxOrder: 0}
+	if reverberant {
+		rm = room.DefaultConfig()
+	}
+	return &acoustic.World{
+		Head:       hm,
+		Pinna:      [2]*pinna.Response{pinna.New(rng), pinna.New(rng)},
+		Room:       rm,
+		SampleRate: 48000,
+	}
+}
+
+func TestChannelEstimatorDelays(t *testing.T) {
+	w := channelWorld(t, false)
+	probe := dsp.Chirp(150, 21000, 0.04, w.SampleRate)
+	pos := geom.Vec{X: -0.3, Y: 0.12}
+	rec, err := w.Record(probe, pos, acoustic.RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &ChannelEstimator{
+		Probe:      probe,
+		SampleRate: w.SampleRate,
+		SyncOffset: acoustic.LeadInSeconds,
+	}
+	ch, err := est.Estimate(rec.Left, rec.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL, _ := w.ArrivalDelay(pos, head.Left)
+	wantR, _ := w.ArrivalDelay(pos, head.Right)
+	if math.Abs(ch.DelayLeft-wantL) > 4e-5 {
+		t.Errorf("left delay %g, want %g", ch.DelayLeft, wantL)
+	}
+	if math.Abs(ch.DelayRight-wantR) > 4e-5 {
+		t.Errorf("right delay %g, want %g", ch.DelayRight, wantR)
+	}
+	if ch.RelativeDelay() >= 0 {
+		t.Error("left source: left-minus-right delay should be negative")
+	}
+}
+
+func TestChannelEstimatorCompensation(t *testing.T) {
+	// With heavy hardware coloration, compensation should improve the
+	// first-tap sharpness; verify delays remain accurate.
+	w := channelWorld(t, false)
+	hw := acoustic.NewSystemResponse(w.SampleRate, rand.New(rand.NewSource(7)))
+	probe := dsp.Chirp(150, 21000, 0.04, w.SampleRate)
+	pos := geom.Vec{X: -0.28, Y: -0.1}
+	rec, err := w.Record(probe, pos, acoustic.RecordOptions{System: hw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &ChannelEstimator{
+		Probe:      probe,
+		SampleRate: w.SampleRate,
+		SystemIR:   hw.MeasureIR(512),
+		SyncOffset: acoustic.LeadInSeconds,
+	}
+	ch, err := est.Estimate(rec.Left, rec.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL, _ := w.ArrivalDelay(pos, head.Left)
+	if math.Abs(ch.DelayLeft-wantL) > 6e-5 {
+		t.Errorf("compensated left delay %g, want %g", ch.DelayLeft, wantL)
+	}
+}
+
+func TestChannelEstimatorTruncation(t *testing.T) {
+	w := channelWorld(t, true) // reverberant
+	probe := dsp.Chirp(150, 21000, 0.04, w.SampleRate)
+	pos := geom.Vec{X: -0.3, Y: 0.1}
+	rec, err := w.Record(probe, pos, acoustic.RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ChannelEstimator{Probe: probe, SampleRate: w.SampleRate, SyncOffset: acoustic.LeadInSeconds}
+	raw := base
+	raw.TruncateRoomEchoes = false
+	trunc := base
+	trunc.TruncateRoomEchoes = true
+	chRaw, err := raw.Estimate(rec.Left, rec.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chTrunc, err := trunc.Estimate(rec.Left, rec.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Late energy (after first tap + window) must be gone.
+	li, _ := dsp.FirstPeak(chTrunc.Left, 0.28)
+	cut := int(li) + int(1.0e-3*w.SampleRate)
+	if cut < len(chTrunc.Left) {
+		if e := dsp.Energy(chTrunc.Left[cut:]); e > 1e-9 {
+			t.Errorf("truncated channel still has late energy %g", e)
+		}
+	}
+	if e := dsp.Energy(chRaw.Left[cut:]); e < 1e-9 {
+		t.Error("raw reverberant channel should have late energy (room echoes)")
+	}
+	// Delays should agree regardless of truncation.
+	if math.Abs(chRaw.DelayLeft-chTrunc.DelayLeft) > 1e-6 {
+		t.Error("truncation changed the first-tap delay")
+	}
+}
+
+func TestChannelEstimatorErrors(t *testing.T) {
+	est := &ChannelEstimator{}
+	if _, err := est.Estimate([]float64{1}, []float64{1}); err == nil {
+		t.Error("estimator without probe should fail")
+	}
+	est = &ChannelEstimator{Probe: dsp.Chirp(100, 1000, 0.01, 48000), SampleRate: 48000}
+	if _, err := est.Estimate(make([]float64, 1000), make([]float64, 1000)); err != ErrNoFirstTap {
+		t.Errorf("silence should give ErrNoFirstTap, got %v", err)
+	}
+}

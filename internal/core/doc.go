@@ -1,0 +1,25 @@
+// Package core implements UNIQ, the paper's primary contribution: HRTF
+// personalization from a phone swept around the head. Its modules mirror
+// the system architecture of Fig 6:
+//
+//   - channel.go:   acoustic channel estimation from earbud recordings,
+//     with speaker–mic response compensation and room-echo
+//     truncation (§4.1, §4.6)
+//   - localize.go:  phone localization from binaural diffraction delays
+//     under a candidate head model (§4.1)
+//   - fusion.go:    Diffraction-aware Sensor Fusion — jointly fits the
+//     head parameters E=(a,b,c) and the phone track by
+//     reconciling acoustic localization with the IMU (§4.1)
+//   - gesture.go:   automatic gesture-quality detection (§4.6)
+//   - nearfield.go: discrete near-field HRTF indexing and continuous
+//     interpolation (§4.2)
+//   - nearfar.go:   near-to-far-field HRTF synthesis (§4.3)
+//   - aoa.go:       HRTF-aware binaural angle-of-arrival estimation for
+//     known and unknown sources (§4.5)
+//   - pipeline.go:  the end-to-end Personalize entry point (§3)
+//
+// The package consumes only information a real deployment has: stereo
+// earbud recordings, the known probe signal, IMU samples, and one-time
+// hardware calibrations. Simulator ground truth never crosses into this
+// package.
+package core

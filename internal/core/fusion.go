@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/head"
+	"repro/internal/optimize"
+)
+
+// FusionObservation is one measurement's input to the sensor fusion: the
+// binaural first-tap delays from the acoustic channel and the phone
+// orientation integrated from the gyroscope at the same instant.
+type FusionObservation struct {
+	// DelayLeft/DelayRight are the absolute diffraction-path delays in
+	// seconds.
+	DelayLeft, DelayRight float64
+	// AlphaRad is the IMU-derived phone orientation in radians (the
+	// paper's α, equal to the polar angle when the user holds the phone
+	// facing their eyes).
+	AlphaRad float64
+}
+
+// FusionOptions tunes the Diffraction-aware Sensor Fusion (§4.1).
+type FusionOptions struct {
+	// Bounds on the head parameters (a, b, c); defaults cover adult
+	// anthropometry.
+	ParamLo, ParamHi head.Params
+	// GridPoints per dimension for the seeding search (default 4).
+	GridPoints int
+	// MaxEvals bounds the simplex refinement (default 120).
+	MaxEvals int
+	// Localizer grid options.
+	Loc LocalizerOptions
+	// DelayWeight blends the localization residual (delay mismatch,
+	// seconds) into the objective; it breaks ties between parameter sets
+	// that explain the angles equally well. Negative disables; 0 means
+	// the default 2e4.
+	DelayWeight float64
+	// PriorWeight pulls the fit toward population-mean head dimensions
+	// (rad² per m² of parameter deviation). The angle objective alone is
+	// weakly identified when the user's phone-facing bias is large, and
+	// a weak anthropometric prior keeps E from running to the bounds.
+	// Negative disables; 0 means the default 30 (chosen on simulation:
+	// parameter recovery improves markedly while downstream HRIR
+	// correlation stays within ~0.02).
+	PriorWeight float64
+	// PriorMean overrides the anthropometric prior center (zero value:
+	// population-mean head). Elevated-ring fits (§7 extension) scale it.
+	PriorMean head.Params
+}
+
+func (o *FusionOptions) fillDefaults() {
+	zero := head.Params{}
+	if o.ParamLo == zero {
+		o.ParamLo = head.Params{A: 0.070, B: 0.055, C: 0.068}
+	}
+	if o.ParamHi == zero {
+		o.ParamHi = head.Params{A: 0.125, B: 0.100, C: 0.120}
+	}
+	if o.GridPoints <= 0 {
+		o.GridPoints = 4
+	}
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 120
+	}
+	if o.DelayWeight == 0 {
+		o.DelayWeight = 2e4
+	} else if o.DelayWeight < 0 {
+		o.DelayWeight = 0
+	}
+	if o.PriorWeight == 0 {
+		o.PriorWeight = 30
+	} else if o.PriorWeight < 0 {
+		o.PriorWeight = 0
+	}
+}
+
+// FusionResult is the output of sensor fusion: the fitted head parameters
+// and the reconciled phone track.
+type FusionResult struct {
+	// Params is E_opt, the head parameters minimizing the α/θ mismatch.
+	Params head.Params
+	// AnglesRad are the fused polar angles (θ_i(E_opt)+α_i)/2 per
+	// measurement (eq. 3).
+	AnglesRad []float64
+	// Radii are the acoustic polar radii r_i per measurement.
+	Radii []float64
+	// Positions are the fused phone locations.
+	Positions []geom.Vec
+	// MeanAngleResidualRad is sqrt(mean (α_i - θ_i)²) at E_opt — the
+	// paper's gesture-quality signal.
+	MeanAngleResidualRad float64
+	// Evals counts objective evaluations.
+	Evals int
+}
+
+// ErrTooFewObservations is returned when fusion lacks data.
+var ErrTooFewObservations = errors.New("core: sensor fusion needs at least 5 observations")
+
+// FuseSensors jointly estimates the head parameters and the phone track
+// from acoustic delays and IMU orientations (eq. 2 and 3 of the paper).
+func FuseSensors(obs []FusionObservation, opt FusionOptions) (FusionResult, error) {
+	opt.fillDefaults()
+	if len(obs) < 5 {
+		return FusionResult{}, ErrTooFewObservations
+	}
+	evals := 0
+	mean := opt.PriorMean
+	if (mean == head.Params{}) {
+		mean = head.DefaultParams()
+	}
+	objective := func(x []float64) float64 {
+		evals++
+		p := head.Params{A: x[0], B: x[1], C: x[2]}
+		loc, err := NewLocalizer(p, opt.Loc)
+		if err != nil {
+			return math.Inf(1)
+		}
+		total := 0.0
+		for _, ob := range obs {
+			theta, _, resid, err := locateWithHint(loc, ob)
+			if err != nil {
+				total += 1.0 // strong penalty, ~57 degrees squared
+				continue
+			}
+			d := geom.AngleDiff(theta, ob.AlphaRad)
+			total += d*d + opt.DelayWeight*resid*resid
+		}
+		total /= float64(len(obs))
+		da, db, dc := p.A-mean.A, p.B-mean.B, p.C-mean.C
+		total += opt.PriorWeight * (da*da + db*db + dc*dc)
+		return total
+	}
+	bounds := optimize.Bounds{
+		Lo: []float64{opt.ParamLo.A, opt.ParamLo.B, opt.ParamLo.C},
+		Hi: []float64{opt.ParamHi.A, opt.ParamHi.B, opt.ParamHi.C},
+	}
+	res, err := optimize.Minimize(objective, bounds, opt.GridPoints, optimize.NelderMeadOptions{
+		Tol:      1e-10,
+		MaxEvals: opt.MaxEvals,
+	})
+	if err != nil {
+		return FusionResult{}, err
+	}
+	eopt := head.Params{A: res.X[0], B: res.X[1], C: res.X[2]}
+	out := FusionResult{Params: eopt, Evals: evals}
+	loc, err := NewLocalizer(eopt, opt.Loc)
+	if err != nil {
+		return FusionResult{}, err
+	}
+	var sumSq float64
+	for _, ob := range obs {
+		theta, radius, _, err := locateWithHint(loc, ob)
+		if err != nil {
+			// Keep the IMU angle and a nominal radius rather than
+			// dropping the stop.
+			theta = ob.AlphaRad
+			radius = 0.3
+		}
+		d := geom.AngleDiff(theta, ob.AlphaRad)
+		sumSq += d * d
+		fused := fuseAngles(theta, ob.AlphaRad)
+		out.AnglesRad = append(out.AnglesRad, fused)
+		out.Radii = append(out.Radii, radius)
+		out.Positions = append(out.Positions, geom.FromPolar(fused, radius))
+	}
+	out.MeanAngleResidualRad = math.Sqrt(sumSq / float64(len(obs)))
+	return out, nil
+}
+
+// locateWithHint resolves the front/back ambiguity with the IMU angle,
+// returning the acoustic angle, radius and delay residual.
+func locateWithHint(loc *Localizer, ob FusionObservation) (theta, radius, resid float64, err error) {
+	cands, err := loc.Locate(ob.DelayLeft, ob.DelayRight)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	best := cands[0]
+	bestD := geom.AngleDiff(best.AngleRad, ob.AlphaRad)
+	for _, c := range cands[1:] {
+		// Prefer the candidate closer to the IMU hint unless its delay
+		// fit is clearly worse.
+		d := geom.AngleDiff(c.AngleRad, ob.AlphaRad)
+		if d < bestD && c.Residual < best.Residual*8+2e-6 {
+			best, bestD = c, d
+		}
+	}
+	return best.AngleRad, best.Radius, best.Residual, nil
+}
+
+// fuseAngles averages the acoustic and IMU angles on the circle (eq. 3).
+func fuseAngles(theta, alpha float64) float64 {
+	d := math.Mod(theta-alpha, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return geom.NormalizeAngle(alpha + d/2)
+}

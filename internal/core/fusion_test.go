@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/head"
+)
+
+// syntheticObservations builds fusion inputs from a ground-truth head and a
+// sweep of true phone positions, with optional IMU noise.
+func syntheticObservations(t *testing.T, p head.Params, imuNoiseRad float64, seed int64) []FusionObservation {
+	t.Helper()
+	m, err := head.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var obs []FusionObservation
+	for deg := 8.0; deg <= 172; deg += 6 {
+		r := 0.30 + 0.04*math.Sin(deg/30)
+		pos := geom.FromPolar(geom.Radians(deg), r)
+		l, err := m.PathTo(pos, head.Left)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := m.PathTo(pos, head.Right)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs = append(obs, FusionObservation{
+			DelayLeft:  l.Delay,
+			DelayRight: rr.Delay,
+			AlphaRad:   geom.Radians(deg) + imuNoiseRad*rng.NormFloat64(),
+		})
+	}
+	return obs
+}
+
+func TestFuseSensorsRecoversHeadParams(t *testing.T) {
+	truth := head.Params{A: 0.105, B: 0.085, C: 0.098}
+	obs := syntheticObservations(t, truth, geom.Radians(1.5), 3)
+	res, err := FuseSensors(obs, FusionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fit should land meaningfully closer to the truth than the
+	// population mean does, especially in b (ear spacing drives ITD).
+	def := head.DefaultParams()
+	errFit := math.Abs(res.Params.B - truth.B)
+	errDefault := math.Abs(def.B - truth.B)
+	if errFit > errDefault {
+		t.Errorf("fitted b=%.4f no better than default %.4f (truth %.4f)", res.Params.B, def.B, truth.B)
+	}
+	if res.MeanAngleResidualRad > geom.Radians(4) {
+		t.Errorf("mean angle residual %.2f deg too high", geom.Degrees(res.MeanAngleResidualRad))
+	}
+}
+
+func TestFuseSensorsTrackAccuracy(t *testing.T) {
+	truth := head.Params{A: 0.1, B: 0.08, C: 0.092}
+	obs := syntheticObservations(t, truth, geom.Radians(1.5), 7)
+	res, err := FuseSensors(obs, FusionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AnglesRad) != len(obs) {
+		t.Fatalf("track length %d, want %d", len(res.AnglesRad), len(obs))
+	}
+	// Fused angles must track the truth better than the noisy IMU alone
+	// on average.
+	i := 0
+	var fusedErr, imuErr float64
+	for deg := 8.0; deg <= 172; deg += 6 {
+		trueRad := geom.Radians(deg)
+		fusedErr += geom.AngleDiff(res.AnglesRad[i], trueRad)
+		imuErr += geom.AngleDiff(obs[i].AlphaRad, trueRad)
+		i++
+	}
+	if fusedErr > imuErr*1.05 {
+		t.Errorf("fusion (%.3f rad total) should not be worse than IMU alone (%.3f rad)", fusedErr, imuErr)
+	}
+	// Radii should be near the true 0.26..0.34 m band.
+	for i, r := range res.Radii {
+		if r < 0.2 || r > 0.45 {
+			t.Errorf("radius %d = %.3f m implausible", i, r)
+		}
+	}
+}
+
+func TestFuseSensorsTooFew(t *testing.T) {
+	if _, err := FuseSensors(make([]FusionObservation, 3), FusionOptions{}); err != ErrTooFewObservations {
+		t.Errorf("expected ErrTooFewObservations, got %v", err)
+	}
+}
+
+func TestFuseAnglesWraparound(t *testing.T) {
+	got := fuseAngles(geom.Radians(350), geom.Radians(10))
+	if geom.AngleDiff(got, 0) > geom.Radians(1) {
+		t.Errorf("wraparound average = %.1f deg, want ~0", geom.Degrees(got))
+	}
+	got = fuseAngles(geom.Radians(80), geom.Radians(100))
+	if math.Abs(geom.Degrees(got)-90) > 1e-9 {
+		t.Errorf("plain average = %.1f deg, want 90", geom.Degrees(got))
+	}
+}

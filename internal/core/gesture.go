@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// ErrBadGesture signals that the measurement gesture was too poor to
+// personalize from and the user should redo it (§4.6).
+var ErrBadGesture = errors.New("core: measurement gesture rejected; please redo the sweep")
+
+// GestureLimits configures the automatic gesture check.
+type GestureLimits struct {
+	// MinRadius is the smallest acceptable phone distance (default
+	// 0.22 m — closer and the near-field/pinna coupling corrupts the
+	// diffraction model).
+	MinRadius float64
+	// MaxCloseFraction is the tolerated fraction of too-close stops
+	// (default 0.25).
+	MaxCloseFraction float64
+	// MaxResidualDeg is the tolerated mean α/θ residual (default 10°).
+	MaxResidualDeg float64
+}
+
+func (g *GestureLimits) fillDefaults() {
+	if g.MinRadius <= 0 {
+		g.MinRadius = 0.22
+	}
+	if g.MaxCloseFraction <= 0 {
+		g.MaxCloseFraction = 0.25
+	}
+	if g.MaxResidualDeg <= 0 {
+		g.MaxResidualDeg = 10
+	}
+}
+
+// GestureReport summarizes the §4.6 automatic gesture correction check.
+type GestureReport struct {
+	// OK is true when the sweep is usable.
+	OK bool
+	// Reason describes the rejection (empty when OK).
+	Reason string
+	// CloseFraction is the fraction of stops with radius below the
+	// limit.
+	CloseFraction float64
+	// MeanResidualDeg is the fusion residual in degrees.
+	MeanResidualDeg float64
+}
+
+// CheckGesture inspects a fusion result for the failure patterns the paper
+// auto-detects: the phone drifting too close to the head (arm droop) and an
+// overall α/θ disagreement too large to trust (wild movement).
+func CheckGesture(res FusionResult, lim GestureLimits) GestureReport {
+	lim.fillDefaults()
+	close := 0
+	for _, r := range res.Radii {
+		if r < lim.MinRadius {
+			close++
+		}
+	}
+	rep := GestureReport{
+		MeanResidualDeg: geom.Degrees(res.MeanAngleResidualRad),
+	}
+	if n := len(res.Radii); n > 0 {
+		rep.CloseFraction = float64(close) / float64(n)
+	}
+	switch {
+	case rep.CloseFraction > lim.MaxCloseFraction:
+		rep.Reason = fmt.Sprintf("phone too close to the head on %.0f%% of stops", rep.CloseFraction*100)
+	case rep.MeanResidualDeg > lim.MaxResidualDeg:
+		rep.Reason = fmt.Sprintf("IMU/acoustic disagreement %.1f deg exceeds %.1f deg", rep.MeanResidualDeg, lim.MaxResidualDeg)
+	default:
+		rep.OK = true
+	}
+	return rep
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/head"
+)
+
+// Candidate is one possible phone location implied by a pair of binaural
+// diffraction delays: the two constant-delay trajectories of Fig 10(b)
+// generally intersect at two points (front/back ambiguity).
+type Candidate struct {
+	// AngleRad is the polar angle of the candidate (radians).
+	AngleRad float64
+	// Radius is the distance from the head center (metres).
+	Radius float64
+	// Residual is the remaining delay mismatch in seconds (RMS over the
+	// two ears); good fits are well below a sample period.
+	Residual float64
+}
+
+// LocalizerOptions tunes the delay-field precomputation.
+type LocalizerOptions struct {
+	// AngleStepDeg is the polar-angle grid pitch (default 1.5 degrees).
+	AngleStepDeg float64
+	// RadiusMin/RadiusMax bound the arm-length search (defaults 0.10 /
+	// 0.55 m).
+	RadiusMin, RadiusMax float64
+	// RadiusSteps is the radial grid resolution (default 16).
+	RadiusSteps int
+	// BoundaryVertices is the head tessellation used for path queries
+	// (default 240 — cheaper than rendering fidelity, accurate to well
+	// under a millimetre of path length).
+	BoundaryVertices int
+}
+
+func (o *LocalizerOptions) fillDefaults() {
+	if o.AngleStepDeg <= 0 {
+		o.AngleStepDeg = 1.5
+	}
+	if o.RadiusMin <= 0 {
+		o.RadiusMin = 0.10
+	}
+	if o.RadiusMax <= o.RadiusMin {
+		o.RadiusMax = 0.55
+	}
+	if o.RadiusSteps < 4 {
+		o.RadiusSteps = 16
+	}
+	if o.BoundaryVertices <= 0 {
+		o.BoundaryVertices = 240
+	}
+}
+
+// Localizer resolves binaural delay pairs into phone locations under one
+// candidate head-parameter set. It precomputes the diffraction delay field
+// on a polar grid so repeated queries (one per measurement, hundreds of
+// parameter candidates during fusion) stay cheap.
+type Localizer struct {
+	params    head.Params
+	opt       LocalizerOptions
+	numAngles int
+	// dl/dr[j*RadiusSteps+k] is the delay (s) to the left/right ear from
+	// polar angle j*step, radius k.
+	dl, dr []float64
+}
+
+// NewLocalizer builds the delay field for the candidate parameters.
+func NewLocalizer(p head.Params, opt LocalizerOptions) (*Localizer, error) {
+	opt.fillDefaults()
+	model, err := head.NewWithResolution(p, opt.BoundaryVertices)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the radial grid clear of the head itself.
+	if maxDim := math.Max(p.A, math.Max(p.B, p.C)); opt.RadiusMin < maxDim+0.015 {
+		opt.RadiusMin = maxDim + 0.015
+	}
+	numAngles := int(math.Round(360 / opt.AngleStepDeg))
+	l := &Localizer{
+		params:    p,
+		opt:       opt,
+		numAngles: numAngles,
+		dl:        make([]float64, numAngles*opt.RadiusSteps),
+		dr:        make([]float64, numAngles*opt.RadiusSteps),
+	}
+	// Sensor fusion rebuilds this field for every candidate parameter
+	// set, so the per-angle columns are computed in parallel. Each worker
+	// writes disjoint slice ranges; the model is read-only.
+	workers := runtime.NumCPU()
+	if workers > numAngles {
+		workers = numAngles
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	// Buffered and pre-filled so early-exiting workers never strand the
+	// producer.
+	rows := make(chan int, numAngles)
+	for j := 0; j < numAngles; j++ {
+		rows <- j
+	}
+	close(rows)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range rows {
+				theta := geom.Radians(float64(j) * opt.AngleStepDeg)
+				for k := 0; k < opt.RadiusSteps; k++ {
+					pt := geom.FromPolar(theta, l.radiusAt(k))
+					pl, err1 := model.PathTo(pt, head.Left)
+					pr, err2 := model.PathTo(pt, head.Right)
+					if err1 != nil || err2 != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							if err1 != nil {
+								firstErr = err1
+							} else {
+								firstErr = err2
+							}
+						}
+						errMu.Unlock()
+						return
+					}
+					l.dl[j*opt.RadiusSteps+k] = pl.Delay
+					l.dr[j*opt.RadiusSteps+k] = pr.Delay
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return l, nil
+}
+
+// Params returns the head parameters the field was built for.
+func (l *Localizer) Params() head.Params { return l.params }
+
+func (l *Localizer) radiusAt(k int) float64 {
+	return l.opt.RadiusMin + (l.opt.RadiusMax-l.opt.RadiusMin)*float64(k)/float64(l.opt.RadiusSteps-1)
+}
+
+// ErrNoSolution is returned when no grid cell matches the delays at all.
+var ErrNoSolution = errors.New("core: delays match no location in the search region")
+
+// Locate returns up to two candidate locations (front/back) for the given
+// absolute binaural delays (seconds).
+func (l *Localizer) Locate(delayL, delayR float64) ([]Candidate, error) {
+	rs := l.opt.RadiusSteps
+	// Cost over the grid.
+	cost := func(j, k int) float64 {
+		i := j*rs + k
+		e1 := l.dl[i] - delayL
+		e2 := l.dr[i] - delayR
+		return e1*e1 + e2*e2
+	}
+	type cell struct {
+		j, k int
+		c    float64
+	}
+	// Collect each column's minimum, then keep the best few columns that
+	// are mutually separated by ≥25°. Keeping more than two matters for
+	// nearly front-back-symmetric heads, where radius-grid quantization
+	// can rank the true column below its mirror *and* a neighbour; the
+	// sub-cell refinement then sorts it out by exact residual.
+	minSepCells := int(math.Round(25 / l.opt.AngleStepDeg)) // 25 degrees
+	colMin := make([]cell, l.numAngles)
+	for j := 0; j < l.numAngles; j++ {
+		cj, ck := math.Inf(1), 0
+		for k := 0; k < rs; k++ {
+			if c := cost(j, k); c < cj {
+				cj, ck = c, k
+			}
+		}
+		colMin[j] = cell{j: j, k: ck, c: cj}
+	}
+	const maxCands = 4
+	var picked []cell
+	for len(picked) < maxCands {
+		best := cell{j: -1, c: math.Inf(1)}
+		for _, cm := range colMin {
+			if cm.c >= best.c {
+				continue
+			}
+			ok := true
+			for _, p := range picked {
+				if angularSep(p.j, cm.j, l.numAngles) < minSepCells {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best = cm
+			}
+		}
+		if best.j < 0 {
+			break
+		}
+		picked = append(picked, best)
+	}
+	if len(picked) == 0 {
+		return nil, ErrNoSolution
+	}
+	out := make([]Candidate, 0, len(picked))
+	for _, p := range picked {
+		out = append(out, l.refine(p.j, p.k, delayL, delayR))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Residual < out[b].Residual })
+	return out, nil
+}
+
+func angularSep(j1, j2, n int) int {
+	if j1 < 0 || j2 < 0 {
+		return n
+	}
+	d := j1 - j2
+	if d < 0 {
+		d = -d
+	}
+	if d > n/2 {
+		d = n - d
+	}
+	return d
+}
+
+// refine performs local bilinear inversion of the delay field in a
+// neighbourhood of quads around a grid cell to recover sub-cell angle and
+// radius. Searching several quads matters near 90 degrees, where the two
+// constant-delay loci intersect at a shallow angle and the raw grid minimum
+// can sit a few columns from the true intersection.
+func (l *Localizer) refine(j, k int, delayL, delayR float64) Candidate {
+	rs := l.opt.RadiusSteps
+	best := Candidate{Residual: math.Inf(1)}
+	const jSpan, kSpan = 5, 3
+	for dj := -jSpan; dj <= jSpan; dj++ {
+		j0 := ((j+dj)%l.numAngles + l.numAngles) % l.numAngles
+		for dk := -kSpan; dk <= kSpan; dk++ {
+			k0 := k + dk
+			if k0 < 0 || k0 >= rs-1 {
+				continue
+			}
+			if c := l.solveQuad(j0, k0, delayL, delayR); c.Residual < best.Residual {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// solveQuad runs Newton iterations on the bilinear interpolant of the
+// delay field over the quad [j0, j0+1] x [k0, k0+1].
+func (l *Localizer) solveQuad(j0, k0 int, delayL, delayR float64) Candidate {
+	rs := l.opt.RadiusSteps
+	j1 := (j0 + 1) % l.numAngles
+	at := func(jj, kk int) (float64, float64) {
+		i := jj*rs + kk
+		return l.dl[i], l.dr[i]
+	}
+	l00, r00 := at(j0, k0)
+	l10, r10 := at(j1, k0)
+	l01, r01 := at(j0, k0+1)
+	l11, r11 := at(j1, k0+1)
+	u, v := 0.5, 0.5
+	for iter := 0; iter < 16; iter++ {
+		fl := bilerp(l00, l10, l01, l11, u, v) - delayL
+		fr := bilerp(r00, r10, r01, r11, u, v) - delayR
+		// Jacobian of the bilinear interpolant.
+		dldu := (l10-l00)*(1-v) + (l11-l01)*v
+		dldv := (l01-l00)*(1-u) + (l11-l10)*u
+		drdu := (r10-r00)*(1-v) + (r11-r01)*v
+		drdv := (r01-r00)*(1-u) + (r11-r10)*u
+		det := dldu*drdv - dldv*drdu
+		if math.Abs(det) < 1e-18 {
+			break
+		}
+		du := (-fl*drdv + fr*dldv) / det
+		dv := (-fr*dldu + fl*drdu) / det
+		u = clamp01(u + du)
+		v = clamp01(v + dv)
+		if math.Abs(du) < 1e-8 && math.Abs(dv) < 1e-8 {
+			break
+		}
+	}
+	fl := bilerp(l00, l10, l01, l11, u, v) - delayL
+	fr := bilerp(r00, r10, r01, r11, u, v) - delayR
+	angle := geom.Radians((float64(j0) + u) * l.opt.AngleStepDeg)
+	radius := l.radiusAt(k0) + v*(l.radiusAt(k0+1)-l.radiusAt(k0))
+	return Candidate{
+		AngleRad: geom.NormalizeAngle(angle),
+		Radius:   radius,
+		Residual: math.Sqrt((fl*fl + fr*fr) / 2),
+	}
+}
+
+func bilerp(v00, v10, v01, v11, u, v float64) float64 {
+	return v00*(1-u)*(1-v) + v10*u*(1-v) + v01*(1-u)*v + v11*u*v
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

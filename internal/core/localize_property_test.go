@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/head"
+)
+
+// TestLocateRoundTripProperty: for random plausible heads and random phone
+// positions, feeding the true diffraction delays into a localizer built
+// with the same head must recover the position among its candidates.
+func TestLocateRoundTripProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	// Cache localizers per head draw; quick.Check calls with many seeds.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := head.Params{
+			A: 0.080 + 0.04*rng.Float64(),
+			B: 0.060 + 0.03*rng.Float64(),
+			C: 0.072 + 0.04*rng.Float64(),
+		}
+		model, err := head.New(p)
+		if err != nil {
+			return false
+		}
+		loc, err := NewLocalizer(p, LocalizerOptions{})
+		if err != nil {
+			return false
+		}
+		deg := 5 + 350*rng.Float64()
+		r := 0.22 + 0.25*rng.Float64()
+		pos := geom.FromPolar(geom.Radians(deg), r)
+		pl, err1 := model.PathTo(pos, head.Left)
+		pr, err2 := model.PathTo(pos, head.Right)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		cands, err := loc.Locate(pl.Delay, pr.Delay)
+		if err != nil {
+			return false
+		}
+		// Localization conditioning worsens near the ear axis (90/270°),
+		// where the two constant-delay loci become tangent — the same
+		// physics behind the paper's accuracy dip at 90°. Tolerances
+		// widen accordingly.
+		axisDist := math.Min(geom.AngleDiffDeg(deg, 90), geom.AngleDiffDeg(deg, 270))
+		angTol := 4 + 10*math.Max(0, 1-axisDist/45)
+		for _, c := range cands {
+			angErr := geom.Degrees(geom.AngleDiff(c.AngleRad, geom.Radians(deg)))
+			radErr := math.Abs(c.Radius - r)
+			if angErr < angTol && radErr < 0.03 {
+				return true
+			}
+		}
+		return false
+	}
+	// Fixed generator: testing/quick's default source is time-seeded,
+	// which would make rare ill-conditioned draws flaky.
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLocalizerRadiusFloorRespectsHead: the radial grid never starts inside
+// the head regardless of parameters.
+func TestLocalizerRadiusFloorRespectsHead(t *testing.T) {
+	big := head.Params{A: 0.12, B: 0.095, C: 0.115}
+	loc, err := NewLocalizer(big, LocalizerOptions{RadiusMin: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.radiusAt(0) <= 0.12 {
+		t.Errorf("radius grid starts at %g, inside the head", loc.radiusAt(0))
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/dsp"
+	"repro/internal/geom"
+	"repro/internal/head"
+	"repro/internal/hrtf"
+)
+
+// refTapSeconds is where interpolated HRIRs anchor their first tap; it
+// leaves room for fractional-delay tails before the arrival.
+const refTapSeconds = 1.5e-3
+
+// NearFieldOptions tunes the §4.2 interpolation module.
+type NearFieldOptions struct {
+	// StepDeg is the output angular resolution (default 1°).
+	StepDeg float64
+	// IRSeconds is the output HRIR length (default 5 ms).
+	IRSeconds float64
+	// ModelCorrection enables the model-guided tap adjustment: after
+	// interpolating, the interaural delay and amplitude ratio are
+	// corrected to match the diffraction model at the interpolated
+	// location (on by default through Pipeline; zero value here is off).
+	ModelCorrection bool
+}
+
+func (o *NearFieldOptions) fillDefaults() {
+	if o.StepDeg <= 0 {
+		o.StepDeg = 1
+	}
+	if o.IRSeconds <= 0 {
+		o.IRSeconds = 5e-3
+	}
+}
+
+// ErrNoMeasurements is returned when interpolation gets no usable input.
+var ErrNoMeasurements = errors.New("core: no measurements to interpolate")
+
+// nearSample is one measured HRIR with its fused angle.
+type nearSample struct {
+	angleDeg float64
+	left     []float64
+	right    []float64
+	itd      float64 // measured first-tap delay difference (s)
+	ampRatio float64 // measured first-tap |left|/|right|
+}
+
+// InterpolateNearField turns the per-stop channel estimates indexed by
+// fused angles into a continuous near-field HRTF table on [0, 180]°
+// (§4.2): HRIRs are first-tap aligned per ear, linearly interpolated
+// between neighbouring measurement angles, and (optionally) tap-corrected
+// to the diffraction model built from the fused head parameters.
+func InterpolateNearField(channels []BinauralChannel, anglesRad []float64, radii []float64,
+	params head.Params, opt NearFieldOptions) (*hrtf.Table, error) {
+	opt.fillDefaults()
+	if len(channels) == 0 || len(channels) != len(anglesRad) || len(channels) != len(radii) {
+		return nil, ErrNoMeasurements
+	}
+	sr := channels[0].SampleRate
+	irLen := int(opt.IRSeconds * sr)
+	refTap := refTapSeconds * sr
+
+	// Collect usable samples, first-tap aligning each ear to the
+	// reference position so interpolation never mixes misaligned taps.
+	var samples []nearSample
+	for i, ch := range channels {
+		deg := geom.Degrees(anglesRad[i])
+		if deg > 185 {
+			continue // outside the measured hemisphere
+		}
+		li, lv := dsp.FirstPeak(ch.Left, 0.28)
+		ri, rv := dsp.FirstPeak(ch.Right, 0.28)
+		if li < 0 || ri < 0 || lv == 0 || rv == 0 {
+			continue
+		}
+		s := nearSample{
+			angleDeg: deg,
+			left:     dsp.ZeroPad(hrtf.AlignTo(ch.Left, refTap), irLen),
+			right:    dsp.ZeroPad(hrtf.AlignTo(ch.Right, refTap), irLen),
+			itd:      ch.DelayLeft - ch.DelayRight,
+			ampRatio: math.Abs(lv / rv),
+		}
+		samples = append(samples, s)
+	}
+	if len(samples) == 0 {
+		return nil, ErrNoMeasurements
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].angleDeg < samples[j].angleDeg })
+
+	var model *head.Model
+	var meanRadius float64
+	if opt.ModelCorrection {
+		var err error
+		model, err = head.NewWithResolution(params, 240)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range radii {
+			meanRadius += r / float64(len(radii))
+		}
+	}
+
+	n := int(180/opt.StepDeg) + 1
+	tab := hrtf.NewTable(sr, 0, opt.StepDeg, n)
+	for i := 0; i < n; i++ {
+		angle := tab.Angle(i)
+		left, right, itd, ampRatio := interpolateAt(samples, angle)
+		if opt.ModelCorrection && model != nil {
+			itd, ampRatio = modelCorrect(model, angle, meanRadius, itd, ampRatio)
+		}
+		// Re-impose the interaural structure: left stays at the
+		// reference tap, right moves to refTap - itd (left minus right
+		// delay; positive itd = left later).
+		right = dsp.ZeroPad(hrtf.AlignTo(right, refTap-itd*sr), irLen)
+		// Amplitude: preserve the left level, set the right level from
+		// the ratio.
+		_, lv := dsp.FirstPeak(left, 0.28)
+		_, rv := dsp.FirstPeak(right, 0.28)
+		if lv != 0 && rv != 0 && ampRatio > 0 {
+			scale := math.Abs(lv/rv) / ampRatio
+			right = dsp.Scale(right, scale)
+		}
+		tab.Near[i] = hrtf.HRIR{Left: left, Right: right, SampleRate: sr}
+	}
+	return tab, nil
+}
+
+// interpolateAt linearly blends the two measurement samples bracketing the
+// target angle (clamping at the ends of the measured span).
+func interpolateAt(samples []nearSample, angle float64) (left, right []float64, itd, ampRatio float64) {
+	first, last := samples[0], samples[len(samples)-1]
+	if angle <= first.angleDeg {
+		return append([]float64(nil), first.left...), append([]float64(nil), first.right...), first.itd, first.ampRatio
+	}
+	if angle >= last.angleDeg {
+		return append([]float64(nil), last.left...), append([]float64(nil), last.right...), last.itd, last.ampRatio
+	}
+	hi := sort.Search(len(samples), func(i int) bool { return samples[i].angleDeg >= angle })
+	lo := hi - 1
+	a, b := samples[lo], samples[hi]
+	span := b.angleDeg - a.angleDeg
+	w := 0.5
+	if span > 0 {
+		w = (angle - a.angleDeg) / span
+	}
+	left = make([]float64, len(a.left))
+	right = make([]float64, len(a.right))
+	for k := range left {
+		left[k] = (1-w)*a.left[k] + w*b.left[k]
+		right[k] = (1-w)*a.right[k] + w*b.right[k]
+	}
+	return left, right, (1-w)*a.itd + w*b.itd, (1-w)*a.ampRatio + w*b.ampRatio
+}
+
+// modelCorrect replaces the interpolated interaural delay and amplitude
+// ratio with the diffraction model's prediction when the interpolation has
+// drifted from it (the §4.2 "adjust the channel taps" step). A soft blend
+// keeps measured personal structure while suppressing interpolation
+// artifacts.
+func modelCorrect(model *head.Model, angleDeg, radius, itd, ampRatio float64) (float64, float64) {
+	p := geom.FromPolar(geom.Radians(angleDeg), radius)
+	pl, err1 := model.PathTo(p, head.Left)
+	pr, err2 := model.PathTo(p, head.Right)
+	if err1 != nil || err2 != nil {
+		return itd, ampRatio
+	}
+	wantITD := pl.Delay - pr.Delay
+	wantRatio := pl.Attenuation / pr.Attenuation
+	// Trust the model when the measurement disagrees wildly; otherwise
+	// blend 50/50.
+	if math.Abs(itd-wantITD) > 1.5e-4 {
+		itd = wantITD
+	} else {
+		itd = (itd + wantITD) / 2
+	}
+	if ampRatio <= 0 || ampRatio/wantRatio > 3 || wantRatio/ampRatio > 3 {
+		ampRatio = wantRatio
+	} else {
+		ampRatio = math.Sqrt(ampRatio * wantRatio)
+	}
+	return itd, ampRatio
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/geom"
+	"repro/internal/head"
+	"repro/internal/hrtf"
+)
+
+// syntheticChannels builds clean binaural channels at the given angles from
+// a simple parametric structure whose shape varies smoothly with angle.
+func syntheticChannels(angles []float64, sr float64) ([]BinauralChannel, []float64, []float64) {
+	var chans []BinauralChannel
+	var rads []float64
+	var angsRad []float64
+	n := int(5e-3 * sr)
+	for _, deg := range angles {
+		itd := -6e-4 * math.Sin(geom.Radians(deg)) // left leads on the left side
+		lPos := refTapSeconds * sr
+		rPos := lPos - itd*sr
+		l := dsp.DelayedImpulse(n, lPos, 1)
+		dsp.AddDelayedImpulse(l, lPos+0.0002*sr*(1+deg/180), 0.5)
+		r := dsp.DelayedImpulse(n, rPos, 0.8)
+		dsp.AddDelayedImpulse(r, rPos+0.00025*sr*(1+deg/180), 0.4)
+		chans = append(chans, BinauralChannel{
+			Left: l, Right: r, SampleRate: sr,
+			DelayLeft:  lPos / sr,
+			DelayRight: rPos / sr,
+		})
+		rads = append(rads, 0.3)
+		angsRad = append(angsRad, geom.Radians(deg))
+	}
+	return chans, angsRad, rads
+}
+
+func TestInterpolateNearFieldCoversRange(t *testing.T) {
+	sr := 48000.0
+	chans, angs, rads := syntheticChannels([]float64{10, 50, 90, 130, 170}, sr)
+	tab, err := InterpolateNearField(chans, angs, rads, head.DefaultParams(), NearFieldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumAngles() != 181 {
+		t.Fatalf("table has %d angles, want 181", tab.NumAngles())
+	}
+	for _, deg := range []float64{0, 45, 90, 135, 180} {
+		h, err := tab.NearAt(deg)
+		if err != nil {
+			t.Fatalf("%g deg: %v", deg, err)
+		}
+		if h.Empty() {
+			t.Fatalf("%g deg: empty entry", deg)
+		}
+		if dsp.MaxAbs(h.Left) == 0 || dsp.MaxAbs(h.Right) == 0 {
+			t.Fatalf("%g deg: silent channel", deg)
+		}
+	}
+}
+
+func TestInterpolationBetweenMeasurements(t *testing.T) {
+	// The interpolated HRIR at the midpoint should correlate with both
+	// neighbours better than the neighbours do with each other... at
+	// least as well as the worse of the two.
+	sr := 48000.0
+	chans, angs, rads := syntheticChannels([]float64{40, 80}, sr)
+	tab, err := InterpolateNearField(chans, angs, rads, head.DefaultParams(), NearFieldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := tab.NearAt(60)
+	a, _ := tab.NearAt(40)
+	b, _ := tab.NearAt(80)
+	cMidA := hrtf.MeanCorrelation(mid, a)
+	cMidB := hrtf.MeanCorrelation(mid, b)
+	cAB := hrtf.MeanCorrelation(a, b)
+	if cMidA < cAB-0.02 || cMidB < cAB-0.02 {
+		t.Errorf("midpoint should resemble both ends: mid-a %.3f, mid-b %.3f, a-b %.3f", cMidA, cMidB, cAB)
+	}
+}
+
+func TestInterpolationAlignmentPreventsEchoes(t *testing.T) {
+	// Two neighbours with very different delays: naive averaging would
+	// produce two half-amplitude taps; alignment must yield one dominant
+	// tap.
+	sr := 48000.0
+	n := int(5e-3 * sr)
+	mk := func(pos float64) BinauralChannel {
+		l := dsp.DelayedImpulse(n, pos, 1)
+		r := dsp.DelayedImpulse(n, pos+10, 0.9)
+		return BinauralChannel{Left: l, Right: r, SampleRate: sr,
+			DelayLeft: pos / sr, DelayRight: (pos + 10) / sr}
+	}
+	chans := []BinauralChannel{mk(60), mk(110)}
+	angs := []float64{geom.Radians(40), geom.Radians(80)}
+	rads := []float64{0.3, 0.3}
+	tab, err := InterpolateNearField(chans, angs, rads, head.DefaultParams(), NearFieldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := tab.NearAt(60)
+	peaks := dsp.FindPeaks(mid.Left, 0.45, 8)
+	if len(peaks) != 1 {
+		t.Errorf("misaligned interpolation left %d major taps, want 1", len(peaks))
+	}
+}
+
+func TestModelCorrectionFixesITD(t *testing.T) {
+	// Feed channels whose measured ITD is absurd; model correction must
+	// drag the interpolated ITD toward the diffraction model.
+	sr := 48000.0
+	n := int(5e-3 * sr)
+	params := head.DefaultParams()
+	model, err := head.New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := 90.0
+	pos := geom.FromPolar(geom.Radians(deg), 0.3)
+	pl, _ := model.PathTo(pos, head.Left)
+	pr, _ := model.PathTo(pos, head.Right)
+	wantITD := pl.Delay - pr.Delay
+
+	// Corrupt: zero measured ITD.
+	l := dsp.DelayedImpulse(n, refTapSeconds*sr, 1)
+	r := dsp.DelayedImpulse(n, refTapSeconds*sr, 1)
+	ch := BinauralChannel{Left: l, Right: r, SampleRate: sr,
+		DelayLeft: refTapSeconds, DelayRight: refTapSeconds}
+	tab, err := InterpolateNearField(
+		[]BinauralChannel{ch, ch},
+		[]float64{geom.Radians(80), geom.Radians(100)},
+		[]float64{0.3, 0.3},
+		params,
+		NearFieldOptions{ModelCorrection: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := tab.NearAt(deg)
+	got := h.ITD()
+	if math.Abs(got-wantITD) > 8e-5 {
+		t.Errorf("corrected ITD %g, want ~%g (model)", got, wantITD)
+	}
+}
+
+func TestInterpolateNearFieldErrors(t *testing.T) {
+	if _, err := InterpolateNearField(nil, nil, nil, head.DefaultParams(), NearFieldOptions{}); err != ErrNoMeasurements {
+		t.Errorf("want ErrNoMeasurements, got %v", err)
+	}
+	// Mismatched lengths.
+	chans, angs, rads := syntheticChannels([]float64{30}, 48000)
+	if _, err := InterpolateNearField(chans, angs[:0], rads, head.DefaultParams(), NearFieldOptions{}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	_ = chans
+}

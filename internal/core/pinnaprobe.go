@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/dsp"
+	"repro/internal/geom"
+	"repro/internal/head"
+)
+
+// This file turns the paper's §2 groundwork measurement into a library
+// feature: from an ordinary measurement session (per-stop channels indexed
+// by angle) it computes the user's pinna angle-correlation matrix — the
+// measured Fig 2(a) — and estimates the user's angular resolution, i.e.
+// how far apart two directions must be before their responses decorrelate.
+
+// PinnaProbe is the measured angular correlation structure of one ear.
+type PinnaProbe struct {
+	// AnglesDeg are the measurement angles, ascending.
+	AnglesDeg []float64
+	// Corr[i][j] is the normalized correlation between the responses at
+	// AnglesDeg[i] and AnglesDeg[j].
+	Corr [][]float64
+	// ResolutionDeg is the mean angular distance at which correlation
+	// falls below the threshold (the paper reports ≈20°).
+	ResolutionDeg float64
+}
+
+// ErrTooFewAngles is returned when a probe has too little angular coverage.
+var ErrTooFewAngles = errors.New("core: pinna probe needs at least 6 angles")
+
+// ProbePinna builds the measured pinna correlation structure for one ear
+// from estimated channels and their fused angles. threshold sets the
+// decorrelation level defining the resolution (default 0.8).
+func ProbePinna(channels []BinauralChannel, anglesRad []float64, ear head.Ear, threshold float64) (*PinnaProbe, error) {
+	if len(channels) != len(anglesRad) || len(channels) < 6 {
+		return nil, ErrTooFewAngles
+	}
+	if threshold <= 0 || threshold >= 1 {
+		threshold = 0.8
+	}
+	type sample struct {
+		deg float64
+		h   []float64
+	}
+	var samples []sample
+	for i, ch := range channels {
+		src := ch.Left
+		if ear == head.Right {
+			src = ch.Right
+		}
+		if dsp.MaxAbs(src) == 0 {
+			continue
+		}
+		samples = append(samples, sample{deg: geom.Degrees(anglesRad[i]), h: src})
+	}
+	if len(samples) < 6 {
+		return nil, ErrTooFewAngles
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].deg < samples[j].deg })
+
+	p := &PinnaProbe{}
+	for _, s := range samples {
+		p.AnglesDeg = append(p.AnglesDeg, s.deg)
+	}
+	n := len(samples)
+	p.Corr = make([][]float64, n)
+	for i := range p.Corr {
+		p.Corr[i] = make([]float64, n)
+		for j := range p.Corr[i] {
+			c, _ := dsp.NormXCorrPeak(samples[i].h, samples[j].h)
+			p.Corr[i][j] = c
+		}
+	}
+	// Resolution: for each row, the angular distance to the nearest
+	// angle whose correlation drops below the threshold; average it.
+	var total float64
+	counted := 0
+	for i := range p.Corr {
+		best := -1.0
+		for j := range p.Corr[i] {
+			if i == j {
+				continue
+			}
+			if p.Corr[i][j] < threshold {
+				d := geom.AngleDiffDeg(p.AnglesDeg[i], p.AnglesDeg[j])
+				if best < 0 || d < best {
+					best = d
+				}
+			}
+		}
+		if best >= 0 {
+			total += best
+			counted++
+		}
+	}
+	if counted > 0 {
+		p.ResolutionDeg = total / float64(counted)
+	} else {
+		p.ResolutionDeg = 180 // never decorrelates within the sweep
+	}
+	return p, nil
+}
+
+// Diagonality returns mean(diag) - mean(offdiag) of the probe's matrix —
+// the scalar the Fig 2 heatmaps visualize.
+func (p *PinnaProbe) Diagonality() float64 {
+	if p == nil || len(p.Corr) == 0 {
+		return 0
+	}
+	var diag, off float64
+	var nd, no int
+	for i := range p.Corr {
+		for j := range p.Corr[i] {
+			if i == j {
+				diag += p.Corr[i][j]
+				nd++
+			} else {
+				off += p.Corr[i][j]
+				no++
+			}
+		}
+	}
+	if nd == 0 || no == 0 {
+		return 0
+	}
+	return diag/float64(nd) - off/float64(no)
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/head"
+	"repro/internal/hrtf"
+	"repro/internal/imu"
+)
+
+// SessionInput is what a deployment feeds the pipeline: everything here is
+// observable by a real phone + earbud system.
+type SessionInput struct {
+	// Probe is the known played signal.
+	Probe []float64
+	// SampleRate of all audio, Hz.
+	SampleRate float64
+	// Stops holds the per-stop stereo recordings, in sweep order.
+	Stops []StopRecording
+	// IMU is the gyro log of the whole sweep.
+	IMU []imu.Sample
+	// SystemIR is the measured speaker–mic response (may be nil).
+	SystemIR []float64
+	// SyncOffset is the calibrated playback latency, seconds.
+	SyncOffset float64
+}
+
+// StopRecording is one measurement stop.
+type StopRecording struct {
+	// Time is the probe start within the session, seconds.
+	Time float64
+	// Left and Right are the earbud channels.
+	Left, Right []float64
+}
+
+// PipelineOptions configures Personalize.
+type PipelineOptions struct {
+	// Fusion tunes sensor fusion; zero value uses defaults.
+	Fusion FusionOptions
+	// NearField tunes interpolation; ModelCorrection defaults on.
+	NearField NearFieldOptions
+	// Gesture tunes the auto-rejection; zero value uses defaults.
+	Gesture GestureLimits
+	// SkipGestureCheck disables §4.6 rejection (used by ablations).
+	SkipGestureCheck bool
+	// DisableRoomTruncation turns off echo truncation (ablation A4).
+	DisableRoomTruncation bool
+	// RingElevationDeg declares that the sweep was performed on an
+	// elevation ring (the §7 3-D extension): measured path delays then
+	// include an out-of-plane leg, which is removed before the planar
+	// sensor fusion (the per-measurement slant is estimated from the
+	// mean binaural delay).
+	RingElevationDeg float64
+}
+
+// Personalization is the pipeline's output: the §4.4 lookup table plus the
+// intermediate products applications and evaluations need.
+type Personalization struct {
+	// Table holds the personalized near- and far-field HRIRs indexed by
+	// angle.
+	Table *hrtf.Table
+	// HeadParams is E_opt from sensor fusion.
+	HeadParams head.Params
+	// Track is the fused phone trajectory (angles in degrees, [i]
+	// matches Stops[i]).
+	TrackDeg []float64
+	// Radii are the per-stop phone distances, metres.
+	Radii []float64
+	// MeanResidualDeg is the fusion α/θ residual.
+	MeanResidualDeg float64
+	// Gesture is the quality report.
+	Gesture GestureReport
+}
+
+// Personalize runs the full UNIQ pipeline (Fig 6): channel estimation →
+// diffraction-aware sensor fusion → near-field interpolation → near-far
+// synthesis. It returns ErrBadGesture (wrapped) when the sweep fails the
+// quality check.
+func Personalize(in SessionInput, opt PipelineOptions) (*Personalization, error) {
+	if len(in.Stops) == 0 {
+		return nil, errors.New("core: session has no measurement stops")
+	}
+	if len(in.IMU) == 0 {
+		return nil, errors.New("core: session has no IMU samples")
+	}
+
+	// 1. Channel estimation per stop.
+	est := &ChannelEstimator{
+		Probe:              in.Probe,
+		SampleRate:         in.SampleRate,
+		SystemIR:           in.SystemIR,
+		SyncOffset:         in.SyncOffset,
+		TruncateRoomEchoes: !opt.DisableRoomTruncation,
+	}
+	track := imu.Integrate(in.IMU, 0)
+	var channels []BinauralChannel
+	var obs []FusionObservation
+	for _, stop := range in.Stops {
+		ch, err := est.Estimate(stop.Left, stop.Right)
+		if err != nil {
+			continue // skip unusable stops rather than failing the sweep
+		}
+		channels = append(channels, ch)
+		obs = append(obs, FusionObservation{
+			DelayLeft:  ch.DelayLeft,
+			DelayRight: ch.DelayRight,
+			AlphaRad:   geom.NormalizeAngle(imu.AngleAt(in.IMU, track, stop.Time)),
+		})
+	}
+	if len(obs) < 5 {
+		return nil, fmt.Errorf("core: only %d usable stops: %w", len(obs), ErrTooFewObservations)
+	}
+	if opt.RingElevationDeg != 0 {
+		correctRingSlant(obs, opt.RingElevationDeg)
+		// The ring's effective head cross-section is the ellipsoid slice
+		// the creeping wave rides, which shrinks with elevation; scale
+		// the fusion search region and prior to match.
+		s := ringCrossSectionScale(opt.RingElevationDeg)
+		opt.Fusion.fillDefaults()
+		opt.Fusion.ParamLo = scaleParams(opt.Fusion.ParamLo, s)
+		opt.Fusion.ParamHi = scaleParams(opt.Fusion.ParamHi, s)
+		opt.Fusion.PriorMean = scaleParams(head.DefaultParams(), s)
+		// Model mismatch grows with elevation; keep the gesture check
+		// meaningful by relaxing its residual limit proportionally.
+		opt.Gesture.fillDefaults()
+		opt.Gesture.MaxResidualDeg /= s
+	}
+
+	// 2. Diffraction-aware sensor fusion.
+	fusion, err := FuseSensors(obs, opt.Fusion)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Gesture auto-correction.
+	gesture := CheckGesture(fusion, opt.Gesture)
+	if !gesture.OK && !opt.SkipGestureCheck {
+		return nil, fmt.Errorf("%w: %s", ErrBadGesture, gesture.Reason)
+	}
+
+	// 4. Near-field interpolation.
+	nfOpt := opt.NearField
+	nfOpt.ModelCorrection = true
+	near, err := InterpolateNearField(channels, fusion.AnglesRad, fusion.Radii, fusion.Params, nfOpt)
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Near-far conversion.
+	meanRadius := 0.0
+	for _, r := range fusion.Radii {
+		meanRadius += r / float64(len(fusion.Radii))
+	}
+	table, err := SynthesizeFarField(near, fusion.Params, NearFarOptions{Radius: meanRadius})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Personalization{
+		Table:           table,
+		HeadParams:      fusion.Params,
+		Radii:           fusion.Radii,
+		MeanResidualDeg: geom.Degrees(fusion.MeanAngleResidualRad),
+		Gesture:         gesture,
+	}
+	for _, a := range fusion.AnglesRad {
+		out.TrackDeg = append(out.TrackDeg, geom.Degrees(a))
+	}
+	return out, nil
+}
+
+// correctRingSlant removes the out-of-plane leg from elevated-ring delays:
+// with the phone on a ring at elevation ε and slant distance d₃ from the
+// head, the vertical leg is ≈ d₃·sin ε and the planar model should see
+// d₂ = √(d₃² − z²). The per-measurement slant distance is approximated by
+// the mean of the two ears' path lengths.
+func correctRingSlant(obs []FusionObservation, elevDeg float64) {
+	s := math.Sin(geom.Radians(elevDeg))
+	const v = head.SpeedOfSound
+	for i := range obs {
+		dl := obs[i].DelayLeft * v
+		dr := obs[i].DelayRight * v
+		z := (dl + dr) / 2 * s
+		obs[i].DelayLeft = planarize(dl, z) / v
+		obs[i].DelayRight = planarize(dr, z) / v
+	}
+}
+
+func planarize(d3, z float64) float64 {
+	d2sq := d3*d3 - z*z
+	if d2sq < 0.0025 { // 5 cm floor
+		d2sq = 0.0025
+	}
+	return math.Sqrt(d2sq)
+}
+
+// ringVerticalSemiAxis is the assumed head semi-height for the §7 ring
+// geometry (anthropometric constant, shared with the simulator's ellipsoid
+// by construction of the model, not by peeking at it).
+const ringVerticalSemiAxis = 0.115
+
+// ringCrossSectionScale returns the ellipsoid-slice scale factor for a ring
+// at the given elevation, evaluated at half a nominal arm radius of height.
+func ringCrossSectionScale(elevDeg float64) float64 {
+	z := 0.32 * math.Sin(geom.Radians(elevDeg)) / 2
+	r := z / ringVerticalSemiAxis
+	if r > 0.85 {
+		r = 0.85
+	}
+	if r < -0.85 {
+		r = -0.85
+	}
+	return math.Sqrt(1 - r*r)
+}
+
+func scaleParams(p head.Params, s float64) head.Params {
+	return head.Params{A: p.A * s, B: p.B * s, C: p.C * s}
+}

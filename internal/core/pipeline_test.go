@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hrtf"
+	"repro/internal/sim"
+)
+
+// sessionInput converts a simulated session into the pipeline's input.
+func sessionInput(s *sim.Session) SessionInput {
+	in := SessionInput{
+		Probe:      s.Probe,
+		SampleRate: s.SampleRate,
+		IMU:        s.IMU,
+		SystemIR:   s.SystemIR,
+		SyncOffset: s.SyncOffset,
+	}
+	for _, m := range s.Measurements {
+		in.Stops = append(in.Stops, StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
+	}
+	return in
+}
+
+// personalizeVolunteer runs the full pipeline for one simulated volunteer.
+func personalizeVolunteer(t *testing.T, v sim.Volunteer, quality sim.GestureQuality) (*Personalization, *sim.Session) {
+	t.Helper()
+	s, err := sim.RunSession(v, sim.SessionConfig{Quality: quality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Personalize(sessionInput(s), PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestPersonalizeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	v := sim.NewVolunteer(1, 1234)
+	p, s := personalizeVolunteer(t, v, sim.GestureGood)
+
+	// Localization accuracy (Fig 17): fused track vs simulator truth.
+	var errs []float64
+	for i, m := range s.Measurements {
+		errs = append(errs, geom.AngleDiffDeg(p.TrackDeg[i], m.TrueAngleDeg))
+	}
+	med := median(errs)
+	if med > 8 {
+		t.Errorf("median localization error %.1f deg, want < 8", med)
+	}
+
+	// Personalization quality (Fig 18): the personalized far-field HRIRs
+	// should correlate with ground truth better than the global template
+	// does.
+	gnd, err := sim.MeasureGroundTruthFar(v, s.SampleRate, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := sim.GlobalTemplateFar(s.SampleRate, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uniqCorr, globalCorr float64
+	n := 0
+	for i := 0; i < gnd.NumAngles(); i++ {
+		angle := gnd.Angle(i)
+		uh, err := p.Table.FarAt(angle)
+		if err != nil || uh.Empty() {
+			continue
+		}
+		gh := gnd.Far[i]
+		glob := global.Far[i]
+		uniqCorr += hrtf.MeanCorrelation(uh, gh)
+		globalCorr += hrtf.MeanCorrelation(glob, gh)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no overlapping angles to compare")
+	}
+	uniqCorr /= float64(n)
+	globalCorr /= float64(n)
+	t.Logf("UNIQ corr %.3f, global corr %.3f (n=%d angles)", uniqCorr, globalCorr, n)
+	if uniqCorr <= globalCorr {
+		t.Errorf("personalized HRTF (%.3f) should beat the global template (%.3f)", uniqCorr, globalCorr)
+	}
+
+	// Head parameters should be in a plausible band.
+	if p.HeadParams.Validate() != nil {
+		t.Errorf("implausible fitted head parameters %+v", p.HeadParams)
+	}
+}
+
+func TestPersonalizeRejectsArmDroop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	v := sim.NewVolunteer(2, 99)
+	s, err := sim.RunSession(v, sim.SessionConfig{Quality: sim.GestureArmDroop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Personalize(sessionInput(s), PipelineOptions{})
+	if !errors.Is(err, ErrBadGesture) {
+		t.Errorf("arm-droop session should be rejected, got %v", err)
+	}
+	// With the check disabled it should still produce a table.
+	p, err := Personalize(sessionInput(s), PipelineOptions{SkipGestureCheck: true})
+	if err != nil {
+		t.Fatalf("skip-check run failed: %v", err)
+	}
+	if p.Gesture.OK {
+		t.Error("gesture report should still flag the droop")
+	}
+}
+
+func TestPersonalizeInputValidation(t *testing.T) {
+	if _, err := Personalize(SessionInput{}, PipelineOptions{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	in := SessionInput{Stops: []StopRecording{{}}}
+	if _, err := Personalize(in, PipelineOptions{}); err == nil {
+		t.Error("missing IMU should fail")
+	}
+}
+
+func median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+func TestMedianHelper(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Error("median helper broken")
+	}
+	if m := median([]float64{4, 1, 3, 2}); math.Abs(m-2.5) > 1e-12 {
+		t.Error("even median broken")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hrtf"
+	"repro/internal/sim"
+)
+
+// TestPipelineAtPaperSampleRate runs the whole pipeline at the paper's
+// 96 kHz recording rate, confirming nothing in the stack assumes 48 kHz.
+func TestPipelineAtPaperSampleRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("96 kHz pipeline run")
+	}
+	v := sim.NewVolunteer(1, 9600)
+	s, err := sim.RunSession(v, sim.SessionConfig{SampleRate: 96000, NumStops: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Personalize(sessionInput(s), PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Table.SampleRate != 96000 {
+		t.Fatalf("table rate %g", p.Table.SampleRate)
+	}
+	gnd, err := sim.MeasureGroundTruthFar(v, 96000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err := sim.GlobalTemplateFar(96000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uniqCorr, globCorr float64
+	n := 0
+	for a := 0.0; a <= 180; a += 10 {
+		ref, err := gnd.FarAt(a)
+		if err != nil || ref.Empty() {
+			continue
+		}
+		uh, err1 := p.Table.FarAt(a)
+		gh, err2 := glob.FarAt(a)
+		if err1 != nil || err2 != nil || uh.Empty() || gh.Empty() {
+			continue
+		}
+		uniqCorr += hrtf.MeanCorrelation(uh, ref)
+		globCorr += hrtf.MeanCorrelation(gh, ref)
+		n++
+	}
+	uniqCorr /= float64(n)
+	globCorr /= float64(n)
+	t.Logf("96 kHz: UNIQ %.3f vs global %.3f", uniqCorr, globCorr)
+	if uniqCorr <= globCorr {
+		t.Errorf("personalization gain lost at 96 kHz: %.3f vs %.3f", uniqCorr, globCorr)
+	}
+	// Track sanity at the higher rate.
+	med := 0.0
+	for i, m := range s.Measurements {
+		med += geom.AngleDiffDeg(p.TrackDeg[i], m.TrueAngleDeg) / float64(len(s.Measurements))
+	}
+	if med > 8 {
+		t.Errorf("mean localization error %.1f° at 96 kHz", med)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/sim"
+)
+
+// corrupt applies a named impairment to a session's recordings.
+func corrupt(in SessionInput, kind string, rng *rand.Rand) SessionInput {
+	out := in
+	out.Stops = append([]StopRecording(nil), in.Stops...)
+	for i := range out.Stops {
+		l := append([]float64(nil), out.Stops[i].Left...)
+		r := append([]float64(nil), out.Stops[i].Right...)
+		switch kind {
+		case "clip":
+			// Moderate clipping: half the recording's own peak.
+			clipTo(l, 0.5*dsp.MaxAbs(l))
+			clipTo(r, 0.5*dsp.MaxAbs(r))
+		case "hardclip":
+			clipTo(l, 0.02)
+			clipTo(r, 0.02)
+		case "dropout":
+			// A few stops lose their audio entirely (Bluetooth hiccup).
+			if i%7 == 3 {
+				for j := range l {
+					l[j] = 0
+				}
+				for j := range r {
+					r[j] = 0
+				}
+			}
+		case "hum":
+			// Mains hum leaking into the mic chain.
+			for j := range l {
+				h := 0.01 * math.Sin(2*math.Pi*50*float64(j)/in.SampleRate)
+				l[j] += h
+				r[j] += h
+			}
+		}
+		out.Stops[i].Left = l
+		out.Stops[i].Right = r
+	}
+	return out
+}
+
+func clipTo(x []float64, limit float64) {
+	for i := range x {
+		if x[i] > limit {
+			x[i] = limit
+		}
+		if x[i] < -limit {
+			x[i] = -limit
+		}
+	}
+}
+
+func TestPipelineRobustToImpairments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness sweeps")
+	}
+	v := sim.NewVolunteer(1, 4040)
+	s, err := sim.RunSession(v, sim.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := sessionInput(s)
+	rng := rand.New(rand.NewSource(1))
+
+	base, err := Personalize(clean, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"clip", "dropout", "hum"} {
+		in := corrupt(clean, kind, rng)
+		p, err := Personalize(in, PipelineOptions{})
+		if err != nil {
+			t.Errorf("%s: pipeline failed outright: %v", kind, err)
+			continue
+		}
+		// The impaired profile should stay in the same quality ballpark:
+		// compare against the clean profile's own table.
+		var c float64
+		n := 0
+		for a := 0.0; a <= 180; a += 15 {
+			ha, err1 := base.Table.FarAt(a)
+			hb, err2 := p.Table.FarAt(a)
+			if err1 != nil || err2 != nil || ha.Empty() || hb.Empty() {
+				continue
+			}
+			cl, _ := dsp.NormXCorrPeak(ha.Left, hb.Left)
+			c += cl
+			n++
+		}
+		c /= float64(n)
+		t.Logf("%s: impaired-vs-clean profile correlation %.3f", kind, c)
+		if c < 0.6 {
+			t.Errorf("%s: profile collapsed (corr %.3f)", kind, c)
+		}
+	}
+
+	// Severe clipping destroys the delay structure; the right outcome is
+	// the gesture check failing safe, not a silently wrong profile.
+	if _, err := Personalize(corrupt(clean, "hardclip", rng), PipelineOptions{}); err == nil {
+		t.Error("severely clipped session should be rejected")
+	}
+}
+
+func TestPipelineSkipsSilentStops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness sweep")
+	}
+	v := sim.NewVolunteer(2, 4141)
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sessionInput(s)
+	// Silence half the stops; the pipeline must drop them and carry on.
+	for i := 0; i < len(in.Stops); i += 2 {
+		in.Stops[i].Left = make([]float64, len(in.Stops[i].Left))
+		in.Stops[i].Right = make([]float64, len(in.Stops[i].Right))
+	}
+	p, err := Personalize(in, PipelineOptions{})
+	if err != nil {
+		t.Fatalf("pipeline should survive silent stops: %v", err)
+	}
+	if p.Table.NumAngles() == 0 {
+		t.Error("no table produced")
+	}
+	// Silencing nearly everything must fail loudly instead.
+	for i := range in.Stops {
+		in.Stops[i].Left = make([]float64, len(in.Stops[i].Left))
+		in.Stops[i].Right = make([]float64, len(in.Stops[i].Right))
+	}
+	if _, err := Personalize(in, PipelineOptions{}); err == nil {
+		t.Error("an all-silent session should be rejected")
+	}
+}
+
+func TestPipelineRejectsTruncatedIMU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness sweep")
+	}
+	v := sim.NewVolunteer(3, 4242)
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sessionInput(s)
+	// Keep only the first second of IMU data: late stops then reuse the
+	// last known angle, so fusion residual grows but nothing crashes.
+	cut := 0
+	for i, smp := range in.IMU {
+		if smp.T > 1.0 {
+			cut = i
+			break
+		}
+	}
+	in.IMU = in.IMU[:cut]
+	_, err = Personalize(in, PipelineOptions{SkipGestureCheck: true})
+	if err != nil {
+		t.Fatalf("truncated IMU should degrade, not crash: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dsp"
+	"repro/internal/hrtf"
+)
+
+// This file implements the pipeline side of the paper's §7 "3D HRTF"
+// extension: each elevation ring is a 2-D UNIQ problem (the cross-section
+// the creeping wave sees at that elevation is itself a two-half-ellipse, so
+// the per-ring sensor fusion fits an *effective* E per ring), and the ring
+// tables interpolate across elevation the same way the near-field module
+// interpolates across azimuth.
+
+// Profile3D is a personalized HRTF indexed by azimuth and elevation ring.
+type Profile3D struct {
+	// Elevations lists the measured ring elevations, ascending (degrees).
+	Elevations []float64
+	// Rings maps elevation to that ring's personalized table.
+	Rings map[float64]*Personalization
+}
+
+// ErrNoRings is returned when spherical personalization gets no data.
+var ErrNoRings = errors.New("core: spherical personalization needs at least one ring")
+
+// PersonalizeSpherical runs the UNIQ pipeline once per elevation ring.
+func PersonalizeSpherical(rings map[float64]SessionInput, opt PipelineOptions) (*Profile3D, error) {
+	if len(rings) == 0 {
+		return nil, ErrNoRings
+	}
+	out := &Profile3D{Rings: make(map[float64]*Personalization, len(rings))}
+	for elev, in := range rings {
+		ringOpt := opt
+		ringOpt.RingElevationDeg = elev
+		p, err := Personalize(in, ringOpt)
+		if err != nil {
+			return nil, fmt.Errorf("ring %.0f: %w", elev, err)
+		}
+		out.Rings[elev] = p
+		out.Elevations = append(out.Elevations, elev)
+	}
+	sort.Float64s(out.Elevations)
+	return out, nil
+}
+
+// FarAt returns the far-field HRIR for (azimuth, elevation), interpolating
+// between the two bracketing rings with first-tap alignment per ear
+// (clamping beyond the measured elevation span).
+func (p *Profile3D) FarAt(azimuthDeg, elevationDeg float64) (hrtf.HRIR, error) {
+	if p == nil || len(p.Elevations) == 0 {
+		return hrtf.HRIR{}, ErrNoRings
+	}
+	lo, hi, w := p.bracket(elevationDeg)
+	hLo, err := p.Rings[lo].Table.FarAt(azimuthDeg)
+	if err != nil {
+		return hrtf.HRIR{}, err
+	}
+	if lo == hi || w == 0 {
+		return hLo.Clone(), nil
+	}
+	hHi, err := p.Rings[hi].Table.FarAt(azimuthDeg)
+	if err != nil {
+		return hrtf.HRIR{}, err
+	}
+	if hLo.Empty() {
+		return hHi.Clone(), nil
+	}
+	if hHi.Empty() {
+		return hLo.Clone(), nil
+	}
+	sr := hLo.SampleRate
+	n := len(hLo.Left)
+	if len(hHi.Left) > n {
+		n = len(hHi.Left)
+	}
+	ref := refTapSeconds * sr
+	blend := func(a, b []float64) []float64 {
+		aa := dsp.ZeroPad(hrtf.AlignTo(a, ref), n)
+		bb := dsp.ZeroPad(hrtf.AlignTo(b, ref), n)
+		outp := make([]float64, n)
+		for i := range outp {
+			outp[i] = (1-w)*aa[i] + w*bb[i]
+		}
+		return outp
+	}
+	left := blend(hLo.Left, hHi.Left)
+	right := blend(hLo.Right, hHi.Right)
+	// Restore the interaural structure by blending the two rings' ITDs.
+	itd := (1-w)*hLo.ITD() + w*hHi.ITD()
+	right = dsp.ZeroPad(hrtf.AlignTo(right, ref-itd*sr), n)
+	return hrtf.HRIR{Left: left, Right: right, SampleRate: sr}, nil
+}
+
+// bracket finds the rings surrounding an elevation and the blend weight
+// toward the upper one.
+func (p *Profile3D) bracket(elev float64) (lo, hi, w float64) {
+	es := p.Elevations
+	if elev <= es[0] {
+		return es[0], es[0], 0
+	}
+	last := es[len(es)-1]
+	if elev >= last {
+		return last, last, 0
+	}
+	idx := sort.SearchFloat64s(es, elev)
+	hi = es[idx]
+	lo = es[idx-1]
+	span := hi - lo
+	if span <= 0 {
+		return lo, lo, 0
+	}
+	return lo, hi, (elev - lo) / span
+}
+
+// RenderAt spatializes a mono sound from (azimuth, elevation).
+func (p *Profile3D) RenderAt(mono []float64, azimuthDeg, elevationDeg float64) (left, right []float64, err error) {
+	h, err := p.FarAt(azimuthDeg, elevationDeg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if h.Empty() {
+		return nil, nil, errors.New("core: no HRIR at that direction")
+	}
+	l, r := h.Render(mono)
+	return l, r, nil
+}

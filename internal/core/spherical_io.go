@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/head"
+	"repro/internal/hrtf"
+)
+
+// profile3DJSON is the wire format of a 3-D profile: ring tables keyed by
+// elevation, plus the per-ring head parameters and quality residuals worth
+// persisting.
+type profile3DJSON struct {
+	Version int            `json:"version"`
+	Rings   []ringJSON     `json:"rings"`
+	Meta    map[string]any `json:"meta,omitempty"`
+}
+
+type ringJSON struct {
+	ElevationDeg    float64     `json:"elevationDeg"`
+	Table           *hrtf.Table `json:"table"`
+	HeadParams      head.Params `json:"headParams"`
+	MeanResidualDeg float64     `json:"meanResidualDeg"`
+}
+
+// Encode writes the 3-D profile as JSON.
+func (p *Profile3D) Encode(w io.Writer) error {
+	if p == nil || len(p.Elevations) == 0 {
+		return ErrNoRings
+	}
+	doc := profile3DJSON{Version: 1}
+	for _, elev := range p.Elevations {
+		ring := p.Rings[elev]
+		if ring == nil || ring.Table == nil {
+			return fmt.Errorf("core: ring %.0f has no table", elev)
+		}
+		doc.Rings = append(doc.Rings, ringJSON{
+			ElevationDeg:    elev,
+			Table:           ring.Table,
+			HeadParams:      ring.HeadParams,
+			MeanResidualDeg: ring.MeanResidualDeg,
+		})
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// Decode3D reads a profile written by Encode.
+func Decode3D(r io.Reader) (*Profile3D, error) {
+	var doc profile3DJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported 3D profile version %d", doc.Version)
+	}
+	if len(doc.Rings) == 0 {
+		return nil, errors.New("core: 3D profile has no rings")
+	}
+	out := &Profile3D{Rings: make(map[float64]*Personalization, len(doc.Rings))}
+	for _, ring := range doc.Rings {
+		if ring.Table == nil || ring.Table.SampleRate <= 0 {
+			return nil, fmt.Errorf("core: ring %.0f has an invalid table", ring.ElevationDeg)
+		}
+		if _, dup := out.Rings[ring.ElevationDeg]; dup {
+			return nil, fmt.Errorf("core: duplicate ring at %.0f degrees", ring.ElevationDeg)
+		}
+		out.Rings[ring.ElevationDeg] = &Personalization{
+			Table:           ring.Table,
+			HeadParams:      ring.HeadParams,
+			MeanResidualDeg: ring.MeanResidualDeg,
+			Gesture:         GestureReport{OK: true, Reason: "loaded from file"},
+		}
+		out.Elevations = append(out.Elevations, ring.ElevationDeg)
+	}
+	sort.Float64s(out.Elevations)
+	return out, nil
+}

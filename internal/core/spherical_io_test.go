@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/head"
+	"repro/internal/hrtf"
+)
+
+func tinyProfile3D() *Profile3D {
+	mkTable := func(shift float64) *hrtf.Table {
+		tab := hrtf.NewTable(48000, 0, 90, 3)
+		for i := range tab.Far {
+			tab.Far[i] = hrtf.HRIR{
+				Left:       dsp.DelayedImpulse(64, 20+shift, 1),
+				Right:      dsp.DelayedImpulse(64, 22+shift, 0.9),
+				SampleRate: 48000,
+			}
+		}
+		return tab
+	}
+	return &Profile3D{
+		Elevations: []float64{0, 30},
+		Rings: map[float64]*Personalization{
+			0:  {Table: mkTable(0), HeadParams: head.DefaultParams(), MeanResidualDeg: 2},
+			30: {Table: mkTable(3), HeadParams: head.DefaultParams(), MeanResidualDeg: 3},
+		},
+	}
+}
+
+func TestProfile3DRoundTrip(t *testing.T) {
+	p := tinyProfile3D()
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode3D(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Elevations) != 2 || back.Elevations[1] != 30 {
+		t.Fatalf("elevations %v", back.Elevations)
+	}
+	if back.Rings[30].MeanResidualDeg != 3 {
+		t.Error("residual lost")
+	}
+	a, err := p.FarAt(90, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.FarAt(90, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hrtf.MeanCorrelation(a, b) < 0.999 {
+		t.Error("interpolated lookup changed across round trip")
+	}
+}
+
+func TestProfile3DEncodeErrors(t *testing.T) {
+	var empty *Profile3D
+	if err := empty.Encode(&bytes.Buffer{}); err != ErrNoRings {
+		t.Errorf("want ErrNoRings, got %v", err)
+	}
+	broken := tinyProfile3D()
+	broken.Rings[0].Table = nil
+	if err := broken.Encode(&bytes.Buffer{}); err == nil {
+		t.Error("nil ring table should fail")
+	}
+}
+
+func TestDecode3DErrors(t *testing.T) {
+	if _, err := Decode3D(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := Decode3D(strings.NewReader(`{"version":2,"rings":[]}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+	if _, err := Decode3D(strings.NewReader(`{"version":1,"rings":[]}`)); err == nil {
+		t.Error("no rings should fail")
+	}
+	dup := `{"version":1,"rings":[
+	 {"elevationDeg":0,"table":{"sampleRate":48000,"angleStep":90,"minAngle":0,"near":[],"far":[]}},
+	 {"elevationDeg":0,"table":{"sampleRate":48000,"angleStep":90,"minAngle":0,"near":[],"far":[]}}]}`
+	if _, err := Decode3D(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate elevations should fail")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hrtf"
+	"repro/internal/sim"
+)
+
+func sphericalInputs(t *testing.T, v sim.Volunteer, elevations []float64) map[float64]SessionInput {
+	t.Helper()
+	sessions, err := sim.RunSphericalSession(v, sim.SessionConfig{}, elevations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[float64]SessionInput, len(sessions))
+	for elev, s := range sessions {
+		out[elev] = sessionInput(s)
+	}
+	return out
+}
+
+func TestPersonalizeSphericalEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ring pipeline")
+	}
+	v := sim.NewVolunteer(1, 777)
+	elevs := []float64{-30, 0, 30}
+	rings := sphericalInputs(t, v, elevs)
+	p3, err := PersonalizeSpherical(rings, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p3.Elevations) != 3 || p3.Elevations[0] != -30 {
+		t.Fatalf("elevations %v", p3.Elevations)
+	}
+
+	// The elevation-matched estimate should beat using the horizontal
+	// ring's HRTF for an elevated source — the reason to bother with 3D.
+	sr := 48000.0
+	gnd30, err := sim.MeasureGroundTruthFarRing(v, sr, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matched, horizOnly float64
+	n := 0
+	for az := 10.0; az <= 170; az += 10 {
+		ref, err := gnd30.FarAt(az)
+		if err != nil || ref.Empty() {
+			continue
+		}
+		h3, err := p3.FarAt(az, 30)
+		if err != nil || h3.Empty() {
+			continue
+		}
+		h0, err := p3.Rings[0].Table.FarAt(az)
+		if err != nil || h0.Empty() {
+			continue
+		}
+		matched += hrtf.MeanCorrelation(h3, ref)
+		horizOnly += hrtf.MeanCorrelation(h0, ref)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no angles compared")
+	}
+	matched /= float64(n)
+	horizOnly /= float64(n)
+	t.Logf("elevated source: elevation-matched corr %.3f vs horizontal-only %.3f", matched, horizOnly)
+	if matched <= horizOnly {
+		t.Errorf("3D personalization (%.3f) should beat the 2D table at elevation (%.3f)", matched, horizOnly)
+	}
+}
+
+func TestProfile3DInterpolationAcrossRings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ring pipeline")
+	}
+	v := sim.NewVolunteer(2, 888)
+	rings := sphericalInputs(t, v, []float64{0, 40})
+	p3, err := PersonalizeSpherical(rings, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := p3.FarAt(60, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := p3.FarAt(60, 0)
+	hi, _ := p3.FarAt(60, 40)
+	cLo := hrtf.MeanCorrelation(mid, lo)
+	cHi := hrtf.MeanCorrelation(mid, hi)
+	cEnds := hrtf.MeanCorrelation(lo, hi)
+	if cLo < cEnds-0.05 || cHi < cEnds-0.05 {
+		t.Errorf("mid-elevation blend should resemble both rings: %.3f/%.3f vs ends %.3f", cLo, cHi, cEnds)
+	}
+	// Clamping outside the span.
+	below, err := p3.FarAt(60, -50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hrtf.MeanCorrelation(below, lo) < 0.999 {
+		t.Error("below-span lookup should clamp to the lowest ring")
+	}
+}
+
+func TestProfile3DBracket(t *testing.T) {
+	p := &Profile3D{Elevations: []float64{-30, 0, 30}}
+	cases := []struct {
+		in, lo, hi, w float64
+	}{
+		{-40, -30, -30, 0},
+		{-30, -30, -30, 0},
+		{-15, -30, 0, 0.5},
+		{0, -30, 0, 1},
+		{12, 0, 30, 0.4},
+		{30, 30, 30, 0},
+		{50, 30, 30, 0},
+	}
+	for _, c := range cases {
+		lo, hi, w := p.bracket(c.in)
+		if lo != c.lo || hi != c.hi || math.Abs(w-c.w) > 1e-12 {
+			t.Errorf("bracket(%g) = (%g,%g,%g), want (%g,%g,%g)", c.in, lo, hi, w, c.lo, c.hi, c.w)
+		}
+	}
+}
+
+func TestPersonalizeSphericalErrors(t *testing.T) {
+	if _, err := PersonalizeSpherical(nil, PipelineOptions{}); err != ErrNoRings {
+		t.Errorf("want ErrNoRings, got %v", err)
+	}
+	var empty *Profile3D
+	if _, err := empty.FarAt(0, 0); err != ErrNoRings {
+		t.Errorf("nil profile lookup: want ErrNoRings, got %v", err)
+	}
+}

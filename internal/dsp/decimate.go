@@ -1,0 +1,54 @@
+package dsp
+
+import "errors"
+
+// Decimate reduces the sample rate of x by an integer factor with a
+// windowed-sinc anti-aliasing prefilter. The paper records at 96 kHz; a
+// deployment that wants the cheaper 48 kHz pipeline decimates by 2.
+func Decimate(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, errors.New("dsp: decimation factor must be >= 1")
+	}
+	if factor == 1 || len(x) == 0 {
+		return append([]float64(nil), x...), nil
+	}
+	// Anti-alias at 45% of the output Nyquist.
+	cutoff := 0.45 / float64(factor)
+	taps := 24*factor + 1
+	h := FIRLowPass(taps, cutoff, 1) // normalized frequencies
+	filtered := FilterFIR(x, h)
+	// Compensate the FIR group delay so decimated samples align with the
+	// originals.
+	delay := (len(h) - 1) / 2
+	out := make([]float64, 0, len(x)/factor+1)
+	for i := delay; i < len(filtered); i += factor {
+		out = append(out, filtered[i])
+	}
+	return out, nil
+}
+
+// Upsample raises the sample rate by an integer factor via zero-stuffing
+// plus the matching interpolation filter. Round-trips with Decimate up to
+// the transition-band loss.
+func Upsample(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, errors.New("dsp: upsampling factor must be >= 1")
+	}
+	if factor == 1 || len(x) == 0 {
+		return append([]float64(nil), x...), nil
+	}
+	stuffed := make([]float64, len(x)*factor)
+	for i, v := range x {
+		stuffed[i*factor] = v * float64(factor)
+	}
+	cutoff := 0.45 / float64(factor)
+	taps := 24*factor + 1
+	h := FIRLowPass(taps, cutoff, 1)
+	out := FilterFIR(stuffed, h)
+	// Compensate group delay.
+	delay := (len(h) - 1) / 2
+	if delay < len(out) {
+		out = out[delay:]
+	}
+	return out, nil
+}

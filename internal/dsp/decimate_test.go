@@ -1,0 +1,81 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDecimatePreservesBasebandTone(t *testing.T) {
+	sr := 96000.0
+	x := Tone(2000, 0.05, sr)
+	y, err := Decimate(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decimated signal should be the same tone at 48 kHz.
+	want := Tone(2000, 0.05, 48000)
+	n := min(len(y), len(want)) - 200
+	maxErr := 0.0
+	for i := 200; i < n; i++ {
+		if e := math.Abs(y[i] - want[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.02 {
+		t.Errorf("decimated tone deviates by %g", maxErr)
+	}
+}
+
+func TestDecimateRejectsAlias(t *testing.T) {
+	sr := 96000.0
+	// 30 kHz is above the 24 kHz output Nyquist: it must not alias into
+	// the decimated signal.
+	x := Tone(30000, 0.05, sr)
+	y, err := Decimate(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RMS(y[200 : len(y)-200]); r > 0.02 {
+		t.Errorf("aliased energy %g should be filtered out", r)
+	}
+}
+
+func TestDecimateLength(t *testing.T) {
+	x := make([]float64, 1000)
+	y, err := Decimate(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) < 200 || len(y) > 250 {
+		t.Errorf("decimated length %d", len(y))
+	}
+	if _, err := Decimate(x, 0); err == nil {
+		t.Error("factor 0 should fail")
+	}
+	same, err := Decimate(x[:10], 1)
+	if err != nil || len(same) != 10 {
+		t.Error("factor 1 should copy")
+	}
+}
+
+func TestUpsampleDownsampleRoundTrip(t *testing.T) {
+	sr := 24000.0
+	x := Tone(1000, 0.05, sr)
+	up, err := Upsample(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decimate(up, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare away from the filter edge transients.
+	n := min(len(x), len(back))
+	c, _ := NormXCorrPeak(x[200:n-200], back[200:n-200])
+	if c < 0.999 {
+		t.Errorf("round trip correlation %g", c)
+	}
+	if _, err := Upsample(x, 0); err == nil {
+		t.Error("factor 0 should fail")
+	}
+}

@@ -1,0 +1,51 @@
+package dsp
+
+import "math"
+
+// AnalyticSignal returns the analytic signal of x (x + i*Hilbert(x)),
+// computed via the FFT method.
+func AnalyticSignal(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	spec := FFTReal(x)
+	// Zero out negative frequencies, double positive ones.
+	half := n / 2
+	for i := 1; i < (n+1)/2; i++ {
+		spec[i] *= 2
+	}
+	for i := half + 1; i < n; i++ {
+		spec[i] = 0
+	}
+	return IFFT(spec)
+}
+
+// Envelope returns the instantaneous amplitude envelope |analytic(x)|.
+func Envelope(x []float64) []float64 {
+	a := AnalyticSignal(x)
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = complexAbs(v)
+	}
+	return out
+}
+
+// Unwrap removes 2π discontinuities from a phase sequence in place-free
+// fashion, returning a new slice.
+func Unwrap(phase []float64) []float64 {
+	out := make([]float64, len(phase))
+	copy(out, phase)
+	for i := 1; i < len(out); i++ {
+		d := out[i] - out[i-1]
+		for d > math.Pi {
+			out[i] -= 2 * math.Pi
+			d = out[i] - out[i-1]
+		}
+		for d < -math.Pi {
+			out[i] += 2 * math.Pi
+			d = out[i] - out[i-1]
+		}
+	}
+	return out
+}

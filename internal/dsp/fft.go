@@ -1,0 +1,200 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two >= n. n must be >= 1.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// FFT computes the in-place-free discrete Fourier transform of x and returns
+// a new slice. Any length is supported: powers of two use an iterative
+// radix-2 Cooley-Tukey kernel; other lengths fall back to Bluestein's
+// algorithm. An empty input returns an empty output.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if IsPow2(n) {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT computes the inverse discrete Fourier transform of x (with the usual
+// 1/N normalization) and returns a new slice.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if IsPow2(n) {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	scale := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// fftRadix2 transforms x in place. len(x) must be a power of two.
+// If inverse is true the conjugate transform is computed (no scaling).
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// Precompute the principal twiddle and iterate multiplicatively;
+		// recompute from sin/cos every few steps to bound error drift.
+		wStep := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				if k&63 == 0 {
+					ang := step * float64(k)
+					w = complex(math.Cos(ang), math.Sin(ang))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of arbitrary-length x via the chirp-z transform,
+// returning a new slice. If inverse is true the conjugate transform is
+// computed (no scaling).
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := NextPow2(2*n - 1)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// w[k] = exp(sign * i*pi*k^2/n)
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k^2 mod 2n computed with big-safe arithmetic to avoid overflow.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		w[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+	}
+	b[0] = complex(real(w[0]), -imag(w[0]))
+	for k := 1; k < n; k++ {
+		c := complex(real(w[k]), -imag(w[k]))
+		b[k] = c
+		b[m-k] = c
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * w[k]
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal and returns its full complex
+// spectrum (length len(x)).
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	if len(c) <= 1 {
+		return c
+	}
+	if IsPow2(len(c)) {
+		fftRadix2(c, false)
+		return c
+	}
+	return bluestein(c, false)
+}
+
+// IFFTReal inverts a spectrum and returns only the real part of the result.
+// It is the inverse of FFTReal for spectra of real signals.
+func IFFTReal(spec []complex128) []float64 {
+	c := IFFT(spec)
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// Magnitudes returns the element-wise absolute value of a spectrum.
+func Magnitudes(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		out[i] = complexAbs(v)
+	}
+	return out
+}
+
+func complexAbs(v complex128) float64 {
+	return math.Hypot(real(v), imag(v))
+}
+
+// FFTFreqs returns the frequency (Hz) of each bin of an n-point FFT at the
+// given sample rate, using the usual fftfreq convention (negative
+// frequencies in the upper half).
+func FFTFreqs(n int, sampleRate float64) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	df := sampleRate / float64(n)
+	half := (n + 1) / 2
+	for i := 0; i < half; i++ {
+		out[i] = float64(i) * df
+	}
+	for i := half; i < n; i++ {
+		out[i] = float64(i-n) * df
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package dsp
+
+import "math"
+
+// Biquad is a second-order IIR filter section in direct form II transposed.
+type Biquad struct {
+	b0, b1, b2, a1, a2 float64
+	z1, z2             float64
+}
+
+// NewLowPass returns a Butterworth-style low-pass biquad (RBJ cookbook) with
+// the given cutoff frequency and Q at the given sample rate.
+func NewLowPass(cutoff, q, sampleRate float64) *Biquad {
+	w0 := 2 * math.Pi * cutoff / sampleRate
+	alpha := math.Sin(w0) / (2 * q)
+	cw := math.Cos(w0)
+	b0 := (1 - cw) / 2
+	b1 := 1 - cw
+	b2 := (1 - cw) / 2
+	a0 := 1 + alpha
+	a1 := -2 * cw
+	a2 := 1 - alpha
+	return &Biquad{b0: b0 / a0, b1: b1 / a0, b2: b2 / a0, a1: a1 / a0, a2: a2 / a0}
+}
+
+// NewHighPass returns an RBJ high-pass biquad.
+func NewHighPass(cutoff, q, sampleRate float64) *Biquad {
+	w0 := 2 * math.Pi * cutoff / sampleRate
+	alpha := math.Sin(w0) / (2 * q)
+	cw := math.Cos(w0)
+	b0 := (1 + cw) / 2
+	b1 := -(1 + cw)
+	b2 := (1 + cw) / 2
+	a0 := 1 + alpha
+	a1 := -2 * cw
+	a2 := 1 - alpha
+	return &Biquad{b0: b0 / a0, b1: b1 / a0, b2: b2 / a0, a1: a1 / a0, a2: a2 / a0}
+}
+
+// NewBandPass returns an RBJ constant-skirt band-pass biquad centered at the
+// given frequency.
+func NewBandPass(center, q, sampleRate float64) *Biquad {
+	w0 := 2 * math.Pi * center / sampleRate
+	alpha := math.Sin(w0) / (2 * q)
+	cw := math.Cos(w0)
+	b0 := alpha
+	b1 := 0.0
+	b2 := -alpha
+	a0 := 1 + alpha
+	a1 := -2 * cw
+	a2 := 1 - alpha
+	return &Biquad{b0: b0 / a0, b1: b1 / a0, b2: b2 / a0, a1: a1 / a0, a2: a2 / a0}
+}
+
+// Reset clears the filter's internal state.
+func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
+
+// ProcessSample filters a single sample.
+func (f *Biquad) ProcessSample(x float64) float64 {
+	y := f.b0*x + f.z1
+	f.z1 = f.b1*x - f.a1*y + f.z2
+	f.z2 = f.b2*x - f.a2*y
+	return y
+}
+
+// Process filters the whole signal, returning a new slice. The filter state
+// is reset first, so repeated calls are independent.
+func (f *Biquad) Process(x []float64) []float64 {
+	f.Reset()
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = f.ProcessSample(v)
+	}
+	return out
+}
+
+// FIRLowPass designs an n-tap windowed-sinc linear-phase low-pass FIR filter
+// (Hamming window) with the given cutoff at the given sample rate. n should
+// be odd for exact linear phase; it is incremented if even.
+func FIRLowPass(n int, cutoff, sampleRate float64) []float64 {
+	if n < 3 {
+		n = 3
+	}
+	if n%2 == 0 {
+		n++
+	}
+	fc := cutoff / sampleRate
+	mid := (n - 1) / 2
+	h := make([]float64, n)
+	win := Hamming.Samples(n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		k := i - mid
+		var v float64
+		if k == 0 {
+			v = 2 * fc
+		} else {
+			v = math.Sin(2*math.Pi*fc*float64(k)) / (math.Pi * float64(k))
+		}
+		h[i] = v * win[i]
+		sum += h[i]
+	}
+	// Normalize to unity DC gain.
+	if sum != 0 {
+		for i := range h {
+			h[i] /= sum
+		}
+	}
+	return h
+}
+
+// FIRBandPass designs an n-tap windowed-sinc band-pass FIR filter for the
+// band [lo, hi] Hz, normalized to unity gain at the band center.
+func FIRBandPass(n int, lo, hi, sampleRate float64) []float64 {
+	hpLow := FIRLowPass(n, hi, sampleRate)
+	lpLow := FIRLowPass(n, lo, sampleRate)
+	h := make([]float64, len(hpLow))
+	for i := range h {
+		h[i] = hpLow[i] - lpLow[i]
+	}
+	// Normalize gain at band center.
+	fc := (lo + hi) / 2
+	var re, im float64
+	for i, v := range h {
+		ang := 2 * math.Pi * fc / sampleRate * float64(i)
+		re += v * math.Cos(ang)
+		im -= v * math.Sin(ang)
+	}
+	g := math.Hypot(re, im)
+	if g > 0 {
+		for i := range h {
+			h[i] /= g
+		}
+	}
+	return h
+}

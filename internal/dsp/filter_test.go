@@ -1,0 +1,112 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// toneGain measures the steady-state amplitude gain of filter out for a tone
+// at freq.
+func toneGain(process func([]float64) []float64, freq, sr float64) float64 {
+	x := Tone(freq, 0.2, sr)
+	y := process(x)
+	// Skip the transient.
+	skip := len(y) / 4
+	return RMS(y[skip:]) / RMS(x[skip:])
+}
+
+func TestLowPassBiquad(t *testing.T) {
+	sr := 48000.0
+	f := NewLowPass(1000, 0.707, sr)
+	if g := toneGain(f.Process, 100, sr); math.Abs(g-1) > 0.1 {
+		t.Errorf("passband gain %g, want ~1", g)
+	}
+	if g := toneGain(f.Process, 10000, sr); g > 0.05 {
+		t.Errorf("stopband gain %g, want <0.05", g)
+	}
+}
+
+func TestHighPassBiquad(t *testing.T) {
+	sr := 48000.0
+	f := NewHighPass(1000, 0.707, sr)
+	if g := toneGain(f.Process, 10000, sr); math.Abs(g-1) > 0.1 {
+		t.Errorf("passband gain %g, want ~1", g)
+	}
+	if g := toneGain(f.Process, 100, sr); g > 0.05 {
+		t.Errorf("stopband gain %g, want <0.05", g)
+	}
+}
+
+func TestBandPassBiquad(t *testing.T) {
+	sr := 48000.0
+	f := NewBandPass(2000, 2, sr)
+	gc := toneGain(f.Process, 2000, sr)
+	gl := toneGain(f.Process, 200, sr)
+	gh := toneGain(f.Process, 15000, sr)
+	if gc < 0.8 {
+		t.Errorf("center gain %g too low", gc)
+	}
+	if gl > 0.2*gc || gh > 0.2*gc {
+		t.Errorf("skirt gains %g %g too high vs center %g", gl, gh, gc)
+	}
+}
+
+func TestBiquadReset(t *testing.T) {
+	f := NewLowPass(1000, 0.707, 48000)
+	x := Tone(500, 0.01, 48000)
+	a := f.Process(x)
+	b := f.Process(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Process should reset state between calls")
+		}
+	}
+}
+
+func TestFIRLowPass(t *testing.T) {
+	sr := 48000.0
+	h := FIRLowPass(101, 2000, sr)
+	if len(h)%2 == 0 {
+		t.Fatal("FIR length should be odd")
+	}
+	// Unity DC gain.
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("DC gain %g, want 1", sum)
+	}
+	proc := func(x []float64) []float64 { return FilterFIR(x, h) }
+	if g := toneGain(proc, 500, sr); math.Abs(g-1) > 0.05 {
+		t.Errorf("passband gain %g", g)
+	}
+	if g := toneGain(proc, 10000, sr); g > 0.01 {
+		t.Errorf("stopband gain %g", g)
+	}
+}
+
+func TestFIRBandPass(t *testing.T) {
+	sr := 48000.0
+	h := FIRBandPass(201, 1000, 4000, sr)
+	proc := func(x []float64) []float64 { return FilterFIR(x, h) }
+	if g := toneGain(proc, 2000, sr); math.Abs(g-1) > 0.15 {
+		t.Errorf("band-center gain %g, want ~1", g)
+	}
+	if g := toneGain(proc, 100, sr); g > 0.05 {
+		t.Errorf("low stopband gain %g", g)
+	}
+	if g := toneGain(proc, 15000, sr); g > 0.05 {
+		t.Errorf("high stopband gain %g", g)
+	}
+}
+
+func TestLinearPhaseFIR(t *testing.T) {
+	h := FIRLowPass(51, 4000, 48000)
+	// Symmetric taps => linear phase.
+	for i := 0; i < len(h)/2; i++ {
+		if math.Abs(h[i]-h[len(h)-1-i]) > 1e-12 {
+			t.Fatalf("taps not symmetric at %d", i)
+		}
+	}
+}

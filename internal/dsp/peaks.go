@@ -1,0 +1,158 @@
+package dsp
+
+import "math"
+
+// Peak describes a local maximum of |x|.
+type Peak struct {
+	// Index is the sample index of the peak.
+	Index int
+	// Value is the signed sample value at the peak.
+	Value float64
+}
+
+// FindPeaks returns all local maxima of |x| whose magnitude is at least
+// minRel times the global maximum magnitude, separated by at least minDist
+// samples (greedy, strongest first). Results are sorted by index.
+func FindPeaks(x []float64, minRel float64, minDist int) []Peak {
+	if len(x) == 0 {
+		return nil
+	}
+	if minDist < 1 {
+		minDist = 1
+	}
+	maxMag := MaxAbs(x)
+	if maxMag == 0 {
+		return nil
+	}
+	thresh := minRel * maxMag
+	var cand []Peak
+	for i := range x {
+		m := math.Abs(x[i])
+		if m < thresh {
+			continue
+		}
+		prev := 0.0
+		if i > 0 {
+			prev = math.Abs(x[i-1])
+		}
+		next := 0.0
+		if i < len(x)-1 {
+			next = math.Abs(x[i+1])
+		}
+		if m >= prev && m > next {
+			cand = append(cand, Peak{Index: i, Value: x[i]})
+		}
+	}
+	// Greedy non-max suppression by magnitude.
+	order := make([]int, len(cand))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if math.Abs(cand[order[j]].Value) > math.Abs(cand[order[i]].Value) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	taken := make([]bool, len(cand))
+	kept := make([]bool, len(cand))
+	for _, oi := range order {
+		if taken[oi] {
+			continue
+		}
+		kept[oi] = true
+		for j := range cand {
+			if j != oi && absInt(cand[j].Index-cand[oi].Index) < minDist {
+				taken[j] = true
+			}
+		}
+	}
+	var out []Peak
+	for i := range cand {
+		if kept[i] {
+			out = append(out, cand[i])
+		}
+	}
+	// Sort by index (insertion, counts are small).
+	for i := 1; i < len(out); i++ {
+		v := out[i]
+		j := i - 1
+		for j >= 0 && out[j].Index > v.Index {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = v
+	}
+	return out
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// FirstPeak returns the earliest local maximum of |x| with magnitude at
+// least minRel times the global maximum, refined to sub-sample precision by
+// parabolic interpolation. It returns the (possibly fractional) index and
+// the peak's signed value, or (-1, 0) if no peak qualifies. UNIQ uses the
+// first channel tap to measure the diffraction path (§4.1).
+func FirstPeak(x []float64, minRel float64) (index float64, value float64) {
+	peaks := FindPeaks(x, minRel, 1)
+	if len(peaks) == 0 {
+		return -1, 0
+	}
+	p := peaks[0]
+	idx := float64(p.Index)
+	if p.Index > 0 && p.Index < len(x)-1 {
+		// Refine by band-limited (windowed-sinc) interpolation on a fine
+		// grid around the integer peak: for band-limited channels this is
+		// far more accurate than parabolic fitting on |x|.
+		idx = refinePeakSinc(x, p.Index)
+	}
+	return idx, p.Value
+}
+
+// refinePeakSinc locates the magnitude maximum of the band-limited
+// interpolant of x within ±1 sample of the integer peak at i0, to 1/64
+// sample resolution.
+func refinePeakSinc(x []float64, i0 int) float64 {
+	const half = 12
+	const steps = 128 // over the ±1 sample span
+	best, bestT := math.Abs(x[i0]), float64(i0)
+	for s := -steps / 2; s <= steps/2; s++ {
+		t := float64(i0) + 2*float64(s)/steps
+		v := 0.0
+		for j := i0 - half; j <= i0+half; j++ {
+			if j < 0 || j >= len(x) {
+				continue
+			}
+			d := t - float64(j)
+			var k float64
+			if d == 0 {
+				k = 1
+			} else {
+				k = math.Sin(math.Pi*d) / (math.Pi * d)
+			}
+			w := 0.5 * (1 + math.Cos(math.Pi*d/float64(half+1)))
+			v += x[j] * k * w
+		}
+		if a := math.Abs(v); a > best {
+			best, bestT = a, t
+		}
+	}
+	return bestT
+}
+
+// TruncateAfter zeroes every sample of x at or beyond index n and returns a
+// copy. UNIQ uses this to strip room reflections, which arrive later than
+// head diffraction and pinna multipath (§4.6).
+func TruncateAfter(x []float64, n int) []float64 {
+	out := make([]float64, len(x))
+	if n > 0 {
+		copy(out, x[:min(n, len(x))])
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFindPeaksBasic(t *testing.T) {
+	x := make([]float64, 100)
+	x[10] = 1
+	x[40] = -0.8
+	x[70] = 0.3
+	peaks := FindPeaks(x, 0.1, 5)
+	if len(peaks) != 3 {
+		t.Fatalf("found %d peaks, want 3: %v", len(peaks), peaks)
+	}
+	if peaks[0].Index != 10 || peaks[1].Index != 40 || peaks[2].Index != 70 {
+		t.Errorf("peak indices %v", peaks)
+	}
+	if peaks[1].Value != -0.8 {
+		t.Errorf("peak values should be signed, got %g", peaks[1].Value)
+	}
+}
+
+func TestFindPeaksThreshold(t *testing.T) {
+	x := make([]float64, 50)
+	x[5] = 1
+	x[20] = 0.05
+	peaks := FindPeaks(x, 0.2, 1)
+	if len(peaks) != 1 || peaks[0].Index != 5 {
+		t.Fatalf("threshold should suppress small peak: %v", peaks)
+	}
+}
+
+func TestFindPeaksMinDist(t *testing.T) {
+	x := make([]float64, 50)
+	x[10] = 1
+	x[12] = 0.9
+	x[30] = 0.8
+	peaks := FindPeaks(x, 0.1, 5)
+	if len(peaks) != 2 {
+		t.Fatalf("min distance should suppress the weaker neighbour: %v", peaks)
+	}
+	if peaks[0].Index != 10 || peaks[1].Index != 30 {
+		t.Errorf("unexpected peaks %v", peaks)
+	}
+}
+
+func TestFirstPeakSubsample(t *testing.T) {
+	// Band-limited impulse at fractional position 20.3.
+	x := DelayedImpulse(64, 20.3, 1)
+	idx, val := FirstPeak(x, 0.5)
+	if math.Abs(idx-20.3) > 0.15 {
+		t.Errorf("sub-sample peak at %g, want ~20.3", idx)
+	}
+	if val < 0.5 {
+		t.Errorf("peak value %g too small", val)
+	}
+}
+
+func TestFirstPeakNone(t *testing.T) {
+	idx, _ := FirstPeak(make([]float64, 16), 0.5)
+	if idx != -1 {
+		t.Errorf("empty signal first peak index %g, want -1", idx)
+	}
+}
+
+func TestFirstPeakPicksEarliest(t *testing.T) {
+	x := make([]float64, 100)
+	x[30] = 0.6
+	x[60] = 1.0
+	idx, _ := FirstPeak(x, 0.3)
+	if math.Round(idx) != 30 {
+		t.Errorf("first peak at %g, want 30 (earliest above threshold)", idx)
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	got := TruncateAfter(x, 3)
+	want := []float64{1, 2, 3, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if x[3] != 4 {
+		t.Error("TruncateAfter must not mutate its input")
+	}
+	if got := TruncateAfter(x, 0); MaxAbs(got) != 0 {
+		t.Error("TruncateAfter(x, 0) should be all zeros")
+	}
+	if got := TruncateAfter(x, 99); got[4] != 5 {
+		t.Error("TruncateAfter beyond length should copy everything")
+	}
+}

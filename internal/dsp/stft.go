@@ -1,0 +1,82 @@
+package dsp
+
+import "math"
+
+// STFT computes the short-time Fourier transform of x with the given
+// window length and hop (both in samples) using a Hann window. Each row of
+// the result is one frame's complex half-spectrum (win/2+1 bins). win must
+// be a power of two; it is rounded up otherwise.
+func STFT(x []float64, win, hop int) [][]complex128 {
+	if len(x) == 0 || win <= 0 || hop <= 0 {
+		return nil
+	}
+	win = NextPow2(win)
+	w := Hann.Samples(win)
+	var frames [][]complex128
+	for start := 0; start+win <= len(x); start += hop {
+		buf := make([]complex128, win)
+		for i := 0; i < win; i++ {
+			buf[i] = complex(x[start+i]*w[i], 0)
+		}
+		fftRadix2(buf, false)
+		frames = append(frames, buf[:win/2+1])
+	}
+	return frames
+}
+
+// Spectrogram returns the magnitude of STFT frames.
+func Spectrogram(x []float64, win, hop int) [][]float64 {
+	frames := STFT(x, win, hop)
+	out := make([][]float64, len(frames))
+	for i, f := range frames {
+		row := make([]float64, len(f))
+		for j, v := range f {
+			row[j] = complexAbs(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// SpectralCentroid returns the energy-weighted mean frequency (Hz) of x at
+// the given sample rate — a one-number summary of where the signal's
+// energy lives, used to characterize probe and source signals.
+func SpectralCentroid(x []float64, sampleRate float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	spec := Magnitudes(FFTReal(ZeroPad(x, NextPow2(len(x)))))
+	half := len(spec) / 2
+	var num, den float64
+	for i := 1; i < half; i++ {
+		f := float64(i) / float64(len(spec)) * sampleRate
+		p := spec[i] * spec[i]
+		num += f * p
+		den += p
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Goertzel evaluates the DFT of x at a single frequency (Hz) and returns
+// the magnitude — cheaper than a full FFT when probing one tone.
+func Goertzel(x []float64, freq, sampleRate float64) float64 {
+	if len(x) == 0 || sampleRate <= 0 {
+		return 0
+	}
+	w := 2 * math.Pi * freq / sampleRate
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	if power < 0 {
+		power = 0
+	}
+	return math.Sqrt(power)
+}

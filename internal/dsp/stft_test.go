@@ -1,0 +1,106 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSTFTShape(t *testing.T) {
+	x := make([]float64, 4096)
+	frames := STFT(x, 512, 256)
+	wantFrames := (4096-512)/256 + 1
+	if len(frames) != wantFrames {
+		t.Fatalf("%d frames, want %d", len(frames), wantFrames)
+	}
+	if len(frames[0]) != 257 {
+		t.Fatalf("%d bins, want 257", len(frames[0]))
+	}
+	if STFT(nil, 512, 256) != nil {
+		t.Error("empty input should give nil")
+	}
+	if STFT(x, 0, 256) != nil || STFT(x, 512, 0) != nil {
+		t.Error("degenerate params should give nil")
+	}
+}
+
+func TestSpectrogramLocatesChirp(t *testing.T) {
+	sr := 48000.0
+	c := Chirp(1000, 10000, 0.2, sr)
+	spec := Spectrogram(c, 1024, 512)
+	if len(spec) < 4 {
+		t.Fatal("too few frames")
+	}
+	// The dominant bin frequency should increase monotonically over the
+	// sweep (sampled away from edges).
+	prevPeak := -1
+	for fi := 1; fi < len(spec)-1; fi++ {
+		peak := 0
+		for b := 1; b < len(spec[fi]); b++ {
+			if spec[fi][b] > spec[fi][peak] {
+				peak = b
+			}
+		}
+		if prevPeak >= 0 && peak+2 < prevPeak {
+			t.Fatalf("chirp spectrogram should rise: frame %d peak %d after %d", fi, peak, prevPeak)
+		}
+		prevPeak = peak
+	}
+}
+
+func TestSpectralCentroid(t *testing.T) {
+	sr := 48000.0
+	low := Tone(500, 0.1, sr)
+	high := Tone(8000, 0.1, sr)
+	cl := SpectralCentroid(low, sr)
+	ch := SpectralCentroid(high, sr)
+	if math.Abs(cl-500) > 100 {
+		t.Errorf("500 Hz tone centroid %g", cl)
+	}
+	if math.Abs(ch-8000) > 300 {
+		t.Errorf("8 kHz tone centroid %g", ch)
+	}
+	if SpectralCentroid(nil, sr) != 0 {
+		t.Error("empty centroid should be 0")
+	}
+}
+
+func TestSpeechCentroidBelowNoise(t *testing.T) {
+	// The Fig 22 story in one number: speech concentrates low, white
+	// noise spreads flat.
+	rng := rand.New(rand.NewSource(3))
+	sr := 48000.0
+	sp := Speech(0.5, sr, rng)
+	wn := WhiteNoise(24000, rng)
+	if SpectralCentroid(sp, sr) >= SpectralCentroid(wn, sr) {
+		t.Error("speech centroid should sit below white noise")
+	}
+}
+
+func TestGoertzelMatchesFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sr := 8000.0
+	n := 1024
+	x := GaussianNoise(n, 1, rng)
+	spec := Magnitudes(FFTReal(x))
+	for _, bin := range []int{16, 100, 300} {
+		freq := float64(bin) / float64(n) * sr
+		g := Goertzel(x, freq, sr)
+		if math.Abs(g-spec[bin]) > 1e-6*math.Max(1, spec[bin]) {
+			t.Errorf("bin %d: goertzel %g vs fft %g", bin, g, spec[bin])
+		}
+	}
+	if Goertzel(nil, 100, sr) != 0 {
+		t.Error("empty goertzel should be 0")
+	}
+}
+
+func TestGoertzelDetectsTone(t *testing.T) {
+	sr := 48000.0
+	x := Tone(1500, 0.05, sr)
+	on := Goertzel(x, 1500, sr)
+	off := Goertzel(x, 4100, sr)
+	if on < 10*off {
+		t.Errorf("tone detection weak: on %g off %g", on, off)
+	}
+}

@@ -1,0 +1,99 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window shape.
+type Window int
+
+const (
+	// Rectangular is the identity window.
+	Rectangular Window = iota
+	// Hann is the raised-cosine window.
+	Hann
+	// Hamming is the Hamming window.
+	Hamming
+	// Blackman is the three-term Blackman window.
+	Blackman
+)
+
+// String returns the window's conventional name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Samples returns n samples of the window. n <= 0 yields an empty slice.
+func (w Window) Samples(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	den := float64(n - 1)
+	for i := 0; i < n; i++ {
+		t := float64(i) / den
+		switch w {
+		case Hann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Apply returns x multiplied element-wise by the window of the same length.
+func (w Window) Apply(x []float64) []float64 {
+	win := w.Samples(len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v * win[i]
+	}
+	return out
+}
+
+// Tukey returns an n-sample Tukey (tapered cosine) window with taper ratio
+// alpha in [0,1]. alpha=0 is rectangular, alpha=1 is Hann.
+func Tukey(n int, alpha float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	alpha = Clamp(alpha, 0, 1)
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	edge := alpha * float64(n-1) / 2
+	for i := 0; i < n; i++ {
+		fi := float64(i)
+		switch {
+		case edge == 0:
+			out[i] = 1
+		case fi < edge:
+			out[i] = 0.5 * (1 + math.Cos(math.Pi*(fi/edge-1)))
+		case fi > float64(n-1)-edge:
+			out[i] = 0.5 * (1 + math.Cos(math.Pi*((fi-float64(n-1))/edge+1)))
+		default:
+			out[i] = 1
+		}
+	}
+	return out
+}

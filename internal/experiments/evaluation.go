@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/hrtf"
+)
+
+// Fig17Localization reproduces Fig 17: the phone's polar angle estimated by
+// the pipeline against the overhead-camera ground truth, plus the error
+// CDF (paper: median 4.8°, rare cases up to ~15°).
+func Fig17Localization(s *Study) (*Result, error) {
+	var errs []float64
+	var scatter [][]string
+	for i := range s.Volunteers() {
+		sess, err := s.Session(i)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := s.Profile(i)
+		if err != nil {
+			return nil, err
+		}
+		for j, m := range sess.Measurements {
+			if j >= len(prof.TrackDeg) {
+				break
+			}
+			e := geom.AngleDiffDeg(prof.TrackDeg[j], m.TrueAngleDeg)
+			errs = append(errs, e)
+			if i == 0 && j%4 == 0 {
+				scatter = append(scatter, []string{
+					fmtF(m.TrueAngleDeg, 1), fmtF(prof.TrackDeg[j], 1), fmtF(e, 1),
+				})
+			}
+		}
+	}
+	sorted := append([]float64(nil), errs...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	p90 := sorted[int(0.9*float64(len(sorted)-1))]
+	maxE := sorted[len(sorted)-1]
+	text := "== Fig 17: phone localization accuracy ==\n" +
+		"(a) estimate vs ground truth (volunteer 1 subsample):\n" +
+		table([]string{"truth°", "estimate°", "error°"}, scatter) +
+		"(b) angular error CDF (deg):\n" +
+		table([]string{"percentile", "error°"}, cdfRows(errs)) +
+		fmt.Sprintf("median %.1f°, P90 %.1f°, max %.1f° over %d stops (paper: median 4.8°, rare ~15°)\n",
+			med, p90, maxE, len(errs))
+	return &Result{
+		ID:    "fig17",
+		Title: "Phone localization accuracy",
+		Text:  text,
+		Metrics: map[string]float64{
+			"median_error_deg": med,
+			"p90_error_deg":    p90,
+			"max_error_deg":    maxE,
+		},
+	}, nil
+}
+
+// corrSeries holds per-angle correlations against ground truth.
+type corrSeries struct {
+	angles []float64
+	uniqL, uniqR,
+	globL, globR,
+	gndL, gndR []float64
+}
+
+// correlationSeries computes Fig 18's per-angle correlations averaged over
+// the cohort.
+func correlationSeries(s *Study, stepDeg float64) (*corrSeries, error) {
+	global, err := s.Global()
+	if err != nil {
+		return nil, err
+	}
+	out := &corrSeries{}
+	for a := 0.0; a <= 180; a += stepDeg {
+		out.angles = append(out.angles, a)
+		out.uniqL = append(out.uniqL, 0)
+		out.uniqR = append(out.uniqR, 0)
+		out.globL = append(out.globL, 0)
+		out.globR = append(out.globR, 0)
+		out.gndL = append(out.gndL, 0)
+		out.gndR = append(out.gndR, 0)
+	}
+	n := float64(len(s.Volunteers()))
+	for i := range s.Volunteers() {
+		prof, err := s.Profile(i)
+		if err != nil {
+			return nil, err
+		}
+		gnd, err := s.GroundTruthFar(i)
+		if err != nil {
+			return nil, err
+		}
+		repeat, err := s.GroundTruthRepeat(i)
+		if err != nil {
+			return nil, err
+		}
+		for k, a := range out.angles {
+			ref, err := gnd.FarAt(a)
+			if err != nil || ref.Empty() {
+				continue
+			}
+			if uh, err := prof.Table.FarAt(a); err == nil && !uh.Empty() {
+				l, r := hrtf.Correlation(uh, ref)
+				out.uniqL[k] += l / n
+				out.uniqR[k] += r / n
+			}
+			if gh, err := global.FarAt(a); err == nil && !gh.Empty() {
+				l, r := hrtf.Correlation(gh, ref)
+				out.globL[k] += l / n
+				out.globR[k] += r / n
+			}
+			if rh, err := repeat.FarAt(a); err == nil && !rh.Empty() {
+				l, r := hrtf.Correlation(rh, ref)
+				out.gndL[k] += l / n
+				out.gndR[k] += r / n
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig18HRIRCorrelation reproduces Fig 18: per-angle correlation of the
+// UNIQ / global / repeated-ground-truth HRIRs against ground truth, for
+// both ears (paper: UNIQ ≈ 0.74/0.71, global ≈ 0.41).
+func Fig18HRIRCorrelation(s *Study) (*Result, error) {
+	series, err := correlationSeries(s, 15)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for k, a := range series.angles {
+		rows = append(rows, []string{
+			fmtF(a, 0),
+			fmtF(series.uniqL[k], 2), fmtF(series.globL[k], 2), fmtF(series.gndL[k], 2),
+			fmtF(series.uniqR[k], 2), fmtF(series.globR[k], 2), fmtF(series.gndR[k], 2),
+		})
+	}
+	meanOf := func(x []float64) float64 {
+		t := 0.0
+		for _, v := range x {
+			t += v
+		}
+		return t / float64(len(x))
+	}
+	uL, uR := meanOf(series.uniqL), meanOf(series.uniqR)
+	gL, gR := meanOf(series.globL), meanOf(series.globR)
+	ratio := (uL + uR) / (gL + gR)
+	text := "== Fig 18: HRIR correlation vs ground truth (cohort mean) ==\n" +
+		table([]string{"angle°", "UNIQ-L", "global-L", "gnd-L", "UNIQ-R", "global-R", "gnd-R"}, rows) +
+		fmt.Sprintf("means: UNIQ %.2f/%.2f (L/R), global %.2f/%.2f — personalization gain %.2fx\n",
+			uL, uR, gL, gR, ratio) +
+		"(paper: UNIQ 0.74/0.71, global 0.41 — gain ~1.75x; right ear dips near 90°)\n"
+	return &Result{
+		ID:    "fig18",
+		Title: "Personalized HRIR accuracy vs global template",
+		Text:  text,
+		Metrics: map[string]float64{
+			"uniq_left":   uL,
+			"uniq_right":  uR,
+			"global_left": gL, "global_right": gR,
+			"gain_ratio": ratio,
+		},
+	}, nil
+}
+
+// Fig19PerVolunteer reproduces Fig 19: the personalization gain holds for
+// every volunteer.
+func Fig19PerVolunteer(s *Study) (*Result, error) {
+	global, err := s.Global()
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	minGain := 99.0
+	for i := range s.Volunteers() {
+		prof, err := s.Profile(i)
+		if err != nil {
+			return nil, err
+		}
+		gnd, err := s.GroundTruthFar(i)
+		if err != nil {
+			return nil, err
+		}
+		var uL, uR, gL, gR float64
+		n := 0.0
+		for a := 0.0; a <= 180; a += 5 {
+			ref, err := gnd.FarAt(a)
+			if err != nil || ref.Empty() {
+				continue
+			}
+			uh, err1 := prof.Table.FarAt(a)
+			gh, err2 := global.FarAt(a)
+			if err1 != nil || err2 != nil || uh.Empty() || gh.Empty() {
+				continue
+			}
+			l, r := hrtf.Correlation(uh, ref)
+			uL += l
+			uR += r
+			l, r = hrtf.Correlation(gh, ref)
+			gL += l
+			gR += r
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		uL /= n
+		uR /= n
+		gL /= n
+		gR /= n
+		gain := (uL + uR) / (gL + gR)
+		if gain < minGain {
+			minGain = gain
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmtF(uL, 2), fmtF(gL, 2), fmtF(uR, 2), fmtF(gR, 2), fmtF(gain, 2),
+		})
+	}
+	text := "== Fig 19: per-volunteer mean HRIR correlation ==\n" +
+		table([]string{"volunteer", "UNIQ-L", "global-L", "UNIQ-R", "global-R", "gain"}, rows) +
+		fmt.Sprintf("minimum per-volunteer gain %.2fx (paper: gain consistent across all 5)\n", minGain)
+	return &Result{
+		ID:    "fig19",
+		Title: "Consistency across volunteers",
+		Text:  text,
+		Metrics: map[string]float64{
+			"min_gain": minGain,
+		},
+	}, nil
+}
+
+// Fig20SampleHRIRs reproduces Fig 20: best / average / worst case estimated
+// HRIRs, reported via their correlation values and first-tap alignment
+// (paper: corr 0.96 / 0.85 / 0.43; taps at correct positions even in the
+// worst case).
+func Fig20SampleHRIRs(s *Study) (*Result, error) {
+	type sample struct {
+		vol   int
+		angle float64
+		corr  float64
+		glob  float64
+		itdUs float64 // |ITD error| vs ground truth, µs
+	}
+	var all []sample
+	global, err := s.Global()
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.Volunteers() {
+		prof, err := s.Profile(i)
+		if err != nil {
+			return nil, err
+		}
+		gnd, err := s.GroundTruthFar(i)
+		if err != nil {
+			return nil, err
+		}
+		for a := 0.0; a <= 180; a += 10 {
+			ref, err := gnd.FarAt(a)
+			if err != nil || ref.Empty() {
+				continue
+			}
+			uh, err1 := prof.Table.FarAt(a)
+			gh, err2 := global.FarAt(a)
+			if err1 != nil || err2 != nil || uh.Empty() || gh.Empty() {
+				continue
+			}
+			all = append(all, sample{
+				vol:   i + 1,
+				angle: a,
+				corr:  hrtf.MeanCorrelation(uh, ref),
+				glob:  hrtf.MeanCorrelation(gh, ref),
+				itdUs: abs(uh.ITD()-ref.ITD()) * 1e6,
+			})
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("no samples")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].corr > all[j].corr })
+	pick := []struct {
+		name string
+		s    sample
+	}{
+		{"best", all[0]},
+		{"average", all[len(all)/2]},
+		{"worst", all[len(all)-1]},
+	}
+	var rows [][]string
+	for _, p := range pick {
+		rows = append(rows, []string{
+			p.name, fmt.Sprintf("%d", p.s.vol), fmtF(p.s.angle, 0),
+			fmtF(p.s.corr, 2), fmtF(p.s.glob, 2), fmtF(p.s.itdUs, 0),
+		})
+	}
+	text := "== Fig 20: sample HRIRs (best / average / worst of the cohort) ==\n" +
+		table([]string{"case", "volunteer", "angle°", "UNIQ corr", "global corr", "|ITD err| µs"}, rows) +
+		"(paper: 0.96 / 0.85 / 0.43; UNIQ decodes taps at correct positions even in the worst case)\n"
+	return &Result{
+		ID:    "fig20",
+		Title: "Example HRIRs",
+		Text:  text,
+		Metrics: map[string]float64{
+			"best_corr":    pick[0].s.corr,
+			"average_corr": pick[1].s.corr,
+			"worst_corr":   pick[2].s.corr,
+		},
+	}, nil
+}

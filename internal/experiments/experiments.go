@@ -1,0 +1,217 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (and its groundwork measurements) on the simulated testbed.
+// Each figure has a generator returning structured results plus a text
+// rendering of the same rows/series the paper plots; cmd/experiments prints
+// them and bench_test.go wraps each in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config controls experiment scale. The zero value is paper-parity
+// (5 volunteers); Fast trims trial counts for quick runs and benchmarks.
+type Config struct {
+	// SampleRate for all audio (default 48000; the paper records at
+	// 96 kHz but the pipeline is rate-agnostic).
+	SampleRate float64
+	// Volunteers is the cohort size (default 5, as in the paper).
+	Volunteers int
+	// Seed makes the whole evaluation reproducible.
+	Seed int64
+	// AoATrialsPerVolunteer is the number of random source angles per
+	// volunteer in the AoA experiments (default 12).
+	AoATrialsPerVolunteer int
+	// Fast reduces volunteer and trial counts (used by -short runs).
+	Fast bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleRate <= 0 {
+		c.SampleRate = 48000
+	}
+	if c.Volunteers <= 0 {
+		c.Volunteers = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 20210823 // SIGCOMM'21 opening day
+	}
+	if c.AoATrialsPerVolunteer <= 0 {
+		c.AoATrialsPerVolunteer = 12
+	}
+	if c.Fast {
+		if c.Volunteers > 2 {
+			c.Volunteers = 2
+		}
+		if c.AoATrialsPerVolunteer > 5 {
+			c.AoATrialsPerVolunteer = 5
+		}
+	}
+	return c
+}
+
+// Result is a generated experiment with its text rendering.
+type Result struct {
+	// ID is the paper figure identifier, e.g. "fig17".
+	ID string
+	// Title describes what the figure shows.
+	Title string
+	// Text is the printable reproduction (tables / CDF rows / series).
+	Text string
+	// Metrics exposes headline numbers for assertions and EXPERIMENTS.md
+	// (e.g. "median_error_deg").
+	Metrics map[string]float64
+}
+
+// Generator produces one figure's result.
+type Generator func(*Study) (*Result, error)
+
+// registry maps figure IDs to generators in presentation order.
+var registry = []struct {
+	id  string
+	gen Generator
+}{
+	{"fig2a", Fig2aPinnaSameUser},
+	{"fig2b", Fig2bPinnaCrossUser},
+	{"fig5", Fig5Diffraction},
+	{"fig9", Fig9ChannelIR},
+	{"fig16", Fig16FrequencyResponse},
+	{"fig17", Fig17Localization},
+	{"fig18", Fig18HRIRCorrelation},
+	{"fig19", Fig19PerVolunteer},
+	{"fig20", Fig20SampleHRIRs},
+	{"fig21", Fig21AoAKnown},
+	{"fig22", Fig22AoAUnknown},
+	{"ablation", Ablations},
+	{"ext", Extensions},
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Run generates one experiment by ID using the study's cached state.
+func Run(id string, s *Study) (*Result, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.gen(s)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+}
+
+// RunAll generates every experiment, writing each rendering to w as it
+// completes, and returns all results.
+func RunAll(s *Study, w io.Writer) ([]*Result, error) {
+	var out []*Result
+	for _, r := range registry {
+		res, err := r.gen(s)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", r.id, err)
+		}
+		if w != nil {
+			fmt.Fprintf(w, "%s\n", res.Text)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// --- text rendering helpers ---
+
+// table renders rows as fixed-width columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			s += fmt.Sprintf("%-*s  ", widths[i], c)
+		}
+		return s + "\n"
+	}
+	out := line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	out += line(sep)
+	for _, r := range rows {
+		out += line(r)
+	}
+	return out
+}
+
+// cdfRows summarizes a sample set at the standard percentiles.
+func cdfRows(samples []float64) [][]string {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	pct := func(p float64) float64 {
+		if len(s) == 0 {
+			return 0
+		}
+		idx := int(p / 100 * float64(len(s)-1))
+		return s[idx]
+	}
+	var rows [][]string
+	for _, p := range []float64{10, 25, 50, 75, 80, 90, 100} {
+		rows = append(rows, []string{fmt.Sprintf("P%.0f", p), fmt.Sprintf("%.1f", pct(p))})
+	}
+	return rows
+}
+
+// heatmap renders a small matrix with one glyph per cell, darkest for the
+// largest values — enough to see the diagonal structure of Fig 2 in text.
+func heatmap(m [][]float64) string {
+	glyphs := []byte(" .:-=+*#%@")
+	lo, hi := 1.0, 0.0
+	for _, row := range m {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	out := ""
+	for _, row := range m {
+		for _, v := range row {
+			g := int((v - lo) / span * float64(len(glyphs)-1))
+			if g < 0 {
+				g = 0
+			}
+			if g >= len(glyphs) {
+				g = len(glyphs) - 1
+			}
+			out += string(glyphs[g])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastStudy builds a small-cohort study for test runs.
+func fastStudy() *Study {
+	return NewStudy(Config{Fast: true, AoATrialsPerVolunteer: 4})
+}
+
+func TestIDsAndUnknown(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 11 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	if _, err := Run("nope", fastStudy()); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestGroundworkFigures(t *testing.T) {
+	s := fastStudy()
+	// Fig 2a: diagonal same-user matrix.
+	r, err := Run("fig2a", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["diagonality"] < 0.1 {
+		t.Errorf("same-user matrix not diagonal enough: %v", r.Metrics)
+	}
+	// Fig 2b: cross-user diagonality markedly lower.
+	r2, err := Run("fig2b", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Metrics["diagonality_cross"] > r2.Metrics["diagonality_same"]*0.7 {
+		t.Errorf("cross-user diagonality should collapse: %v", r2.Metrics)
+	}
+	// Fig 5: audio matches diffracted path better than Euclidean.
+	r5, err := Run("fig5", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.Metrics["mean_err_diffracted_cm"] >= r5.Metrics["mean_err_euclidean_cm"] {
+		t.Errorf("diffraction hypothesis should win: %v", r5.Metrics)
+	}
+	if r5.Metrics["mean_err_diffracted_cm"] > 0.5 {
+		t.Errorf("audio should match the diffracted path within ~5 mm: %v", r5.Metrics)
+	}
+	// Fig 9: taps within tens of microseconds.
+	r9, err := Run("fig9", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r9.Metrics["tap_error_left_us"] > 40 || r9.Metrics["tap_error_right_us"] > 40 {
+		t.Errorf("first-tap errors too large: %v", r9.Metrics)
+	}
+	// Fig 16: low-frequency rolloff present.
+	r16, err := Run("fig16", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.Metrics["rolloff_50hz_db"] < 3 {
+		t.Errorf("50 Hz should be clearly attenuated: %v", r16.Metrics)
+	}
+	for _, res := range []*Result{r, r2, r5, r9, r16} {
+		if !strings.Contains(res.Text, "==") || res.Title == "" {
+			t.Errorf("%s: missing rendering", res.ID)
+		}
+	}
+}
+
+func TestEvaluationFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := fastStudy()
+	r17, err := Run("fig17", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r17.Metrics["median_error_deg"] > 10 {
+		t.Errorf("localization median %.1f too large", r17.Metrics["median_error_deg"])
+	}
+	r18, err := Run("fig18", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r18.Metrics["gain_ratio"] <= 1.1 {
+		t.Errorf("personalization gain %.2f should clearly beat global", r18.Metrics["gain_ratio"])
+	}
+	if r18.Metrics["uniq_left"] <= r18.Metrics["global_left"] {
+		t.Error("UNIQ left-ear correlation should beat global")
+	}
+	r19, err := Run("fig19", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r19.Metrics["min_gain"] <= 1.0 {
+		t.Errorf("every volunteer should gain: min gain %.2f", r19.Metrics["min_gain"])
+	}
+	r20, err := Run("fig20", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r20.Metrics["best_corr"] >= r20.Metrics["average_corr"] &&
+		r20.Metrics["average_corr"] >= r20.Metrics["worst_corr"]) {
+		t.Errorf("best/average/worst ordering broken: %v", r20.Metrics)
+	}
+}
+
+func TestAoAFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := fastStudy()
+	r21, err := Run("fig21", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r21.Metrics["median_uniq_deg"] >= r21.Metrics["median_global_deg"] {
+		t.Errorf("UNIQ should beat global on known-source AoA: %v", r21.Metrics)
+	}
+	r22, err := Run("fig22", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r22.Metrics["frontback_uniq_avg"] <= r22.Metrics["frontback_global_avg"] {
+		t.Errorf("UNIQ front-back accuracy should beat global: %v", r22.Metrics)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := fastStudy()
+	r, err := Run("ablation", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["a5_rejected"] != 1 {
+		t.Error("A5: arm-droop session should be rejected")
+	}
+	if r.Metrics["a5_forced_corr"] >= r.Metrics["a5_good_corr"] {
+		t.Errorf("A5: forcing a droop sweep should cost accuracy: %v", r.Metrics)
+	}
+	if r.Metrics["a2_diffraction_us"] >= r.Metrics["a2_straightline_us"] {
+		t.Errorf("the diffraction model should explain measured delays better: %v", r.Metrics)
+	}
+	if r.Metrics["a1_fusion_deg"] > 8 {
+		t.Errorf("fusion localization median %.1f too large", r.Metrics["a1_fusion_deg"])
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := fastStudy()
+	r, err := Run("ext", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["e1_matched_corr"] <= r.Metrics["e1_horizontal_corr"] {
+		t.Errorf("3D extension should beat the 2D table at elevation: %v", r.Metrics)
+	}
+	if r.Metrics["e2_leak_after"] >= r.Metrics["e2_leak_before"] {
+		t.Errorf("the steered null should reduce interferer leakage: %v", r.Metrics)
+	}
+}
+
+func TestStudyCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run")
+	}
+	s := fastStudy()
+	a, err := s.Profile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Profile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Profile should be cached")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "333") {
+		t.Error("table rendering broken")
+	}
+	h := heatmap([][]float64{{0, 1}, {0.5, 0.5}})
+	if len(h) == 0 {
+		t.Error("heatmap empty")
+	}
+	if heatmap([][]float64{{1, 1}, {1, 1}}) == "" {
+		t.Error("flat heatmap should still render")
+	}
+}

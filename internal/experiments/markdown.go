@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteMarkdown renders a set of experiment results as a Markdown report:
+// one section per figure with its text rendering fenced as code plus a
+// metric table — the machine-written companion to EXPERIMENTS.md.
+func WriteMarkdown(w io.Writer, results []*Result, generatedAt time.Time) error {
+	if _, err := fmt.Fprintf(w, "# Experiment report\n\nGenerated %s.\n\n",
+		generatedAt.Format("2006-01-02 15:04 MST")); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "## %s — %s\n\n```\n%s```\n\n", r.ID, r.Title, r.Text); err != nil {
+			return err
+		}
+		if len(r.Metrics) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if _, err := fmt.Fprintf(w, "| metric | value |\n|---|---|\n"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "| %s | %.4g |\n", k, r.Metrics[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	results := []*Result{
+		{ID: "fig1", Title: "A figure", Text: "== rows ==\n", Metrics: map[string]float64{"b": 2, "a": 1}},
+		{ID: "fig2", Title: "No metrics", Text: "text\n"},
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, results, time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Experiment report", "## fig1 — A figure", "| a | 1 |", "| b | 2 |", "## fig2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in markdown:\n%s", want, out)
+		}
+	}
+	// Metrics are sorted: a before b.
+	if strings.Index(out, "| a |") > strings.Index(out, "| b |") {
+		t.Error("metrics should be sorted")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hrtf"
+	"repro/internal/sim"
+)
+
+// Study caches the expensive shared state of the evaluation — sessions,
+// pipeline runs, ground truths — so the figures that reuse them (17–22)
+// compute them once.
+type Study struct {
+	// Cfg is the (defaulted) configuration.
+	Cfg Config
+
+	volunteers []sim.Volunteer
+	sessions   map[int]*sim.Session
+	profiles   map[int]*core.Personalization
+	gndFar     map[int]*hrtf.Table
+	gndRepeat  map[int]*hrtf.Table
+	global     *hrtf.Table
+}
+
+// NewStudy prepares a lazily-evaluated study.
+func NewStudy(cfg Config) *Study {
+	cfg = cfg.withDefaults()
+	return &Study{
+		Cfg:        cfg,
+		volunteers: sim.Cohort(cfg.Volunteers, cfg.Seed),
+		sessions:   map[int]*sim.Session{},
+		profiles:   map[int]*core.Personalization{},
+		gndFar:     map[int]*hrtf.Table{},
+		gndRepeat:  map[int]*hrtf.Table{},
+	}
+}
+
+// Volunteers returns the cohort.
+func (s *Study) Volunteers() []sim.Volunteer { return s.volunteers }
+
+// Session returns (and caches) volunteer i's measurement session. The last
+// volunteer of the cohort performs a sloppy sweep, mirroring the paper's
+// volunteers 4–5 whose arm movement deviated from the instructions; the
+// paper keeps those sessions "since they are a part of real-world operating
+// conditions" (Fig 17's rare large errors, Fig 19's weaker volunteers).
+func (s *Study) Session(i int) (*sim.Session, error) {
+	if sess, ok := s.sessions[i]; ok {
+		return sess, nil
+	}
+	quality := sim.GestureGood
+	if i == len(s.volunteers)-1 && len(s.volunteers) > 1 {
+		quality = sim.GestureWild
+	}
+	sess, err := sim.RunSession(s.volunteers[i], sim.SessionConfig{
+		SampleRate: s.Cfg.SampleRate,
+		Quality:    quality,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("session for volunteer %d: %w", i+1, err)
+	}
+	s.sessions[i] = sess
+	return sess, nil
+}
+
+// Profile returns (and caches) volunteer i's pipeline output.
+func (s *Study) Profile(i int) (*core.Personalization, error) {
+	if p, ok := s.profiles[i]; ok {
+		return p, nil
+	}
+	sess, err := s.Session(i)
+	if err != nil {
+		return nil, err
+	}
+	in := core.SessionInput{
+		Probe:      sess.Probe,
+		SampleRate: sess.SampleRate,
+		IMU:        sess.IMU,
+		SystemIR:   sess.SystemIR,
+		SyncOffset: sess.SyncOffset,
+	}
+	for _, m := range sess.Measurements {
+		in.Stops = append(in.Stops, core.StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
+	}
+	// The study includes deviant sweeps the way the paper does, so the
+	// gesture auto-rejection is bypassed here; its behaviour is measured
+	// separately in ablation A5.
+	p, err := core.Personalize(in, core.PipelineOptions{SkipGestureCheck: true})
+	if err != nil {
+		return nil, fmt.Errorf("personalize volunteer %d: %w", i+1, err)
+	}
+	s.profiles[i] = p
+	return p, nil
+}
+
+// GroundTruthFar returns (and caches) volunteer i's reference far-field
+// HRTF at 1 degree resolution.
+func (s *Study) GroundTruthFar(i int) (*hrtf.Table, error) {
+	if t, ok := s.gndFar[i]; ok {
+		return t, nil
+	}
+	t, err := sim.MeasureGroundTruthFar(s.volunteers[i], s.Cfg.SampleRate, 1)
+	if err != nil {
+		return nil, err
+	}
+	s.gndFar[i] = t
+	return t, nil
+}
+
+// GroundTruthRepeat returns the independent second reference measurement
+// (the Fig 18 upper bound).
+func (s *Study) GroundTruthRepeat(i int) (*hrtf.Table, error) {
+	if t, ok := s.gndRepeat[i]; ok {
+		return t, nil
+	}
+	t, err := sim.RemeasureGroundTruthFar(s.volunteers[i], s.Cfg.SampleRate, 1)
+	if err != nil {
+		return nil, err
+	}
+	s.gndRepeat[i] = t
+	return t, nil
+}
+
+// Global returns (and caches) the global template.
+func (s *Study) Global() (*hrtf.Table, error) {
+	if s.global != nil {
+		return s.global, nil
+	}
+	t, err := sim.GlobalTemplateFar(s.Cfg.SampleRate, 1)
+	if err != nil {
+		return nil, err
+	}
+	s.global = t
+	return t, nil
+}

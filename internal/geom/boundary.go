@@ -1,0 +1,201 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInsideBoundary is returned when a path query is made for a point that
+// lies strictly inside the obstacle.
+var ErrInsideBoundary = errors.New("geom: point lies inside the boundary")
+
+// Boundary is a closed convex polyline (counter-clockwise vertex order) with
+// precomputed cumulative arc lengths. It models a convex obstacle — here,
+// the horizontal cross-section of a human head — around which sound
+// diffracts.
+type Boundary struct {
+	verts []Vec
+	// cum[i] is the arc length from verts[0] to verts[i] walking CCW;
+	// perim is the total perimeter.
+	cum   []float64
+	perim float64
+}
+
+// NewBoundary builds a Boundary from CCW-ordered vertices. At least 3
+// vertices are required; the polyline is assumed convex (the head model
+// guarantees this).
+func NewBoundary(verts []Vec) (*Boundary, error) {
+	if len(verts) < 3 {
+		return nil, errors.New("geom: boundary needs at least 3 vertices")
+	}
+	b := &Boundary{verts: append([]Vec(nil), verts...)}
+	b.cum = make([]float64, len(verts))
+	for i := 1; i < len(verts); i++ {
+		b.cum[i] = b.cum[i-1] + verts[i].Dist(verts[i-1])
+	}
+	b.perim = b.cum[len(verts)-1] + verts[0].Dist(verts[len(verts)-1])
+	return b, nil
+}
+
+// NumVertices returns the vertex count.
+func (b *Boundary) NumVertices() int { return len(b.verts) }
+
+// Vertex returns vertex i.
+func (b *Boundary) Vertex(i int) Vec { return b.verts[i] }
+
+// Perimeter returns the total boundary length.
+func (b *Boundary) Perimeter() float64 { return b.perim }
+
+// NearestVertex returns the index of the vertex closest to p.
+func (b *Boundary) NearestVertex(p Vec) int {
+	best, bestD := 0, math.Inf(1)
+	for i, v := range b.verts {
+		if d := v.Dist(p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Contains reports whether p lies strictly inside the boundary.
+func (b *Boundary) Contains(p Vec) bool {
+	n := len(b.verts)
+	for i := 0; i < n; i++ {
+		a := b.verts[i]
+		c := b.verts[(i+1)%n]
+		if c.Sub(a).Cross(p.Sub(a)) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// arc returns the walk length from vertex i to vertex j. ccw selects the
+// walking direction.
+func (b *Boundary) arc(i, j int, ccw bool) float64 {
+	fwd := b.cum[j] - b.cum[i]
+	if fwd < 0 {
+		fwd += b.perim
+	}
+	if ccw {
+		return fwd
+	}
+	return b.perim - fwd
+}
+
+// ArcBetween returns the CCW walk length from vertex i to vertex j.
+func (b *Boundary) ArcBetween(i, j int) float64 { return b.arc(i, j, true) }
+
+// directionEntersInterior reports whether direction d, leaving boundary
+// vertex i, points strictly into the interior.
+func (b *Boundary) directionEntersInterior(i int, d Vec) bool {
+	n := len(b.verts)
+	q := b.verts[i]
+	next := b.verts[(i+1)%n]
+	prev := b.verts[(i-1+n)%n]
+	e1 := next.Sub(q) // edge leaving q (CCW)
+	e2 := q.Sub(prev) // edge arriving at q (CCW)
+	return e1.Cross(d) > 0 && e2.Cross(d) > 0
+}
+
+// tangentVertices returns the indices of vertices that are tangent points of
+// the boundary as seen from the exterior point p: vertices whose two
+// neighbours lie on the same side of the line from p through the vertex.
+func (b *Boundary) tangentVertices(p Vec) []int {
+	n := len(b.verts)
+	var out []int
+	for i := 0; i < n; i++ {
+		v := b.verts[i]
+		d := v.Sub(p)
+		s1 := d.Cross(b.verts[(i-1+n)%n].Sub(p))
+		s2 := d.Cross(b.verts[(i+1)%n].Sub(p))
+		if s1*s2 >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Path is an exterior shortest path from a point to a boundary vertex.
+type Path struct {
+	// Length is the total geometric length of the path.
+	Length float64
+	// Direct is true when the straight segment is unobstructed.
+	Direct bool
+	// TangentIndex is the boundary vertex where the path meets the
+	// obstacle (meaningful when !Direct).
+	TangentIndex int
+	// ArcLength is the portion of Length spent creeping along the
+	// boundary (0 when Direct).
+	ArcLength float64
+}
+
+// ShortestExteriorPath returns the shortest path from exterior point p to
+// boundary vertex earIdx that does not cross the interior: either the
+// straight segment, or a tangent segment followed by an arc along the
+// boundary (the diffraction path). This is exact for convex boundaries
+// because the geodesic around a convex obstacle consists of a tangent
+// segment plus a boundary walk.
+func (b *Boundary) ShortestExteriorPath(p Vec, earIdx int) (Path, error) {
+	if b.Contains(p) {
+		return Path{}, ErrInsideBoundary
+	}
+	ear := b.verts[earIdx]
+	d := p.Sub(ear)
+	if !b.directionEntersInterior(earIdx, d) {
+		return Path{Length: p.Dist(ear), Direct: true}, nil
+	}
+	best := Path{Length: math.Inf(1)}
+	for _, ti := range b.tangentVertices(p) {
+		t := b.verts[ti]
+		seg := p.Dist(t)
+		for _, ccw := range []bool{true, false} {
+			arc := b.arc(ti, earIdx, ccw)
+			if l := seg + arc; l < best.Length {
+				best = Path{Length: l, TangentIndex: ti, ArcLength: arc}
+			}
+		}
+	}
+	if math.IsInf(best.Length, 1) {
+		// Degenerate (p on the boundary): fall back to direct distance.
+		return Path{Length: p.Dist(ear), Direct: true}, nil
+	}
+	return best, nil
+}
+
+// FarFieldPath returns the extra path length (relative to a plane wavefront
+// through the origin) travelled by a parallel wave arriving from polar angle
+// theta (radians, see Vec.PolarAngle) to reach boundary vertex earIdx, along
+// with the creeping-arc component. Negative values mean the vertex is hit
+// before the wavefront reaches the origin plane.
+func (b *Boundary) FarFieldPath(theta float64, earIdx int) (extra, arc float64) {
+	u := FromPolar(theta, 1) // unit vector pointing toward the source
+	ear := b.verts[earIdx]
+	if !b.directionEntersInterior(earIdx, u) {
+		// Lit: the ray reaches the ear directly.
+		return -ear.Dot(u), 0
+	}
+	// Shadowed: the wave grazes a silhouette vertex (boundary tangent
+	// parallel to the propagation direction) then creeps to the ear.
+	n := len(b.verts)
+	bestExtra, bestArc := math.Inf(1), 0.0
+	for i := 0; i < n; i++ {
+		v := b.verts[i]
+		s1 := u.Cross(b.verts[(i-1+n)%n].Sub(v))
+		s2 := u.Cross(b.verts[(i+1)%n].Sub(v))
+		if s1*s2 < 0 {
+			continue // not a silhouette vertex
+		}
+		for _, ccw := range []bool{true, false} {
+			a := b.arc(i, earIdx, ccw)
+			e := -v.Dot(u) + a
+			if e < bestExtra {
+				bestExtra, bestArc = e, a
+			}
+		}
+	}
+	if math.IsInf(bestExtra, 1) {
+		return -ear.Dot(u), 0
+	}
+	return bestExtra, bestArc
+}

@@ -1,0 +1,207 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// circleBoundary builds an n-vertex regular polygon approximating a circle
+// of radius r.
+func circleBoundary(t *testing.T, r float64, n int) *Boundary {
+	t.Helper()
+	verts := make([]Vec, n)
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		verts[i] = FromPolar(theta, r)
+	}
+	b, err := NewBoundary(verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBoundaryErrors(t *testing.T) {
+	if _, err := NewBoundary([]Vec{{0, 0}, {1, 1}}); err == nil {
+		t.Error("two vertices should fail")
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := circleBoundary(t, 1, 256)
+	if !b.Contains(Vec{0, 0}) {
+		t.Error("center should be inside")
+	}
+	if !b.Contains(Vec{0.5, 0.5}) {
+		t.Error("interior point should be inside")
+	}
+	if b.Contains(Vec{1.5, 0}) {
+		t.Error("exterior point should be outside")
+	}
+	if b.Contains(Vec{0, -2}) {
+		t.Error("exterior point should be outside")
+	}
+}
+
+func TestPerimeterOfCircle(t *testing.T) {
+	b := circleBoundary(t, 1, 2048)
+	if math.Abs(b.Perimeter()-2*math.Pi) > 1e-3 {
+		t.Errorf("perimeter %g, want ~2pi", b.Perimeter())
+	}
+}
+
+func TestDirectPathWhenVisible(t *testing.T) {
+	b := circleBoundary(t, 1, 1024)
+	// Ear vertex at theta=pi/2 is (-1, 0) (index 256 of 1024).
+	ear := 256
+	p := Vec{-2, 0} // straight out from the ear
+	path, err := b.ShortestExteriorPath(p, ear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !path.Direct {
+		t.Fatal("path should be direct")
+	}
+	if math.Abs(path.Length-1) > 1e-9 {
+		t.Errorf("direct length %g, want 1", path.Length)
+	}
+}
+
+func TestDiffractedPathAroundCircle(t *testing.T) {
+	// Source on the +X side, target vertex at (-1, 0): the geodesic
+	// around a unit circle from (d, 0) to (-1, 0) is the tangent length
+	// sqrt(d^2-1) plus the arc from the tangent point to the target.
+	b := circleBoundary(t, 1, 4096)
+	ear := b.NearestVertex(Vec{-1, 0})
+	d := 3.0
+	p := Vec{d, 0}
+	path, err := b.ShortestExteriorPath(p, ear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Direct {
+		t.Fatal("path should be diffracted")
+	}
+	tangentLen := math.Sqrt(d*d - 1)
+	// Tangent point angle from +X axis: acos(1/d); arc from there to pi.
+	arcLen := math.Pi - math.Acos(1/d)
+	want := tangentLen + arcLen
+	if math.Abs(path.Length-want) > 2e-3 {
+		t.Errorf("geodesic length %g, want %g", path.Length, want)
+	}
+	if math.Abs(path.ArcLength-arcLen) > 2e-3 {
+		t.Errorf("arc length %g, want %g", path.ArcLength, arcLen)
+	}
+}
+
+func TestPathInsideErrors(t *testing.T) {
+	b := circleBoundary(t, 1, 256)
+	if _, err := b.ShortestExteriorPath(Vec{0, 0}, 0); err != ErrInsideBoundary {
+		t.Errorf("expected ErrInsideBoundary, got %v", err)
+	}
+}
+
+func TestPathAtLeastEuclidean(t *testing.T) {
+	// The exterior geodesic can never be shorter than the straight line.
+	b := circleBoundary(t, 0.8, 512)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		theta := rng.Float64() * 2 * math.Pi
+		r := 1.0 + 3*rng.Float64()
+		p := FromPolar(theta, r)
+		ear := rng.Intn(b.NumVertices())
+		path, err := b.ShortestExteriorPath(p, ear)
+		if err != nil {
+			return false
+		}
+		return path.Length >= p.Dist(b.Vertex(ear))-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathContinuity(t *testing.T) {
+	// Sliding the source smoothly should change the path length smoothly,
+	// including across the lit/shadow transition.
+	b := circleBoundary(t, 1, 4096)
+	ear := b.NearestVertex(Vec{-1, 0})
+	prev := -1.0
+	for deg := 0.0; deg <= 360; deg += 0.5 {
+		p := FromPolar(deg*math.Pi/180, 2)
+		path, err := b.ShortestExteriorPath(p, ear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 {
+			if math.Abs(path.Length-prev) > 0.03 {
+				t.Fatalf("path length jumped from %g to %g at %g deg", prev, path.Length, deg)
+			}
+		}
+		prev = path.Length
+	}
+}
+
+func TestFarFieldLitVsShadow(t *testing.T) {
+	b := circleBoundary(t, 1, 4096)
+	left := b.NearestVertex(Vec{-1, 0})
+	right := b.NearestVertex(Vec{1, 0})
+	// Wave from the left (theta=pi/2 direction): left vertex lit, right
+	// shadowed.
+	extraL, arcL := b.FarFieldPath(math.Pi/2, left)
+	extraR, arcR := b.FarFieldPath(math.Pi/2, right)
+	if arcL != 0 {
+		t.Errorf("lit vertex has arc %g", arcL)
+	}
+	if math.Abs(extraL+1) > 1e-6 {
+		t.Errorf("lit vertex extra %g, want -1 (one radius early)", extraL)
+	}
+	if arcR <= 0 {
+		t.Fatal("shadowed vertex should creep")
+	}
+	// Creeping geodesic for plane wave onto a circle: tangent point at
+	// (0, ±1), extra = 0 (tangent point on the wavefront plane) + arc
+	// pi/2.
+	if math.Abs(extraR-math.Pi/2) > 1e-2 {
+		t.Errorf("shadow extra %g, want ~pi/2", extraR)
+	}
+	if extraR <= extraL {
+		t.Error("shadowed ear must receive later than lit ear")
+	}
+}
+
+func TestFarFieldContinuityOverAngle(t *testing.T) {
+	b := circleBoundary(t, 1, 4096)
+	ear := b.NearestVertex(Vec{1, 0})
+	prev := math.Inf(1)
+	for deg := 0.0; deg <= 360; deg += 0.5 {
+		extra, _ := b.FarFieldPath(deg*math.Pi/180, ear)
+		if !math.IsInf(prev, 1) && math.Abs(extra-prev) > 0.03 {
+			t.Fatalf("far-field extra jumped from %g to %g at %g deg", prev, extra, deg)
+		}
+		prev = extra
+	}
+}
+
+func TestArcBetween(t *testing.T) {
+	b := circleBoundary(t, 1, 4096)
+	i := b.NearestVertex(Vec{0, 1})
+	j := b.NearestVertex(Vec{-1, 0})
+	// CCW from front (0,1) to left (-1,0) is a quarter turn.
+	if got := b.ArcBetween(i, j); math.Abs(got-math.Pi/2) > 1e-2 {
+		t.Errorf("CCW arc %g, want pi/2", got)
+	}
+	if got := b.ArcBetween(j, i); math.Abs(got-3*math.Pi/2) > 1e-2 {
+		t.Errorf("CCW arc %g, want 3pi/2", got)
+	}
+}
+
+func TestNearestVertex(t *testing.T) {
+	b := circleBoundary(t, 1, 8)
+	idx := b.NearestVertex(Vec{0, 1.1})
+	if b.Vertex(idx).Dist(Vec{0, 1}) > 1e-9 {
+		t.Errorf("nearest vertex %v", b.Vertex(idx))
+	}
+}

@@ -1,0 +1,68 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFarFieldIsLimitOfNearField cross-validates the two independent path
+// computations: the far-field (parallel-ray) extra distance must equal the
+// limit of the exterior geodesic from a very distant point source, minus
+// the source distance. This ties FarFieldPath and ShortestExteriorPath to
+// the same physics.
+func TestFarFieldIsLimitOfNearField(t *testing.T) {
+	b := circleBoundary(t, 0.09, 2048) // head-sized circle
+	const far = 500.0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		theta := rng.Float64() * 2 * math.Pi
+		earIdx := rng.Intn(b.NumVertices())
+		extra, _ := b.FarFieldPath(theta, earIdx)
+		src := FromPolar(theta, far)
+		path, err := b.ShortestExteriorPath(src, earIdx)
+		if err != nil {
+			return false
+		}
+		nearExtra := path.Length - far
+		// At 500 m the residual curvature error is sub-millimetre.
+		return math.Abs(nearExtra-extra) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFarFieldSymmetry: for a circle, the far-field extra distance is
+// invariant when both the wave direction and the target rotate together.
+func TestFarFieldSymmetry(t *testing.T) {
+	b := circleBoundary(t, 0.09, 2048)
+	n := b.NumVertices()
+	base, _ := b.FarFieldPath(0, 0)
+	for _, rot := range []int{n / 8, n / 4, n / 2} {
+		theta := 2 * math.Pi * float64(rot) / float64(n)
+		got, _ := b.FarFieldPath(theta, rot)
+		if math.Abs(got-base) > 1e-6 {
+			t.Errorf("rotation by %d broke symmetry: %g vs %g", rot, got, base)
+		}
+	}
+}
+
+// TestShadowArcGrowsWithDepth: the farther the target sits behind the
+// silhouette, the longer the creeping arc.
+func TestShadowArcGrowsWithDepth(t *testing.T) {
+	b := circleBoundary(t, 0.09, 2048)
+	// Wave propagating toward +X (source on the -X side, polar angle
+	// pi/2); the deepest shadow point is (r, 0) at polar angle 3pi/2.
+	// Targets approaching it from the silhouette must creep further.
+	prev := -1.0
+	for _, frac := range []float64{0.55, 0.60, 0.65, 0.70, 0.745} {
+		idx := b.NearestVertex(FromPolar(2*math.Pi*frac, 0.09))
+		_, arc := b.FarFieldPath(math.Pi/2, idx)
+		if arc <= prev {
+			t.Fatalf("arc should grow toward the deep shadow: %g after %g at frac %g", arc, prev, frac)
+		}
+		prev = arc
+	}
+}

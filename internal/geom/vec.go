@@ -1,0 +1,109 @@
+// Package geom provides the 2-D computational geometry substrate for the
+// head-diffraction model: vectors, polar coordinates, the two-half-ellipse
+// head boundary, convex polyline tangents, and exact shortest exterior
+// ("creeping wave") paths around convex obstacles.
+//
+// Coordinate convention, shared with the rest of the repository: the head
+// center is the origin, +Y points out of the nose (front), +X points out of
+// the right ear. Polar angle θ is measured in radians from the +Y (nose)
+// axis, increasing toward the left ear (counter-clockwise seen from above),
+// so θ=0 is straight ahead, θ=π/2 is the left ear side, θ=π is behind the
+// head. This matches the paper's [0°,180°] sweep with the source on the
+// user's left.
+package geom
+
+import "math"
+
+// Vec is a 2-D vector / point.
+type Vec struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{v.X * k, v.Y * k} }
+
+// Dot returns the dot product of v and w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the 3-D cross product of v and w.
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v scaled to unit length (zero vector unchanged).
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// PolarAngle returns the polar angle θ of v in [0, 2π): the angle from the
+// +Y (nose) axis increasing counter-clockwise (toward +(-X)... i.e. toward
+// the left-ear side first, matching the paper's sweep direction).
+func (v Vec) PolarAngle() float64 {
+	// atan2 measured from +Y toward -X: θ = atan2(-x, y).
+	a := math.Atan2(-v.X, v.Y)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// FromPolar builds the point at polar angle theta (see PolarAngle) and
+// radius r.
+func FromPolar(theta, r float64) Vec {
+	return Vec{X: -r * math.Sin(theta), Y: r * math.Cos(theta)}
+}
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// NormalizeAngle wraps an angle in radians to [0, 2π).
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the smallest absolute difference between two angles in
+// radians, in [0, π].
+func AngleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d < 0 {
+		d += 2 * math.Pi
+	}
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+// AngleDiffDeg returns the smallest absolute difference between two angles
+// in degrees, in [0, 180].
+func AngleDiffDeg(a, b float64) float64 {
+	d := math.Mod(a-b, 360)
+	if d < 0 {
+		d += 360
+	}
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}

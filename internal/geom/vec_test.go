@@ -1,0 +1,102 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecOps(t *testing.T) {
+	a := Vec{1, 2}
+	b := Vec{3, -1}
+	if got := a.Add(b); got != (Vec{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 1 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := a.Cross(b); got != -7 {
+		t.Errorf("Cross = %g", got)
+	}
+	if got := (Vec{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := a.Dist(b); math.Abs(got-math.Sqrt(13)) > 1e-12 {
+		t.Errorf("Dist = %g", got)
+	}
+	u := (Vec{0, 2}).Unit()
+	if math.Abs(u.Norm()-1) > 1e-12 {
+		t.Errorf("Unit norm = %g", u.Norm())
+	}
+	if (Vec{}).Unit() != (Vec{}) {
+		t.Error("zero Unit should stay zero")
+	}
+}
+
+func TestPolarRoundTrip(t *testing.T) {
+	f := func(rawTheta, rawR float64) bool {
+		theta := math.Mod(math.Abs(rawTheta), 2*math.Pi)
+		r := 0.1 + math.Mod(math.Abs(rawR), 10)
+		p := FromPolar(theta, r)
+		if math.Abs(p.Norm()-r) > 1e-9 {
+			return false
+		}
+		return AngleDiff(p.PolarAngle(), theta) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolarConvention(t *testing.T) {
+	// theta=0 is the nose (+Y), theta=pi/2 is the left ear (-X).
+	front := FromPolar(0, 1)
+	if math.Abs(front.X) > 1e-12 || math.Abs(front.Y-1) > 1e-12 {
+		t.Errorf("front = %v, want (0,1)", front)
+	}
+	left := FromPolar(math.Pi/2, 1)
+	if math.Abs(left.X+1) > 1e-12 || math.Abs(left.Y) > 1e-12 {
+		t.Errorf("left = %v, want (-1,0)", left)
+	}
+	back := FromPolar(math.Pi, 1)
+	if math.Abs(back.Y+1) > 1e-12 {
+		t.Errorf("back = %v, want (0,-1)", back)
+	}
+	right := FromPolar(3*math.Pi/2, 1)
+	if math.Abs(right.X-1) > 1e-12 {
+		t.Errorf("right = %v, want (1,0)", right)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if d := AngleDiff(0.1, 2*math.Pi-0.1); math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("wraparound AngleDiff = %g, want 0.2", d)
+	}
+	if d := AngleDiffDeg(10, 350); math.Abs(d-20) > 1e-12 {
+		t.Errorf("AngleDiffDeg = %g, want 20", d)
+	}
+	if d := AngleDiffDeg(0, 180); math.Abs(d-180) > 1e-12 {
+		t.Errorf("AngleDiffDeg = %g, want 180", d)
+	}
+}
+
+func TestDegreesRadians(t *testing.T) {
+	if math.Abs(Degrees(math.Pi)-180) > 1e-12 {
+		t.Error("Degrees wrong")
+	}
+	if math.Abs(Radians(90)-math.Pi/2) > 1e-12 {
+		t.Error("Radians wrong")
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	if got := NormalizeAngle(-math.Pi / 2); math.Abs(got-3*math.Pi/2) > 1e-12 {
+		t.Errorf("NormalizeAngle(-pi/2) = %g", got)
+	}
+	if got := NormalizeAngle(5 * math.Pi); math.Abs(got-math.Pi) > 1e-12 {
+		t.Errorf("NormalizeAngle(5pi) = %g", got)
+	}
+}

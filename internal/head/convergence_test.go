@@ -1,0 +1,149 @@
+package head
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestNearFieldConvergesToFarField verifies the physics linking the two
+// halves of the model: as a point source recedes along a fixed angle, the
+// near-field interaural delay must converge to the far-field ITD — this is
+// exactly the premise of the paper's near-far conversion (§4.3).
+func TestNearFieldConvergesToFarField(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deg := range []float64{20, 55, 90, 125, 160} {
+		farITD := m.FarFieldITD(deg)
+		prevErr := math.Inf(1)
+		for _, r := range []float64{0.3, 1, 3, 10, 40} {
+			p := geom.FromPolar(geom.Radians(deg), r)
+			near, err := m.RelativeDelay(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := math.Abs(near - farITD)
+			if e > prevErr+1e-9 {
+				t.Fatalf("%g deg: ITD error grew with distance (%g -> %g at r=%g)", deg, prevErr, e, r)
+			}
+			prevErr = e
+		}
+		if prevErr > 3e-6 {
+			t.Errorf("%g deg: 40 m source ITD should match far field within 3 µs, off by %g s", deg, prevErr)
+		}
+	}
+}
+
+// TestNearFieldLevelDifferenceConverges does the same for the interaural
+// attenuation ratio.
+func TestNearFieldLevelDifferenceConverges(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := 70.0
+	far := m.FarField(deg, Left).Attenuation / m.FarField(deg, Right).Attenuation
+	p := geom.FromPolar(geom.Radians(deg), 40)
+	l, err := m.PathTo(p, Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.PathTo(p, Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := l.Attenuation / r.Attenuation
+	if math.Abs(math.Log(near/far)) > 0.05 {
+		t.Errorf("distant-source ILD ratio %g should approach far-field %g", near, far)
+	}
+}
+
+// TestNearFieldILDExceedsFarField checks the defining near-field property
+// the paper's Fig 7 illustrates: close sources produce more extreme
+// interaural differences than far ones at the same angle.
+func TestNearFieldILDExceedsFarField(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := 90.0
+	close := geom.FromPolar(geom.Radians(deg), 0.25)
+	farP := geom.FromPolar(geom.Radians(deg), 10)
+	ratio := func(p geom.Vec) float64 {
+		l, err1 := m.PathTo(p, Left)
+		r, err2 := m.PathTo(p, Right)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		return l.Attenuation / r.Attenuation
+	}
+	if ratio(close) <= ratio(farP) {
+		t.Errorf("near-field ILD ratio (%g) should exceed far-field (%g)", ratio(close), ratio(farP))
+	}
+	// And the near ITD magnitude exceeds the far ITD at the same angle.
+	nearITD, err := m.RelativeDelay(close)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nearITD) <= math.Abs(m.FarFieldITD(deg)) {
+		t.Errorf("near ITD %g should exceed far ITD %g in magnitude", nearITD, m.FarFieldITD(deg))
+	}
+}
+
+// TestTriangleInequalityOnPaths: going through any intermediate exterior
+// point can never beat the geodesic.
+func TestTriangleInequalityOnPaths(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := newRand(seed)
+		a := geom.FromPolar(rng.Float64()*2*math.Pi, 0.25+rng.Float64())
+		via := geom.FromPolar(rng.Float64()*2*math.Pi, 0.25+rng.Float64())
+		pa, err1 := m.PathTo(a, Left)
+		pv, err2 := m.PathTo(via, Left)
+		if err1 != nil || err2 != nil {
+			return true // skip degenerate draws
+		}
+		// Geodesic from a must be <= straight hop to via + geodesic from
+		// via.
+		return pa.Distance <= a.Dist(via)+pv.Distance+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResolutionInvariance: the path lengths must not depend materially on
+// the boundary tessellation density.
+func TestResolutionInvariance(t *testing.T) {
+	p := DefaultParams()
+	coarse, err := NewWithResolution(p, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := NewWithResolution(p, 1440)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for deg := 0.0; deg < 360; deg += 15 {
+		pos := geom.FromPolar(geom.Radians(deg), 0.3)
+		a, err1 := coarse.PathTo(pos, Right)
+		b, err2 := fine.PathTo(pos, Right)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(a.Distance-b.Distance) > 5e-4 {
+			t.Errorf("%g deg: coarse %g vs fine %g", deg, a.Distance, b.Distance)
+		}
+	}
+}
+
+// newRand is a tiny helper for quick-check seeds.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,230 @@
+package head
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{A: 0, B: 0.07, C: 0.09},
+		{A: -0.1, B: 0.07, C: 0.09},
+		{A: 0.3, B: 0.07, C: 0.09},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %v should be invalid", p)
+		}
+	}
+}
+
+func TestEarPositions(t *testing.T) {
+	m := testModel(t)
+	p := m.Params()
+	l := m.EarPosition(Left)
+	r := m.EarPosition(Right)
+	if math.Abs(l.X+p.B) > 1e-9 || math.Abs(l.Y) > 1e-9 {
+		t.Errorf("left ear at %v, want (-%g, 0)", l, p.B)
+	}
+	if math.Abs(r.X-p.B) > 1e-9 || math.Abs(r.Y) > 1e-9 {
+		t.Errorf("right ear at %v, want (%g, 0)", r, p.B)
+	}
+}
+
+func TestBoundaryDimensions(t *testing.T) {
+	m := testModel(t)
+	p := m.Params()
+	nose := m.SurfacePoint(0)
+	if math.Abs(nose.Y-p.A) > 1e-6 {
+		t.Errorf("nose at %v, want y=%g", nose, p.A)
+	}
+	back := m.SurfacePoint(180)
+	if math.Abs(back.Y+p.C) > 1e-6 {
+		t.Errorf("back at %v, want y=-%g", back, p.C)
+	}
+}
+
+func TestPathDirectVsDiffracted(t *testing.T) {
+	m := testModel(t)
+	// Source on the left: left ear direct, right ear diffracted.
+	src := geom.Vec{X: -0.4, Y: 0}
+	l, err := m.PathTo(src, Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.PathTo(src, Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Diffracted {
+		t.Error("left ear should see the source directly")
+	}
+	if !r.Diffracted {
+		t.Error("right ear should be shadowed")
+	}
+	if r.Distance <= l.Distance {
+		t.Error("shadowed path must be longer")
+	}
+	if r.Attenuation >= l.Attenuation {
+		t.Error("shadowed path must be more attenuated")
+	}
+	// The diffracted path must exceed the Euclidean distance (the key
+	// groundwork fact of Fig 5).
+	euc := src.Dist(m.EarPosition(Right))
+	if r.Distance <= euc {
+		t.Errorf("diffracted %g must exceed Euclidean %g", r.Distance, euc)
+	}
+}
+
+func TestRelativeDelaySign(t *testing.T) {
+	m := testModel(t)
+	// Source on the left: left ear hears first, so (left - right) < 0.
+	d, err := m.RelativeDelay(geom.Vec{X: -0.3, Y: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d >= 0 {
+		t.Errorf("relative delay %g, want negative for left source", d)
+	}
+	// Symmetric front source: delays nearly equal.
+	d, err = m.RelativeDelay(geom.Vec{X: 0, Y: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d) > 20e-6 {
+		t.Errorf("front-source relative delay %g, want ~0", d)
+	}
+}
+
+func TestRelativeDelayMonotonicOverAngle(t *testing.T) {
+	// Sweeping a near-field source from front (0 deg) to the left (90
+	// deg), the left ear advantage should grow.
+	m := testModel(t)
+	r := 0.35
+	prev := math.Inf(1)
+	for deg := 0.0; deg <= 90; deg += 5 {
+		p := geom.FromPolar(geom.Radians(deg), r)
+		d, err := m.RelativeDelay(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(prev, 1) && d > prev+1e-9 {
+			t.Fatalf("relative delay not decreasing at %g deg: %g -> %g", deg, prev, d)
+		}
+		prev = d
+	}
+}
+
+func TestFarFieldITDRange(t *testing.T) {
+	m := testModel(t)
+	// Human ITDs peak around 0.6-0.8 ms at +-90 deg.
+	itd := m.FarFieldITD(90)
+	if itd >= 0 {
+		t.Errorf("ITD at 90 deg (left) should favour left ear, got %g", itd)
+	}
+	if a := math.Abs(itd); a < 3e-4 || a > 1e-3 {
+		t.Errorf("|ITD| at 90 deg = %g s, want 0.3-1 ms", a)
+	}
+	// Front arrival: near-zero ITD.
+	if a := math.Abs(m.FarFieldITD(0)); a > 2e-5 {
+		t.Errorf("front ITD %g, want ~0", a)
+	}
+}
+
+func TestFarFieldShadowing(t *testing.T) {
+	m := testModel(t)
+	l := m.FarField(90, Left)
+	r := m.FarField(90, Right)
+	if l.Shadowed {
+		t.Error("left ear lit for a left source")
+	}
+	if !r.Shadowed {
+		t.Error("right ear shadowed for a left source")
+	}
+	if r.Attenuation >= l.Attenuation {
+		t.Error("shadowed attenuation must be stronger")
+	}
+}
+
+func TestPathToInsideFails(t *testing.T) {
+	m := testModel(t)
+	if _, err := m.PathTo(geom.Vec{X: 0, Y: 0}, Left); err == nil {
+		t.Error("path from inside the head should fail")
+	}
+}
+
+func TestPathSymmetryMirror(t *testing.T) {
+	// Mirroring the source across the Y axis must swap ear paths.
+	m := testModel(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := rng.Float64() * 360
+		r := 0.2 + 0.4*rng.Float64()
+		p := geom.FromPolar(geom.Radians(deg), r)
+		q := geom.Vec{X: -p.X, Y: p.Y}
+		lp, err1 := m.PathTo(p, Left)
+		rq, err2 := m.PathTo(q, Right)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(lp.Distance-rq.Distance) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayDependsOnHeadSize(t *testing.T) {
+	small, err := New(Params{A: 0.08, B: 0.065, C: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := New(Params{A: 0.11, B: 0.085, C: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, l := math.Abs(small.FarFieldITD(90)), math.Abs(large.FarFieldITD(90)); s >= l {
+		t.Errorf("larger head should have larger ITD: small %g, large %g", s, l)
+	}
+}
+
+func TestSurfaceArcBetween(t *testing.T) {
+	m := testModel(t)
+	arc := m.SurfaceArcBetween(0, 0)
+	if arc > 1e-6 {
+		t.Errorf("zero-angle arc %g", arc)
+	}
+	quarter := m.SurfaceArcBetween(0, 90)
+	if quarter <= 0 || quarter > 0.3 {
+		t.Errorf("quarter arc %g out of plausible range", quarter)
+	}
+}
+
+func TestEarString(t *testing.T) {
+	if Left.String() != "left" || Right.String() != "right" {
+		t.Error("Ear.String wrong")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := DefaultParams().String()
+	if s == "" {
+		t.Error("empty params string")
+	}
+}

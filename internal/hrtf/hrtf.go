@@ -1,0 +1,249 @@
+// Package hrtf defines the head-related transfer function data model shared
+// by the whole repository: binaural impulse-response pairs (HRIRs),
+// angle-indexed tables with the paper's §4.4 near/far lookup interface,
+// similarity metrics used in the evaluation (Figs 18–20), binaural
+// rendering, and JSON serialization so personalized tables can be exported
+// to applications.
+package hrtf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// HRIR is one binaural head-related impulse response pair.
+type HRIR struct {
+	// Left and Right are the per-ear impulse responses, sharing a time
+	// origin.
+	Left  []float64 `json:"left"`
+	Right []float64 `json:"right"`
+	// SampleRate in Hz.
+	SampleRate float64 `json:"sampleRate"`
+}
+
+// Clone deep-copies the HRIR.
+func (h HRIR) Clone() HRIR {
+	return HRIR{
+		Left:       append([]float64(nil), h.Left...),
+		Right:      append([]float64(nil), h.Right...),
+		SampleRate: h.SampleRate,
+	}
+}
+
+// Empty reports whether the HRIR carries no data.
+func (h HRIR) Empty() bool { return len(h.Left) == 0 && len(h.Right) == 0 }
+
+// ITD returns the interaural time difference (left first-tap delay minus
+// right first-tap delay, seconds) measured from the impulse responses.
+func (h HRIR) ITD() float64 {
+	li, _ := dsp.FirstPeak(h.Left, 0.3)
+	ri, _ := dsp.FirstPeak(h.Right, 0.3)
+	if li < 0 || ri < 0 || h.SampleRate <= 0 {
+		return 0
+	}
+	return (li - ri) / h.SampleRate
+}
+
+// Render applies the HRIR to a mono signal, producing the binaural pair an
+// earphone would play (§4.4: Y = H·S per ear).
+func (h HRIR) Render(s []float64) (left, right []float64) {
+	return dsp.Convolve(s, h.Left), dsp.Convolve(s, h.Right)
+}
+
+// Correlation is the paper's HRIR similarity metric: the peak normalized
+// cross-correlation against a reference, computed per ear.
+func Correlation(a, b HRIR) (left, right float64) {
+	left, _ = dsp.NormXCorrPeak(a.Left, b.Left)
+	right, _ = dsp.NormXCorrPeak(a.Right, b.Right)
+	return left, right
+}
+
+// MeanCorrelation averages the two ears' correlations.
+func MeanCorrelation(a, b HRIR) float64 {
+	l, r := Correlation(a, b)
+	return (l + r) / 2
+}
+
+// BinauralCorrelation correlates two HRIRs jointly: both ears share a
+// single alignment lag, so interaural-delay errors lower the score even
+// when each ear's shape matches. This is the right metric for comparisons
+// where the interaural geometry is the quantity under test (e.g. the
+// near-vs-far ablation).
+func BinauralCorrelation(a, b HRIR) float64 {
+	num := dsp.Add(dsp.XCorr(a.Left, b.Left), dsp.XCorr(a.Right, b.Right))
+	den := math.Sqrt((dsp.Energy(a.Left) + dsp.Energy(a.Right)) * (dsp.Energy(b.Left) + dsp.Energy(b.Right)))
+	if den == 0 {
+		return 0
+	}
+	best := 0.0
+	for _, v := range num {
+		if v > best {
+			best = v
+		}
+	}
+	return best / den
+}
+
+// AlignTo returns a copy of x fractionally delayed/advanced so its first
+// significant peak lands at targetIdx (samples). Inputs whose first peak is
+// missing are returned unchanged. Alignment before interpolation prevents
+// the spurious-echo artifact the paper warns about (§4.2).
+func AlignTo(x []float64, targetIdx float64) []float64 {
+	idx, _ := dsp.FirstPeak(x, 0.3)
+	if idx < 0 {
+		return append([]float64(nil), x...)
+	}
+	shift := targetIdx - idx
+	if math.Abs(shift) < 1e-6 {
+		return append([]float64(nil), x...)
+	}
+	if shift > 0 {
+		out := dsp.FractionalDelay(x, shift)
+		return dsp.ZeroPad(out, len(x))
+	}
+	// Advance: delay by the fractional part after dropping whole samples.
+	drop := int(math.Ceil(-shift))
+	frac := float64(drop) + shift // in [0,1)
+	if drop >= len(x) {
+		return make([]float64, len(x))
+	}
+	out := dsp.FractionalDelay(x[drop:], frac)
+	return dsp.ZeroPad(out, len(x))
+}
+
+// Table is the §4.4 application interface: for each angle θ the exported
+// personalization carries near-field and far-field HRIR pairs.
+type Table struct {
+	// SampleRate in Hz, shared by every entry.
+	SampleRate float64 `json:"sampleRate"`
+	// AngleStep is the angular spacing of entries in degrees.
+	AngleStep float64 `json:"angleStep"`
+	// MinAngle is the angle of entry 0 in degrees.
+	MinAngle float64 `json:"minAngle"`
+	// Near and Far hold one HRIR per angle; either may be empty if only
+	// one field was estimated.
+	Near []HRIR `json:"near"`
+	Far  []HRIR `json:"far"`
+}
+
+// ErrAngleOutOfRange is returned for lookups outside the table's span.
+var ErrAngleOutOfRange = errors.New("hrtf: angle outside table range")
+
+// NewTable allocates a table spanning [minAngle, minAngle+step*(n-1)]
+// degrees.
+func NewTable(sampleRate, minAngle, step float64, n int) *Table {
+	return &Table{
+		SampleRate: sampleRate,
+		AngleStep:  step,
+		MinAngle:   minAngle,
+		Near:       make([]HRIR, n),
+		Far:        make([]HRIR, n),
+	}
+}
+
+// NumAngles returns the number of angular entries.
+func (t *Table) NumAngles() int { return len(t.Near) }
+
+// Angle returns the angle in degrees of entry i.
+func (t *Table) Angle(i int) float64 { return t.MinAngle + float64(i)*t.AngleStep }
+
+// MaxAngle returns the largest tabulated angle.
+func (t *Table) MaxAngle() float64 { return t.Angle(t.NumAngles() - 1) }
+
+// index returns the nearest entry index for an angle.
+func (t *Table) index(angleDeg float64) (int, error) {
+	if t.AngleStep <= 0 || t.NumAngles() == 0 {
+		return 0, errors.New("hrtf: empty table")
+	}
+	i := int(math.Round((angleDeg - t.MinAngle) / t.AngleStep))
+	if i < 0 || i >= t.NumAngles() {
+		return 0, fmt.Errorf("%w: %.1f not in [%.1f, %.1f]",
+			ErrAngleOutOfRange, angleDeg, t.MinAngle, t.MaxAngle())
+	}
+	return i, nil
+}
+
+// NearAt returns the near-field HRIR closest to angleDeg.
+func (t *Table) NearAt(angleDeg float64) (HRIR, error) {
+	i, err := t.index(angleDeg)
+	if err != nil {
+		return HRIR{}, err
+	}
+	return t.Near[i], nil
+}
+
+// FarAt returns the far-field HRIR closest to angleDeg.
+func (t *Table) FarAt(angleDeg float64) (HRIR, error) {
+	i, err := t.index(angleDeg)
+	if err != nil {
+		return HRIR{}, err
+	}
+	return t.Far[i], nil
+}
+
+// RenderAt synthesizes the binaural signals for a mono sound placed at
+// angleDeg; far selects the far-field (true for sources beyond ~1 m, per
+// the paper's near-field definition).
+func (t *Table) RenderAt(s []float64, angleDeg float64, far bool) (left, right []float64, err error) {
+	var h HRIR
+	if far {
+		h, err = t.FarAt(angleDeg)
+	} else {
+		h, err = t.NearAt(angleDeg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if h.Empty() {
+		return nil, nil, errors.New("hrtf: no HRIR stored at that angle")
+	}
+	l, r := h.Render(s)
+	return l, r, nil
+}
+
+// Compact returns a copy of the table downsampled to every step-th angle —
+// useful for shipping profiles to constrained devices (a 181-angle table
+// serializes to megabytes; hearing-aid firmware may want 10° resolution).
+func (t *Table) Compact(step int) *Table {
+	if step <= 1 || t.NumAngles() == 0 {
+		out := NewTable(t.SampleRate, t.MinAngle, t.AngleStep, t.NumAngles())
+		for i := range t.Near {
+			out.Near[i] = t.Near[i].Clone()
+			out.Far[i] = t.Far[i].Clone()
+		}
+		return out
+	}
+	n := (t.NumAngles() + step - 1) / step
+	out := NewTable(t.SampleRate, t.MinAngle, t.AngleStep*float64(step), n)
+	for i := 0; i < n; i++ {
+		out.Near[i] = t.Near[i*step].Clone()
+		out.Far[i] = t.Far[i*step].Clone()
+	}
+	return out
+}
+
+// Encode writes the table as JSON.
+func (t *Table) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// Decode reads a table previously written by Encode.
+func Decode(r io.Reader) (*Table, error) {
+	var t Table
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	if t.SampleRate <= 0 {
+		return nil, errors.New("hrtf: decoded table missing sample rate")
+	}
+	if len(t.Far) != len(t.Near) {
+		return nil, errors.New("hrtf: decoded table with mismatched near/far lengths")
+	}
+	return &t, nil
+}

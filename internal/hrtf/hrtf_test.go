@@ -1,0 +1,205 @@
+package hrtf
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+)
+
+func sampleHRIR(itdSamples float64, sr float64) HRIR {
+	n := 128
+	l := dsp.DelayedImpulse(n, 30+itdSamples, 1)
+	r := dsp.DelayedImpulse(n, 30, 0.9)
+	return HRIR{Left: l, Right: r, SampleRate: sr}
+}
+
+func TestITD(t *testing.T) {
+	h := sampleHRIR(5.5, 48000)
+	got := h.ITD()
+	want := 5.5 / 48000
+	if math.Abs(got-want) > 0.2/48000 {
+		t.Errorf("ITD %g, want %g", got, want)
+	}
+	if (HRIR{}).ITD() != 0 {
+		t.Error("empty HRIR ITD should be 0")
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := sampleHRIR(0, 48000)
+	s := []float64{1, 0, 0}
+	l, r := h.Render(s)
+	cl, _ := dsp.NormXCorrPeak(l, h.Left)
+	if cl < 0.999 {
+		t.Errorf("rendering an impulse should reproduce the HRIR (corr %g)", cl)
+	}
+	if len(r) != len(s)+len(h.Right)-1 {
+		t.Errorf("render length %d", len(r))
+	}
+}
+
+func TestCorrelationProperties(t *testing.T) {
+	h := sampleHRIR(3, 48000)
+	l, r := Correlation(h, h)
+	if math.Abs(l-1) > 1e-9 || math.Abs(r-1) > 1e-9 {
+		t.Errorf("self correlation (%g, %g), want 1", l, r)
+	}
+	if MeanCorrelation(h, h) < 0.999 {
+		t.Error("mean self correlation should be ~1")
+	}
+	// Symmetry under argument swap.
+	g := sampleHRIR(-4, 48000)
+	l1, r1 := Correlation(h, g)
+	l2, r2 := Correlation(g, h)
+	if math.Abs(l1-l2) > 1e-9 || math.Abs(r1-r2) > 1e-9 {
+		t.Error("correlation should be symmetric")
+	}
+}
+
+func TestAlignTo(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pos := 25 + 15*rng.Float64()
+		target := 30 + 10*rng.Float64()
+		x := dsp.DelayedImpulse(128, pos, 1)
+		y := AlignTo(x, target)
+		idx, _ := dsp.FirstPeak(y, 0.3)
+		return math.Abs(idx-target) < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignToPreservesLength(t *testing.T) {
+	x := dsp.DelayedImpulse(100, 40, 1)
+	for _, target := range []float64{20.0, 40.0, 70.5} {
+		y := AlignTo(x, target)
+		if len(y) != len(x) {
+			t.Fatalf("target %g changed length to %d", target, len(y))
+		}
+	}
+	// No peak: unchanged copy.
+	z := AlignTo(make([]float64, 32), 10)
+	if len(z) != 32 || dsp.MaxAbs(z) != 0 {
+		t.Error("peakless input should pass through")
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	tab := NewTable(48000, 0, 10, 19) // 0..180 by 10
+	if tab.NumAngles() != 19 || tab.MaxAngle() != 180 {
+		t.Fatalf("table geometry wrong: %d angles, max %g", tab.NumAngles(), tab.MaxAngle())
+	}
+	h := sampleHRIR(2, 48000)
+	tab.Near[9] = h            // 90 degrees
+	got, err := tab.NearAt(92) // rounds to the 90-degree slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Empty() {
+		t.Error("lookup missed the stored entry")
+	}
+	if _, err := tab.NearAt(200); !errors.Is(err, ErrAngleOutOfRange) {
+		t.Errorf("out-of-range error missing, got %v", err)
+	}
+	if _, err := tab.FarAt(-20); !errors.Is(err, ErrAngleOutOfRange) {
+		t.Errorf("negative angle should be out of range, got %v", err)
+	}
+}
+
+func TestRenderAt(t *testing.T) {
+	tab := NewTable(48000, 0, 10, 19)
+	tab.Far[0] = sampleHRIR(1, 48000)
+	l, r, err := tab.RenderAt([]float64{1}, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) == 0 || len(r) == 0 {
+		t.Error("empty render")
+	}
+	if _, _, err := tab.RenderAt([]float64{1}, 50, true); err == nil {
+		t.Error("rendering from an empty slot should fail")
+	}
+	if _, _, err := tab.RenderAt([]float64{1}, 999, true); err == nil {
+		t.Error("out-of-range render should fail")
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab := NewTable(48000, 0, 45, 5)
+	for i := range tab.Near {
+		tab.Near[i] = sampleHRIR(float64(i), 48000)
+		tab.Far[i] = sampleHRIR(-float64(i), 48000)
+	}
+	var buf bytes.Buffer
+	if err := tab.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumAngles() != tab.NumAngles() || back.AngleStep != tab.AngleStep {
+		t.Fatal("table geometry lost in round trip")
+	}
+	for i := range tab.Near {
+		if c := MeanCorrelation(tab.Near[i], back.Near[i]); c < 0.999999 {
+			t.Fatalf("near entry %d corrupted (corr %g)", i, c)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewBufferString("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := Decode(bytes.NewBufferString(`{"sampleRate":0}`)); err == nil {
+		t.Error("missing sample rate should fail")
+	}
+	if _, err := Decode(bytes.NewBufferString(`{"sampleRate":48000,"near":[{"left":[],"right":[],"sampleRate":48000}],"far":[]}`)); err == nil {
+		t.Error("mismatched near/far should fail")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	tab := NewTable(48000, 0, 1, 181)
+	for i := range tab.Near {
+		tab.Near[i] = sampleHRIR(float64(i%5), 48000)
+		tab.Far[i] = sampleHRIR(-float64(i%5), 48000)
+	}
+	small := tab.Compact(10)
+	if small.NumAngles() != 19 || small.AngleStep != 10 {
+		t.Fatalf("compact geometry: %d angles, step %g", small.NumAngles(), small.AngleStep)
+	}
+	// Entry i of the compact table is entry 10i of the original.
+	for i := 0; i < small.NumAngles(); i++ {
+		if c := MeanCorrelation(small.Near[i], tab.Near[i*10]); c < 0.999999 {
+			t.Fatalf("compact entry %d diverged", i)
+		}
+	}
+	// Deep copy: mutating the compact table must not touch the original.
+	small.Near[0].Left[0] = 42
+	if tab.Near[0].Left[0] == 42 {
+		t.Error("Compact must deep-copy")
+	}
+	// step<=1 copies.
+	same := tab.Compact(1)
+	if same.NumAngles() != tab.NumAngles() {
+		t.Error("step 1 should preserve the table")
+	}
+}
+
+func TestClone(t *testing.T) {
+	h := sampleHRIR(1, 48000)
+	c := h.Clone()
+	c.Left[0] = 99
+	if h.Left[0] == 99 {
+		t.Error("Clone must deep-copy")
+	}
+}

@@ -1,0 +1,144 @@
+// Package imu models the smartphone inertial sensor UNIQ fuses with
+// acoustics. Only the gyroscope matters to the pipeline (the paper
+// integrates gyro rate to obtain the phone's orientation α, which equals
+// the polar angle θ because the user faces the screen toward their eyes).
+// The model injects the standard MEMS error terms — constant bias, white
+// noise, and scale-factor error — so that IMU-only localization drifts the
+// way the paper motivates.
+package imu
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Sample is one timestamped gyroscope reading.
+type Sample struct {
+	// T is the sample time in seconds from session start.
+	T float64
+	// RateZ is the angular rate around the vertical axis in rad/s
+	// (positive = the paper's sweep direction, front toward left-back).
+	RateZ float64
+}
+
+// GyroModel describes the error characteristics of a consumer MEMS gyro.
+type GyroModel struct {
+	// SampleRate in Hz (the paper logs 100 Hz).
+	SampleRate float64
+	// BiasStd is the standard deviation of the run-to-run constant bias,
+	// rad/s.
+	BiasStd float64
+	// NoiseStd is the white-noise standard deviation per sample, rad/s.
+	NoiseStd float64
+	// ScaleStd is the standard deviation of the multiplicative
+	// scale-factor error.
+	ScaleStd float64
+}
+
+// DefaultGyro returns error magnitudes typical of a mid-range phone gyro.
+func DefaultGyro() GyroModel {
+	return GyroModel{
+		SampleRate: 100,
+		BiasStd:    0.004, // ~0.23 deg/s run bias
+		NoiseStd:   0.02,  // per-sample white noise
+		ScaleStd:   0.01,  // 1% scale error
+	}
+}
+
+// Validate checks the model.
+func (g GyroModel) Validate() error {
+	if g.SampleRate <= 0 {
+		return errors.New("imu: sample rate must be positive")
+	}
+	if g.BiasStd < 0 || g.NoiseStd < 0 || g.ScaleStd < 0 {
+		return errors.New("imu: error magnitudes must be non-negative")
+	}
+	return nil
+}
+
+// Simulate produces gyro samples for a true angular trajectory given by
+// trueAngle (radians as a function of time in seconds) over [0, duration].
+// Errors are drawn from rng: one bias and one scale factor per call (per
+// "run"), fresh white noise per sample.
+func (g GyroModel) Simulate(trueAngle func(t float64) float64, duration float64, rng *rand.Rand) []Sample {
+	if duration <= 0 {
+		return nil
+	}
+	dt := 1 / g.SampleRate
+	n := int(duration/dt) + 1
+	bias := rng.NormFloat64() * g.BiasStd
+	scale := 1 + rng.NormFloat64()*g.ScaleStd
+	out := make([]Sample, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		// True rate by central difference of the trajectory.
+		h := dt / 2
+		t0, t1 := t-h, t+h
+		if t0 < 0 {
+			t0 = 0
+		}
+		if t1 > duration {
+			t1 = duration
+		}
+		rate := 0.0
+		if t1 > t0 {
+			rate = (trueAngle(t1) - trueAngle(t0)) / (t1 - t0)
+		}
+		out[i] = Sample{
+			T:     t,
+			RateZ: scale*rate + bias + rng.NormFloat64()*g.NoiseStd,
+		}
+	}
+	return out
+}
+
+// Integrate trapezoidally integrates gyro samples into an orientation track
+// (radians) with the given initial angle. The result has one entry per
+// sample. This is the paper's "IMU measurements are integrated to obtain
+// the phone's orientation α" step.
+func Integrate(samples []Sample, initial float64) []float64 {
+	out := make([]float64, len(samples))
+	if len(samples) == 0 {
+		return out
+	}
+	out[0] = initial
+	for i := 1; i < len(samples); i++ {
+		dt := samples[i].T - samples[i-1].T
+		out[i] = out[i-1] + 0.5*(samples[i].RateZ+samples[i-1].RateZ)*dt
+	}
+	return out
+}
+
+// AngleAt linearly interpolates an integrated orientation track at time t.
+func AngleAt(samples []Sample, track []float64, t float64) float64 {
+	if len(samples) == 0 || len(track) == 0 {
+		return 0
+	}
+	if t <= samples[0].T {
+		return track[0]
+	}
+	last := len(samples) - 1
+	if last >= len(track) {
+		last = len(track) - 1
+	}
+	if t >= samples[last].T {
+		return track[last]
+	}
+	// Samples are uniform; locate by index.
+	lo := 0
+	hi := last
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if samples[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	span := samples[hi].T - samples[lo].T
+	if span <= 0 {
+		return track[lo]
+	}
+	frac := (t - samples[lo].T) / span
+	return track[lo]*(1-frac) + track[hi]*frac
+}

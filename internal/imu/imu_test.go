@@ -1,0 +1,110 @@
+package imu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultGyro().Validate(); err != nil {
+		t.Errorf("default gyro invalid: %v", err)
+	}
+	bad := GyroModel{SampleRate: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sample rate should fail")
+	}
+	bad = GyroModel{SampleRate: 100, BiasStd: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative bias should fail")
+	}
+}
+
+func TestSimulateSampleCount(t *testing.T) {
+	g := DefaultGyro()
+	s := g.Simulate(func(t float64) float64 { return t }, 2.0, rand.New(rand.NewSource(1)))
+	want := int(2.0*g.SampleRate) + 1
+	if len(s) != want {
+		t.Fatalf("sample count %d, want %d", len(s), want)
+	}
+	if s[0].T != 0 {
+		t.Error("first sample should be at t=0")
+	}
+	if g.Simulate(func(float64) float64 { return 0 }, 0, nil) != nil {
+		t.Error("zero duration should produce no samples")
+	}
+}
+
+func TestIntegrateConstantRate(t *testing.T) {
+	// Noise-free gyro on a constant-rate trajectory integrates back to
+	// the trajectory.
+	g := GyroModel{SampleRate: 100}
+	rate := 0.8 // rad/s
+	s := g.Simulate(func(t float64) float64 { return rate * t }, 3.0, rand.New(rand.NewSource(2)))
+	track := Integrate(s, 0)
+	final := track[len(track)-1]
+	if math.Abs(final-rate*3.0) > 1e-6 {
+		t.Errorf("integrated angle %g, want %g", final, rate*3.0)
+	}
+}
+
+func TestIntegrateInitialOffset(t *testing.T) {
+	g := GyroModel{SampleRate: 50}
+	s := g.Simulate(func(t float64) float64 { return 0 }, 1.0, rand.New(rand.NewSource(3)))
+	track := Integrate(s, 1.5)
+	if track[0] != 1.5 {
+		t.Errorf("initial angle %g, want 1.5", track[0])
+	}
+}
+
+func TestNoiseCausesDrift(t *testing.T) {
+	// With realistic errors, the integrated angle drifts from truth and
+	// drift grows with time — the paper's motivation for sensor fusion.
+	g := DefaultGyro()
+	traj := func(t float64) float64 { return 0.5 * t }
+	var driftShort, driftLong float64
+	trials := 30
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		s := g.Simulate(traj, 20.0, rng)
+		track := Integrate(s, 0)
+		shortIdx := len(track) / 4
+		driftShort += math.Abs(track[shortIdx] - traj(s[shortIdx].T))
+		driftLong += math.Abs(track[len(track)-1] - traj(s[len(s)-1].T))
+	}
+	if driftLong <= driftShort {
+		t.Errorf("drift should grow with time: short %g, long %g", driftShort/float64(trials), driftLong/float64(trials))
+	}
+	if driftLong/float64(trials) < 1e-3 {
+		t.Error("realistic gyro should show measurable drift")
+	}
+}
+
+func TestAngleAtInterpolation(t *testing.T) {
+	s := []Sample{{T: 0}, {T: 1}, {T: 2}}
+	track := []float64{0, 10, 20}
+	if got := AngleAt(s, track, 0.5); math.Abs(got-5) > 1e-12 {
+		t.Errorf("AngleAt(0.5) = %g, want 5", got)
+	}
+	if got := AngleAt(s, track, -1); got != 0 {
+		t.Errorf("before start = %g, want 0", got)
+	}
+	if got := AngleAt(s, track, 99); got != 20 {
+		t.Errorf("after end = %g, want 20", got)
+	}
+	if got := AngleAt(nil, nil, 1); got != 0 {
+		t.Errorf("empty inputs = %g, want 0", got)
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	g := DefaultGyro()
+	traj := func(t float64) float64 { return math.Sin(t) }
+	a := g.Simulate(traj, 1.0, rand.New(rand.NewSource(9)))
+	b := g.Simulate(traj, 1.0, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("simulation must be deterministic per seed")
+		}
+	}
+}

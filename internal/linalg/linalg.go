@@ -1,0 +1,244 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// paper's §4.3 "additional attempts" (speaker-beamforming decomposition and
+// blind decoupling): dense matrices, Gaussian elimination with partial
+// pivoting, least squares via normal equations, and condition-number
+// estimation by power iteration — enough to demonstrate *why* those
+// attempts fail (ill-ranked systems), with the standard library only.
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TransposeMulVec returns mᵀ·x.
+func (m *Matrix) TransposeMulVec(x []float64) []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			out[j] += v * xi
+		}
+	}
+	return out
+}
+
+// Gram returns mᵀ·m (the normal-equations matrix).
+func (m *Matrix) Gram() *Matrix {
+	g := NewMatrix(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for a := 0; a < m.Cols; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			for b := a; b < m.Cols; b++ {
+				g.Data[a*m.Cols+b] += va * row[b]
+			}
+		}
+	}
+	for a := 0; a < m.Cols; a++ {
+		for b := 0; b < a; b++ {
+			g.Data[a*m.Cols+b] = g.Data[b*m.Cols+a]
+		}
+	}
+	return g
+}
+
+// ErrSingular is returned when elimination meets a (near-)zero pivot.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// SolveInPlace solves A·x = b by Gaussian elimination with partial
+// pivoting, destroying A and b. A must be square.
+func SolveInPlace(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, errors.New("linalg: dimension mismatch")
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, piv = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			for j := 0; j < n; j++ {
+				a.Data[col*n+j], a.Data[piv*n+j] = a.Data[piv*n+j], a.Data[col*n+j]
+			}
+			b[col], b[piv] = b[piv], b[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Data[r*n+j] -= f * a.Data[col*n+j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖² via Tikhonov-regularized normal
+// equations (AᵀA + λI)x = Aᵀb. λ=0 gives plain least squares.
+func LeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, errors.New("linalg: dimension mismatch")
+	}
+	g := a.Gram()
+	for i := 0; i < g.Rows; i++ {
+		g.Data[i*g.Cols+i] += lambda
+	}
+	rhs := a.TransposeMulVec(b)
+	return SolveInPlace(g, rhs)
+}
+
+// CondEstimate estimates the 2-norm condition number of A via power
+// iteration on AᵀA (largest singular value) and inverse power iteration
+// (smallest). Returns +Inf for singular matrices.
+func CondEstimate(a *Matrix, iters int, rng *rand.Rand) float64 {
+	if iters <= 0 {
+		iters = 60
+	}
+	g := a.Gram()
+	n := g.Rows
+	// Largest eigenvalue of G by power iteration.
+	x := randVec(n, rng)
+	var large float64
+	for k := 0; k < iters; k++ {
+		y := g.MulVec(x)
+		large = norm(y)
+		if large == 0 {
+			return math.Inf(1)
+		}
+		scale(y, 1/large)
+		x = y
+	}
+	// Smallest eigenvalue via inverse iteration with a tiny shift.
+	shift := large * 1e-13
+	x = randVec(n, rng)
+	var small float64
+	for k := 0; k < iters; k++ {
+		m := g.Clone()
+		for i := 0; i < n; i++ {
+			m.Data[i*n+i] += shift
+		}
+		bb := append([]float64(nil), x...)
+		y, err := SolveInPlace(m, bb)
+		if err != nil {
+			return math.Inf(1)
+		}
+		ny := norm(y)
+		if ny == 0 {
+			return math.Inf(1)
+		}
+		scale(y, 1/ny)
+		x = y
+		// Rayleigh quotient on G.
+		gx := g.MulVec(x)
+		small = dot(x, gx)
+	}
+	if small <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(large / small)
+}
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		if rng != nil {
+			v[i] = rng.NormFloat64()
+		} else {
+			v[i] = 1 / float64(i+1)
+		}
+	}
+	nv := norm(v)
+	if nv > 0 {
+		scale(v, 1/nv)
+	}
+	return v
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func scale(v []float64, k float64) {
+	for i := range v {
+		v[i] *= k
+	}
+}

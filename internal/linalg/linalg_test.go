@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveInPlace(a.Clone(), []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution %v, want [1 3]", x)
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance keeps it well-conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		truth := make([]float64, n)
+		for i := range truth {
+			truth[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(truth)
+		x, err := SolveInPlace(a.Clone(), b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-truth[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveInPlace(a, []float64{1, 2}); err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := SolveInPlace(a, []float64{1, 2}); err == nil {
+		t.Error("non-square solve should fail")
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 from noisy samples.
+	rng := rand.New(rand.NewSource(4))
+	n := 50
+	a := NewMatrix(n, 2)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / 10
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 2*x + 1 + 0.01*rng.NormFloat64()
+	}
+	sol, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol[0]-2) > 0.02 || math.Abs(sol[1]-1) > 0.02 {
+		t.Errorf("fit %v, want [2 1]", sol)
+	}
+}
+
+func TestLeastSquaresRegularization(t *testing.T) {
+	// A rank-deficient system becomes solvable with Tikhonov damping and
+	// the damped solution has the smaller norm.
+	a := NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, 1) // identical columns: rank 1
+	}
+	if _, err := LeastSquares(a, []float64{1, 1, 1}, 0); err == nil {
+		t.Error("rank-deficient plain LS should fail")
+	}
+	sol, err := LeastSquares(a, []float64{1, 1, 1}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum-norm solution splits the weight evenly.
+	if math.Abs(sol[0]-sol[1]) > 1e-6 {
+		t.Errorf("regularized solution %v should be symmetric", sol)
+	}
+}
+
+func TestCondEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Identity: condition 1.
+	eye := NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		eye.Set(i, i, 1)
+	}
+	if c := CondEstimate(eye, 0, rng); c > 1.5 {
+		t.Errorf("identity condition %g, want ~1", c)
+	}
+	// Diagonal with spread 1..1000: condition ~1000.
+	d := NewMatrix(3, 3)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, 30)
+	d.Set(2, 2, 1000)
+	c := CondEstimate(d, 0, rng)
+	if c < 300 || c > 3000 {
+		t.Errorf("diagonal condition %g, want ~1000", c)
+	}
+	// Singular: +Inf (or astronomically large).
+	s := NewMatrix(2, 2)
+	s.Set(0, 0, 1)
+	s.Set(0, 1, 1)
+	s.Set(1, 0, 1)
+	s.Set(1, 1, 1)
+	if c := CondEstimate(s, 0, rng); !math.IsInf(c, 1) && c < 1e6 {
+		t.Errorf("singular condition %g, want huge", c)
+	}
+}
+
+func TestGramAndTranspose(t *testing.T) {
+	a := NewMatrix(2, 3)
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		a.Data[i] = v
+	}
+	g := a.Gram()
+	// G = AᵀA; check a couple entries.
+	if g.At(0, 0) != 1*1+4*4 || g.At(1, 2) != 2*3+5*6 {
+		t.Errorf("gram wrong: %+v", g)
+	}
+	tv := a.TransposeMulVec([]float64{1, 1})
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if tv[i] != want[i] {
+			t.Errorf("TransposeMulVec = %v", tv)
+		}
+	}
+}

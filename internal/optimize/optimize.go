@@ -1,0 +1,265 @@
+// Package optimize provides the derivative-free minimizers UNIQ's
+// diffraction-aware sensor fusion uses to fit head parameters: a bounded
+// Nelder–Mead simplex, a coarse grid search for initialization, and a
+// golden-section line search. Objectives are arbitrary Go functions; no
+// gradients are required, which matters because the head-diffraction
+// residual is only piecewise smooth.
+package optimize
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Objective is a scalar function of an n-dimensional point.
+type Objective func(x []float64) float64
+
+// Bounds restricts a search to the box [Lo[i], Hi[i]] per dimension.
+type Bounds struct {
+	Lo, Hi []float64
+}
+
+// Validate checks the box.
+func (b Bounds) Validate(dim int) error {
+	if len(b.Lo) != dim || len(b.Hi) != dim {
+		return errors.New("optimize: bounds dimension mismatch")
+	}
+	for i := range b.Lo {
+		if !(b.Lo[i] < b.Hi[i]) {
+			return errors.New("optimize: lower bound must be below upper bound")
+		}
+	}
+	return nil
+}
+
+// Clamp projects x into the box in place.
+func (b Bounds) Clamp(x []float64) {
+	for i := range x {
+		if x[i] < b.Lo[i] {
+			x[i] = b.Lo[i]
+		}
+		if x[i] > b.Hi[i] {
+			x[i] = b.Hi[i]
+		}
+	}
+}
+
+// Result reports a minimization outcome.
+type Result struct {
+	// X is the best point found.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Evals is the number of objective evaluations.
+	Evals int
+	// Converged reports whether the tolerance was met before the
+	// evaluation budget ran out.
+	Converged bool
+}
+
+// NelderMeadOptions tunes the simplex search.
+type NelderMeadOptions struct {
+	// InitialStep is the simplex edge length per dimension (defaults to
+	// 5% of the box extent).
+	InitialStep []float64
+	// Tol terminates when the simplex's objective spread falls below it.
+	Tol float64
+	// MaxEvals bounds objective calls (default 2000).
+	MaxEvals int
+}
+
+// NelderMead minimizes f inside bounds starting at x0 using the
+// Nelder–Mead simplex with box projection.
+func NelderMead(f Objective, x0 []float64, bounds Bounds, opt NelderMeadOptions) (Result, error) {
+	dim := len(x0)
+	if dim == 0 {
+		return Result{}, errors.New("optimize: empty start point")
+	}
+	if err := bounds.Validate(dim); err != nil {
+		return Result{}, err
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.MaxEvals <= 0 {
+		opt.MaxEvals = 2000
+	}
+	step := opt.InitialStep
+	if step == nil {
+		step = make([]float64, dim)
+		for i := range step {
+			step[i] = 0.05 * (bounds.Hi[i] - bounds.Lo[i])
+		}
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		bounds.Clamp(x)
+		evals++
+		return f(x)
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, dim+1)
+	start := append([]float64(nil), x0...)
+	bounds.Clamp(start)
+	simplex[0] = vertex{x: start, f: eval(append([]float64(nil), start...))}
+	for i := 0; i < dim; i++ {
+		x := append([]float64(nil), start...)
+		x[i] += step[i]
+		if x[i] > bounds.Hi[i] {
+			x[i] = start[i] - step[i]
+		}
+		simplex[i+1] = vertex{x: x, f: eval(append([]float64(nil), x...))}
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	centroid := make([]float64, dim)
+	for evals < opt.MaxEvals {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		if simplex[dim].f-simplex[0].f < opt.Tol {
+			return Result{X: simplex[0].x, F: simplex[0].f, Evals: evals, Converged: true}, nil
+		}
+		// Centroid of all but the worst.
+		for i := range centroid {
+			centroid[i] = 0
+		}
+		for _, v := range simplex[:dim] {
+			for i := range centroid {
+				centroid[i] += v.x[i] / float64(dim)
+			}
+		}
+		worst := simplex[dim]
+		reflect := make([]float64, dim)
+		for i := range reflect {
+			reflect[i] = centroid[i] + alpha*(centroid[i]-worst.x[i])
+		}
+		fr := eval(reflect)
+		switch {
+		case fr < simplex[0].f:
+			// Try expanding.
+			expand := make([]float64, dim)
+			for i := range expand {
+				expand[i] = centroid[i] + gamma*(reflect[i]-centroid[i])
+			}
+			fe := eval(expand)
+			if fe < fr {
+				simplex[dim] = vertex{x: expand, f: fe}
+			} else {
+				simplex[dim] = vertex{x: reflect, f: fr}
+			}
+		case fr < simplex[dim-1].f:
+			simplex[dim] = vertex{x: reflect, f: fr}
+		default:
+			// Contract.
+			contract := make([]float64, dim)
+			for i := range contract {
+				contract[i] = centroid[i] + rho*(worst.x[i]-centroid[i])
+			}
+			fc := eval(contract)
+			if fc < worst.f {
+				simplex[dim] = vertex{x: contract, f: fc}
+			} else {
+				// Shrink toward the best.
+				for j := 1; j <= dim; j++ {
+					for i := range simplex[j].x {
+						simplex[j].x[i] = simplex[0].x[i] + sigma*(simplex[j].x[i]-simplex[0].x[i])
+					}
+					simplex[j].f = eval(simplex[j].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return Result{X: simplex[0].x, F: simplex[0].f, Evals: evals, Converged: false}, nil
+}
+
+// GridSearch evaluates f on a regular grid with pointsPerDim samples per
+// dimension inside bounds and returns the best point. It is used to seed
+// NelderMead away from local minima.
+func GridSearch(f Objective, bounds Bounds, pointsPerDim int) (Result, error) {
+	dim := len(bounds.Lo)
+	if dim == 0 {
+		return Result{}, errors.New("optimize: empty bounds")
+	}
+	if err := bounds.Validate(dim); err != nil {
+		return Result{}, err
+	}
+	if pointsPerDim < 2 {
+		pointsPerDim = 2
+	}
+	idx := make([]int, dim)
+	x := make([]float64, dim)
+	best := Result{F: math.Inf(1)}
+	total := 1
+	for i := 0; i < dim; i++ {
+		total *= pointsPerDim
+	}
+	for n := 0; n < total; n++ {
+		k := n
+		for i := 0; i < dim; i++ {
+			idx[i] = k % pointsPerDim
+			k /= pointsPerDim
+			x[i] = bounds.Lo[i] + (bounds.Hi[i]-bounds.Lo[i])*float64(idx[i])/float64(pointsPerDim-1)
+		}
+		v := f(x)
+		best.Evals++
+		if v < best.F {
+			best.F = v
+			best.X = append([]float64(nil), x...)
+		}
+	}
+	best.Converged = true
+	return best, nil
+}
+
+// GoldenSection minimizes a 1-D function on [lo, hi] to the given tolerance.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	invPhi := (math.Sqrt(5) - 1) / 2
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	mid := (a + b) / 2
+	return mid, f(mid)
+}
+
+// Minimize runs GridSearch then refines with NelderMead — the composite
+// strategy the sensor-fusion module uses for E=(a,b,c).
+func Minimize(f Objective, bounds Bounds, gridPoints int, opt NelderMeadOptions) (Result, error) {
+	seed, err := GridSearch(f, bounds, gridPoints)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := NelderMead(f, seed.X, bounds, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Evals += seed.Evals
+	if seed.F < res.F {
+		res.X, res.F = seed.X, seed.F
+	}
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sphere(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func rosenbrock(x []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(x)-1; i++ {
+		s += 100*math.Pow(x[i+1]-x[i]*x[i], 2) + math.Pow(1-x[i], 2)
+	}
+	return s
+}
+
+func box(dim int, lo, hi float64) Bounds {
+	b := Bounds{Lo: make([]float64, dim), Hi: make([]float64, dim)}
+	for i := 0; i < dim; i++ {
+		b.Lo[i], b.Hi[i] = lo, hi
+	}
+	return b
+}
+
+func TestNelderMeadSphere(t *testing.T) {
+	res, err := NelderMead(sphere, []float64{2, -1.5, 0.7}, box(3, -5, 5), NelderMeadOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-8 {
+		t.Errorf("sphere minimum %g at %v", res.F, res.X)
+	}
+	if !res.Converged {
+		t.Error("should converge on the sphere")
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	res, err := NelderMead(rosenbrock, []float64{-1.2, 1}, box(2, -5, 5),
+		NelderMeadOptions{Tol: 1e-14, MaxEvals: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Errorf("rosenbrock minimum at %v, want (1,1)", res.X)
+	}
+}
+
+func TestNelderMeadRespectsBounds(t *testing.T) {
+	// Unconstrained minimum at (3,3) but the box caps at 1.
+	f := func(x []float64) float64 {
+		return math.Pow(x[0]-3, 2) + math.Pow(x[1]-3, 2)
+	}
+	res, err := NelderMead(f, []float64{0, 0}, box(2, -1, 1), NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.X {
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Errorf("dimension %d escaped bounds: %g", i, v)
+		}
+	}
+	if math.Abs(res.X[0]-1) > 0.01 || math.Abs(res.X[1]-1) > 0.01 {
+		t.Errorf("bounded minimum at %v, want (1,1)", res.X)
+	}
+}
+
+func TestNelderMeadErrors(t *testing.T) {
+	if _, err := NelderMead(sphere, nil, Bounds{}, NelderMeadOptions{}); err == nil {
+		t.Error("empty start should fail")
+	}
+	if _, err := NelderMead(sphere, []float64{0}, Bounds{Lo: []float64{1}, Hi: []float64{0}}, NelderMeadOptions{}); err == nil {
+		t.Error("inverted bounds should fail")
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	f := func(x []float64) float64 {
+		return math.Pow(x[0]-0.25, 2) + math.Pow(x[1]+0.5, 2)
+	}
+	res, err := GridSearch(f, box(2, -1, 1), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.25) > 0.1 || math.Abs(res.X[1]+0.5) > 0.1 {
+		t.Errorf("grid best at %v", res.X)
+	}
+	if res.Evals != 21*21 {
+		t.Errorf("evals %d, want 441", res.Evals)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	x, fx := GoldenSection(func(v float64) float64 { return (v - 1.3) * (v - 1.3) }, -4, 4, 1e-9)
+	if math.Abs(x-1.3) > 1e-6 {
+		t.Errorf("golden section found %g, want 1.3", x)
+	}
+	if fx > 1e-10 {
+		t.Errorf("objective %g", fx)
+	}
+}
+
+func TestMinimizeEscapesLocalMinimum(t *testing.T) {
+	// Two basins; the global one is narrow at x=2, a broad local one at
+	// x=-2. Pure Nelder-Mead from 0 with a small step may fall into
+	// either; grid seeding must find the global one.
+	f := func(x []float64) float64 {
+		v := x[0]
+		return math.Min(math.Pow(v+2, 2)+0.5, 3*math.Pow(v-2, 2))
+	}
+	res, err := Minimize(f, box(1, -5, 5), 41, NelderMeadOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-3 {
+		t.Errorf("global minimum missed: %v (f=%g)", res.X, res.F)
+	}
+}
+
+func TestMinimizeNeverWorseThanGrid(t *testing.T) {
+	f := func(seed int64) bool {
+		shift := float64(seed%7) / 3
+		obj := func(x []float64) float64 { return math.Abs(x[0]-shift) + sphere(x[1:]) }
+		grid, err := GridSearch(obj, box(2, -2, 2), 9)
+		if err != nil {
+			return false
+		}
+		full, err := Minimize(obj, box(2, -2, 2), 9, NelderMeadOptions{})
+		if err != nil {
+			return false
+		}
+		return full.F <= grid.F+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsClamp(t *testing.T) {
+	b := box(2, 0, 1)
+	x := []float64{-5, 0.5}
+	b.Clamp(x)
+	if x[0] != 0 || x[1] != 0.5 {
+		t.Errorf("clamp gave %v", x)
+	}
+}

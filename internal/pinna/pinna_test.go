@@ -1,0 +1,117 @@
+package pinna
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestTapsWithinBounds(t *testing.T) {
+	r := New(rand.New(rand.NewSource(1)))
+	for deg := 0; deg < 360; deg += 10 {
+		taps := r.TapsAt(float64(deg) * math.Pi / 180)
+		if len(taps) != NumEchoes {
+			t.Fatalf("got %d taps", len(taps))
+		}
+		for _, tap := range taps {
+			if tap.Delay <= 0 || tap.Delay > maxEchoDelay+2e-4 {
+				t.Fatalf("tap delay %g out of range", tap.Delay)
+			}
+			if math.Abs(tap.Gain) >= 1 {
+				t.Fatalf("echo gain %g should be below the direct tap", tap.Gain)
+			}
+		}
+	}
+}
+
+func TestSmoothnessInAngle(t *testing.T) {
+	// Nearby angles must produce nearby impulse responses (high
+	// correlation), distant angles lower — the Fig 2a diagonal.
+	r := New(rand.New(rand.NewSource(2)))
+	sr := 48000.0
+	n := 96
+	h0 := r.ImpulseResponse(0, sr, n)
+	hNear := r.ImpulseResponse(2*math.Pi/180, sr, n)
+	hFar := r.ImpulseResponse(90*math.Pi/180, sr, n)
+	cNear, _ := dsp.NormXCorrPeak(h0, hNear)
+	cFar, _ := dsp.NormXCorrPeak(h0, hFar)
+	if cNear < 0.95 {
+		t.Errorf("2-degree correlation %g, want > 0.95", cNear)
+	}
+	if cFar >= cNear {
+		t.Errorf("90-degree correlation %g should be below 2-degree %g", cFar, cNear)
+	}
+}
+
+func TestDistinctUsers(t *testing.T) {
+	// Two users' responses at the same angle should correlate worse than
+	// one user's response with itself — the Fig 2b fact.
+	rng := rand.New(rand.NewSource(3))
+	a := New(rng)
+	b := New(rng)
+	sr := 48000.0
+	n := 96
+	worst := 1.0
+	for deg := 0.0; deg < 180; deg += 30 {
+		phi := deg * math.Pi / 180
+		c, _ := dsp.NormXCorrPeak(a.ImpulseResponse(phi, sr, n), b.ImpulseResponse(phi, sr, n))
+		if c < worst {
+			worst = c
+		}
+	}
+	if worst > 0.98 {
+		t.Errorf("different users should not be near-identical everywhere (min corr %g)", worst)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(rand.New(rand.NewSource(7)))
+	b := New(rand.New(rand.NewSource(7)))
+	ta := a.TapsAt(1.0)
+	tb := b.TapsAt(1.0)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatal("same seed must give same pinna")
+		}
+	}
+}
+
+func TestImpulseResponseHasDirectTap(t *testing.T) {
+	r := New(rand.New(rand.NewSource(4)))
+	h := r.ImpulseResponse(0.5, 48000, 64)
+	idx, v := dsp.FirstPeak(h, 0.5)
+	if idx < 0 {
+		t.Fatal("no direct tap found")
+	}
+	if v < 0.8 {
+		t.Errorf("direct tap %g, want ~1", v)
+	}
+}
+
+func TestAverageIsStable(t *testing.T) {
+	a := Average(10, 99)
+	b := Average(10, 99)
+	ta, tb := a.TapsAt(0.3), b.TapsAt(0.3)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatal("Average must be deterministic")
+		}
+	}
+	if len(ta) != NumEchoes {
+		t.Fatalf("average has %d echoes", len(ta))
+	}
+}
+
+func TestAveragePinnaDiffersFromIndividuals(t *testing.T) {
+	avg := Average(20, 1)
+	ind := New(rand.New(rand.NewSource(55)))
+	c, _ := dsp.NormXCorrPeak(
+		avg.ImpulseResponse(1, 48000, 96),
+		ind.ImpulseResponse(1, 48000, 96),
+	)
+	if c > 0.999 {
+		t.Error("an individual should differ from the population average")
+	}
+}

@@ -1,0 +1,184 @@
+package render
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/geom"
+	"repro/internal/hrtf"
+	"repro/internal/room"
+	"repro/internal/sim"
+)
+
+// testTable builds a ground-truth far-field table for rendering tests.
+func testTable(t *testing.T) *hrtf.Table {
+	t.Helper()
+	tab, err := sim.MeasureGroundTruthFar(sim.NewVolunteer(1, 3), 48000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestRenderMovingStaticEqualsConvolution(t *testing.T) {
+	// With a constant angle, block rendering must equal a single
+	// convolution (the Bartlett windows sum to one).
+	tab := testTable(t)
+	r := &Renderer{Table: tab}
+	mono := dsp.Tone(500, 0.1, tab.SampleRate)
+	l1, r1, err := r.RenderMoving(mono, func(float64) float64 { return 70 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tab.FarAt(70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, r2 := h.Render(mono)
+	// Compare on the overlapping span.
+	for i := 100; i < len(l2)-100 && i < len(l1); i++ {
+		if math.Abs(l1[i]-l2[i]) > 1e-6 {
+			t.Fatalf("left mismatch at %d: %g vs %g", i, l1[i], l2[i])
+		}
+		if math.Abs(r1[i]-r2[i]) > 1e-6 {
+			t.Fatalf("right mismatch at %d: %g vs %g", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestRenderMovingNoClicks(t *testing.T) {
+	// A source sweeping 0..180 degrees should produce no discontinuities
+	// larger than the signal's own slew.
+	tab := testTable(t)
+	r := &Renderer{Table: tab}
+	mono := dsp.Tone(400, 0.5, tab.SampleRate)
+	sweep := func(t float64) float64 { return 360 * t } // fast sweep
+	l, _, err := r.RenderMoving(mono, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxJump := 0.0
+	for i := 1; i < len(l); i++ {
+		if d := math.Abs(l[i] - l[i-1]); d > maxJump {
+			maxJump = d
+		}
+	}
+	// A 400 Hz unit tone slews at most 2*pi*400/48000 ~ 0.052 per
+	// sample; allow the HRIR gain and a 3x margin.
+	if maxJump > 0.3 {
+		t.Errorf("click detected: max inter-sample jump %g", maxJump)
+	}
+}
+
+func TestRenderMovingITDFollowsAngle(t *testing.T) {
+	tab := testTable(t)
+	r := &Renderer{Table: tab}
+	click := dsp.DelayedImpulse(2048, 1024, 1)
+	for _, deg := range []float64{30, 90, 150} {
+		l, rr, err := r.RenderMoving(click, func(float64) float64 { return deg })
+		if err != nil {
+			t.Fatal(err)
+		}
+		li, _ := dsp.FirstPeak(l, 0.3)
+		ri, _ := dsp.FirstPeak(rr, 0.3)
+		gotITD := (li - ri) / tab.SampleRate
+		h, _ := tab.FarAt(deg)
+		wantITD := h.ITD()
+		if math.Abs(gotITD-wantITD) > 4e-5 {
+			t.Errorf("%g deg: rendered ITD %g, want %g", deg, gotITD, wantITD)
+		}
+	}
+}
+
+func TestRenderMovingErrors(t *testing.T) {
+	r := &Renderer{}
+	if _, _, err := r.RenderMoving([]float64{1}, func(float64) float64 { return 0 }); err != ErrNoTable {
+		t.Errorf("want ErrNoTable, got %v", err)
+	}
+	tab := testTable(t)
+	r = &Renderer{Table: tab}
+	l, rr, err := r.RenderMoving(nil, func(float64) float64 { return 0 })
+	if err != nil || l != nil || rr != nil {
+		t.Error("empty input should render to nothing")
+	}
+}
+
+func TestMirrorIntoSpan(t *testing.T) {
+	tab := testTable(t)
+	cases := map[float64]float64{10: 10, 180: 180, 190: 170, 350: 10, -30: 30, 370: 10}
+	for in, want := range cases {
+		if got := mirrorIntoSpan(in, tab); math.Abs(got-want) > 1e-9 {
+			t.Errorf("mirror(%g) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestHeadTrackerSwapsHemispheres(t *testing.T) {
+	tab := testTable(t)
+	ht := &HeadTracker{
+		Renderer:  Renderer{Table: tab},
+		SourceDeg: 60,
+		// Head turns past the source: relative angle goes 60 -> -60
+		// (i.e. source crosses to the right hemisphere).
+		YawAt: func(t float64) float64 { return 240 * t },
+	}
+	click := make([]float64, 48000/2)
+	for i := 0; i < len(click); i += 4800 {
+		click[i] = 1
+	}
+	l, r, err := ht.Render(click)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) == 0 || len(r) == 0 {
+		t.Fatal("empty tracked render")
+	}
+	// Early clicks (source on the left): left ear louder. Late clicks
+	// (source crossed right): right ear louder.
+	early := int(0.1 * 48000)
+	late := len(l) - int(0.1*48000)
+	if dsp.Energy(l[:early]) <= dsp.Energy(r[:early]) {
+		t.Error("early segment should favour the left ear")
+	}
+	if dsp.Energy(r[late:]) <= dsp.Energy(l[late:]) {
+		t.Error("late segment should favour the right ear")
+	}
+}
+
+func TestHeadTrackerNeedsYaw(t *testing.T) {
+	ht := &HeadTracker{Renderer: Renderer{Table: testTable(t)}}
+	if _, _, err := ht.Render([]float64{1}); err == nil {
+		t.Error("missing yaw source should fail")
+	}
+}
+
+func TestRoomRendererAddsReverb(t *testing.T) {
+	tab := testTable(t)
+	center := geom.Vec{X: 3, Y: 3}
+	anech := &RoomRenderer{Table: tab, Room: room.Config{Width: 6, Depth: 6, Origin: center, Absorption: 0.99, MaxOrder: 0}}
+	reverb := &RoomRenderer{Table: tab, Room: room.Config{Width: 6, Depth: 6, Origin: center, Absorption: 0.45, MaxOrder: 2}}
+	click := dsp.DelayedImpulse(512, 256, 1)
+	al, _, err := anech.Render(click, 45, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, _, err := reverb.Render(click, 45, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rl) <= len(al) {
+		t.Error("reverberant render should be longer (echo tail)")
+	}
+	if dsp.Energy(rl) <= dsp.Energy(al)*1.05 {
+		t.Errorf("reverberant render should carry extra energy: %g vs %g",
+			dsp.Energy(rl), dsp.Energy(al))
+	}
+}
+
+func TestRoomRendererErrors(t *testing.T) {
+	rr := &RoomRenderer{}
+	if _, _, err := rr.Render([]float64{1}, 0, 1); err != ErrNoTable {
+		t.Errorf("want ErrNoTable, got %v", err)
+	}
+}

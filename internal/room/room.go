@@ -1,0 +1,113 @@
+// Package room synthesizes room reverberation with a 2-D shoebox
+// image-source model. UNIQ's measurements happen in ordinary rooms rather
+// than anechoic chambers; the paper handles this by truncating late channel
+// taps (§4.6). This package supplies the echoes that the truncation code
+// path must remove.
+package room
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Config describes a rectangular room. The listener/head coordinate frame
+// is embedded at Origin with the same axis orientation.
+type Config struct {
+	// Width (X) and Depth (Y) of the room, metres.
+	Width, Depth float64
+	// Origin is the head-center position inside the room.
+	Origin geom.Vec
+	// Absorption is the per-reflection energy absorption coefficient of
+	// the walls, in (0,1]; amplitude scales by sqrt(1-Absorption) per
+	// bounce.
+	Absorption float64
+	// MaxOrder is the maximum number of wall reflections to model.
+	MaxOrder int
+}
+
+// DefaultConfig returns a typical home-measurement setup: a 4 m x 5 m room
+// with the user seated at a desk near a wall (the realistic worst case for
+// early reflections), moderately absorbing walls, 2nd-order images.
+func DefaultConfig() Config {
+	return Config{
+		Width: 4, Depth: 5,
+		Origin:     geom.Vec{X: 0.75, Y: 1.3},
+		Absorption: 0.45,
+		MaxOrder:   2,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Depth <= 0 {
+		return errors.New("room: dimensions must be positive")
+	}
+	if c.Absorption <= 0 || c.Absorption > 1 {
+		return errors.New("room: absorption must be in (0, 1]")
+	}
+	if c.MaxOrder < 0 {
+		return errors.New("room: max order must be non-negative")
+	}
+	if c.Origin.X <= -c.Width/2 && c.Origin.X >= c.Width/2 {
+		return errors.New("room: origin outside room")
+	}
+	return nil
+}
+
+// Image is a virtual (mirrored) source.
+type Image struct {
+	// Pos is the image position in head coordinates.
+	Pos geom.Vec
+	// Gain is the accumulated wall-reflection amplitude factor.
+	Gain float64
+	// Order is the number of wall bounces.
+	Order int
+}
+
+// Images enumerates the image sources (excluding the 0th-order direct
+// source itself) for a real source at src (head coordinates).
+func (c Config) Images(src geom.Vec) []Image {
+	if c.MaxOrder == 0 {
+		return nil
+	}
+	// Work in room coordinates with the room spanning [0,W]x[0,D].
+	s := src.Add(c.Origin)
+	refl := math.Sqrt(1 - c.Absorption)
+	var out []Image
+	for nx := -c.MaxOrder; nx <= c.MaxOrder; nx++ {
+		for ny := -c.MaxOrder; ny <= c.MaxOrder; ny++ {
+			order := abs(nx) + abs(ny)
+			if order == 0 || order > c.MaxOrder {
+				continue
+			}
+			ix := mirror(s.X, c.Width, nx)
+			iy := mirror(s.Y, c.Depth, ny)
+			out = append(out, Image{
+				Pos:   geom.Vec{X: ix, Y: iy}.Sub(c.Origin),
+				Gain:  math.Pow(refl, float64(order)),
+				Order: order,
+			})
+		}
+	}
+	return out
+}
+
+// mirror computes the 1-D image coordinate of x for reflection index n in a
+// room of size L (standard image-source recurrence).
+func mirror(x, l float64, n int) float64 {
+	// Image positions: x_n = n*L + x for even n, n*L + (L - x)... using
+	// the classic formula x_n = 2*k*L ± x.
+	if n%2 == 0 {
+		return float64(n)*l + x
+	}
+	return float64(n)*l + (l - x)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

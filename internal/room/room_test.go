@@ -1,0 +1,100 @@
+package room
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := Config{Width: -1, Depth: 5, Absorption: 0.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative width should fail")
+	}
+	bad = Config{Width: 4, Depth: 5, Absorption: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero absorption should fail")
+	}
+	bad = Config{Width: 4, Depth: 5, Absorption: 0.5, MaxOrder: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative order should fail")
+	}
+}
+
+func TestImageCount(t *testing.T) {
+	c := DefaultConfig()
+	c.MaxOrder = 1
+	imgs := c.Images(geom.Vec{X: 0.3, Y: 0.2})
+	if len(imgs) != 4 {
+		t.Fatalf("first-order images = %d, want 4", len(imgs))
+	}
+	c.MaxOrder = 2
+	imgs = c.Images(geom.Vec{X: 0.3, Y: 0.2})
+	// Orders 1 and 2: 4 + 8 = 12 images in the diamond |nx|+|ny| <= 2.
+	if len(imgs) != 12 {
+		t.Fatalf("second-order images = %d, want 12", len(imgs))
+	}
+	c.MaxOrder = 0
+	if imgs := c.Images(geom.Vec{}); imgs != nil {
+		t.Error("zero order should produce no images")
+	}
+}
+
+func TestImageGeometry(t *testing.T) {
+	// A source and its first-order image across a wall are mirror
+	// symmetric: their midpoint projects onto the wall plane.
+	c := Config{Width: 4, Depth: 6, Origin: geom.Vec{X: 2, Y: 3}, Absorption: 0.5, MaxOrder: 1}
+	src := geom.Vec{X: 0.5, Y: 0.7}
+	srcRoom := src.Add(c.Origin)
+	for _, img := range c.Images(src) {
+		imgRoom := img.Pos.Add(c.Origin)
+		// Every image must lie outside the room.
+		inside := imgRoom.X > 0 && imgRoom.X < c.Width && imgRoom.Y > 0 && imgRoom.Y < c.Depth
+		if inside {
+			t.Errorf("image %v lies inside the room", imgRoom)
+		}
+		// First-order images mirror across exactly one wall: one
+		// coordinate unchanged, the other reflected about 0 or L.
+		dx := imgRoom.X != srcRoom.X
+		dy := imgRoom.Y != srcRoom.Y
+		if dx == dy {
+			t.Errorf("first-order image %v should differ in exactly one axis", imgRoom)
+		}
+	}
+}
+
+func TestImageGainDecaysWithOrder(t *testing.T) {
+	c := DefaultConfig()
+	c.MaxOrder = 3
+	maxGain := map[int]float64{}
+	for _, img := range c.Images(geom.Vec{X: 0.2, Y: 0.1}) {
+		if img.Gain > maxGain[img.Order] {
+			maxGain[img.Order] = img.Gain
+		}
+	}
+	if !(maxGain[1] > maxGain[2] && maxGain[2] > maxGain[3]) {
+		t.Errorf("gain should decay with order: %v", maxGain)
+	}
+	refl := math.Sqrt(1 - c.Absorption)
+	if math.Abs(maxGain[1]-refl) > 1e-12 {
+		t.Errorf("first-order gain %g, want %g", maxGain[1], refl)
+	}
+}
+
+func TestEchoesArriveLaterThanDirect(t *testing.T) {
+	// The defining property UNIQ's truncation relies on: every image
+	// path is longer than the direct path.
+	c := DefaultConfig()
+	src := geom.Vec{X: -0.3, Y: 0.2}
+	listener := geom.Vec{} // head center
+	direct := src.Dist(listener)
+	for _, img := range c.Images(src) {
+		if img.Pos.Dist(listener) <= direct {
+			t.Fatalf("image %v closer than direct source", img.Pos)
+		}
+	}
+}

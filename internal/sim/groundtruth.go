@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/acoustic"
+	"repro/internal/geom"
+	"repro/internal/hrtf"
+	"repro/internal/room"
+)
+
+// anechoic is the room used for reference measurements: reflections off.
+func anechoic() room.Config {
+	return room.Config{Width: 10, Depth: 10, Origin: geom.Vec{X: 5, Y: 5}, Absorption: 0.99, MaxOrder: 0}
+}
+
+// irSeconds is the reference HRIR length.
+const irSeconds = 5e-3
+
+// MeasureGroundTruthFar measures the volunteer's true far-field HRTF on a
+// [0,180] degree grid with the given step — the paper's anechoic-chamber
+// reference (upper bound for personalization).
+func MeasureGroundTruthFar(v Volunteer, sampleRate, stepDeg float64) (*hrtf.Table, error) {
+	w, err := v.World(sampleRate, anechoic())
+	if err != nil {
+		return nil, err
+	}
+	return measureFar(w, stepDeg, nil, 0)
+}
+
+// RemeasureGroundTruthFar performs an independent second measurement of the
+// same volunteer: small angular placement jitter and measurement noise make
+// it imperfectly repeatable, which defines the practical upper bound shown
+// as "Gnd HRIR" in Fig 18.
+func RemeasureGroundTruthFar(v Volunteer, sampleRate, stepDeg float64) (*hrtf.Table, error) {
+	w, err := v.World(sampleRate, anechoic())
+	if err != nil {
+		return nil, err
+	}
+	return measureFar(w, stepDeg, v.Rand("remeasure"), 0.6)
+}
+
+// GlobalTemplateFar builds the global (population-average) far-field HRTF
+// template — the personalization lower bound.
+func GlobalTemplateFar(sampleRate, stepDeg float64) (*hrtf.Table, error) {
+	w, err := GlobalWorld(sampleRate)
+	if err != nil {
+		return nil, err
+	}
+	return measureFar(w, stepDeg, nil, 0)
+}
+
+func measureFar(w *acoustic.World, stepDeg float64, jitterRng *rand.Rand, jitterDeg float64) (*hrtf.Table, error) {
+	if stepDeg <= 0 {
+		stepDeg = 1
+	}
+	n := int(180/stepDeg) + 1
+	tab := hrtf.NewTable(w.SampleRate, 0, stepDeg, n)
+	irLen := int(irSeconds * w.SampleRate)
+	for i := 0; i < n; i++ {
+		angle := tab.Angle(i)
+		measured := angle
+		if jitterRng != nil {
+			measured += jitterDeg * (2*jitterRng.Float64() - 1)
+		}
+		l, r, err := w.FarFieldIR(measured, irLen)
+		if err != nil {
+			return nil, err
+		}
+		if jitterRng != nil {
+			for k := range l {
+				l[k] += jitterRng.NormFloat64() * 0.002
+				r[k] += jitterRng.NormFloat64() * 0.002
+			}
+		}
+		h := hrtf.HRIR{Left: l, Right: r, SampleRate: w.SampleRate}
+		tab.Far[i] = h
+	}
+	return tab, nil
+}
+
+// MeasureGroundTruthNear measures the true near-field HRTF at the given
+// radius on a [0,180] grid (anechoic), for evaluating the near-field
+// estimates.
+func MeasureGroundTruthNear(v Volunteer, sampleRate, stepDeg, radius float64) (*hrtf.Table, error) {
+	w, err := v.World(sampleRate, anechoic())
+	if err != nil {
+		return nil, err
+	}
+	if stepDeg <= 0 {
+		stepDeg = 1
+	}
+	n := int(180/stepDeg) + 1
+	tab := hrtf.NewTable(w.SampleRate, 0, stepDeg, n)
+	irLen := int(irSeconds * w.SampleRate)
+	for i := 0; i < n; i++ {
+		p := geom.FromPolar(geom.Radians(tab.Angle(i)), radius)
+		l, r, err := w.BinauralIR(p, irLen)
+		if err != nil {
+			return nil, err
+		}
+		tab.Near[i] = hrtf.HRIR{Left: l, Right: r, SampleRate: w.SampleRate}
+	}
+	return tab, nil
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/hrtf"
+)
+
+func TestVolunteersAreDistinctAndDeterministic(t *testing.T) {
+	c1 := Cohort(5, 42)
+	c2 := Cohort(5, 42)
+	for i := range c1 {
+		if c1[i].Head != c2[i].Head {
+			t.Fatal("cohorts with the same seed must match")
+		}
+		if err := c1[i].Head.Validate(); err != nil {
+			t.Fatalf("volunteer %d invalid: %v", i+1, err)
+		}
+	}
+	seen := map[float64]bool{}
+	for _, v := range c1 {
+		if seen[v.Head.B] {
+			t.Error("volunteers should differ")
+		}
+		seen[v.Head.B] = true
+	}
+	if c1[0].String() == "" {
+		t.Error("empty volunteer label")
+	}
+}
+
+func TestVolunteerRandStreamsIndependent(t *testing.T) {
+	v := NewVolunteer(1, 7)
+	a := v.Rand("imu").Int63()
+	b := v.Rand("noise").Int63()
+	if a == b {
+		t.Error("aspect RNGs should differ")
+	}
+	if v.Rand("imu").Int63() != a {
+		t.Error("aspect RNG should be deterministic")
+	}
+}
+
+func TestTrajectoryShape(t *testing.T) {
+	v := NewVolunteer(1, 11)
+	tr := NewTrajectory(GestureGood, v.Rand("gesture"))
+	if tr.Quality() != GestureGood {
+		t.Error("quality lost")
+	}
+	// Sweep should start near 0 and end near 180.
+	if math.Abs(tr.AngleDeg(0)) > 10 {
+		t.Errorf("start angle %g too far from 0", tr.AngleDeg(0))
+	}
+	if math.Abs(tr.AngleDeg(tr.Duration)-180) > 10 {
+		t.Errorf("end angle %g too far from 180", tr.AngleDeg(tr.Duration))
+	}
+	// Monotone-ish progress and plausible radius.
+	prev := tr.AngleDeg(0)
+	for ti := 0.5; ti <= tr.Duration; ti += 0.5 {
+		a := tr.AngleDeg(ti)
+		if a < prev-15 {
+			t.Fatalf("sweep ran backwards at t=%g", ti)
+		}
+		prev = a
+		r := tr.Radius(ti)
+		if r < 0.12 || r > 0.55 {
+			t.Fatalf("radius %g implausible", r)
+		}
+	}
+}
+
+func TestArmDroopShrinksRadius(t *testing.T) {
+	v := NewVolunteer(2, 13)
+	tr := NewTrajectory(GestureArmDroop, v.Rand("gesture"))
+	if tr.Radius(tr.Duration) >= tr.Radius(0)-0.08 {
+		t.Errorf("arm droop should shrink radius: %g -> %g", tr.Radius(0), tr.Radius(tr.Duration))
+	}
+}
+
+func TestWildGestureNoisier(t *testing.T) {
+	v := NewVolunteer(3, 17)
+	good := NewTrajectory(GestureGood, v.Rand("gesture-a"))
+	wild := NewTrajectory(GestureWild, v.Rand("gesture-b"))
+	dev := func(tr *Trajectory) float64 {
+		s := 0.0
+		for ti := 0.0; ti <= tr.Duration; ti += 0.25 {
+			s += math.Abs(tr.OrientationDeg(ti) - tr.AngleDeg(ti))
+		}
+		return s
+	}
+	if dev(wild) <= dev(good) {
+		t.Error("wild gesture should have larger facing error")
+	}
+}
+
+func TestGestureQualityString(t *testing.T) {
+	if GestureGood.String() != "good" || GestureArmDroop.String() != "arm-droop" || GestureWild.String() != "wild" {
+		t.Error("GestureQuality names wrong")
+	}
+}
+
+func TestRunSessionProducesData(t *testing.T) {
+	v := NewVolunteer(1, 21)
+	s, err := RunSession(v, SessionConfig{NumStops: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Measurements) != 12 {
+		t.Fatalf("%d measurements, want 12", len(s.Measurements))
+	}
+	if len(s.Probe) == 0 || len(s.IMU) == 0 || len(s.SystemIR) == 0 {
+		t.Fatal("missing session components")
+	}
+	if s.SyncOffset <= 0 {
+		t.Error("sync offset should be positive")
+	}
+	for i, m := range s.Measurements {
+		if len(m.Rec.Left) == 0 || len(m.Rec.Right) == 0 {
+			t.Fatalf("measurement %d empty", i)
+		}
+		if dsp.RMS(m.Rec.Left) == 0 {
+			t.Fatalf("measurement %d silent", i)
+		}
+		if i > 0 && m.Time <= s.Measurements[i-1].Time {
+			t.Fatal("measurements out of order")
+		}
+		if m.TrueAngleDeg < -15 || m.TrueAngleDeg > 195 {
+			t.Fatalf("true angle %g outside sweep", m.TrueAngleDeg)
+		}
+	}
+}
+
+func TestRunSessionDeterministic(t *testing.T) {
+	v := NewVolunteer(4, 31)
+	a, err := RunSession(v, SessionConfig{NumStops: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSession(v, SessionConfig{NumStops: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Measurements {
+		if a.Measurements[i].Rec.Left[100] != b.Measurements[i].Rec.Left[100] {
+			t.Fatal("sessions with the same volunteer must be identical")
+		}
+	}
+}
+
+func TestRunSessionTooFewStops(t *testing.T) {
+	v := NewVolunteer(5, 37)
+	if _, err := RunSession(v, SessionConfig{NumStops: 2}); err == nil {
+		t.Error("too few stops should fail")
+	}
+}
+
+func TestGroundTruthTables(t *testing.T) {
+	v := NewVolunteer(1, 55)
+	sr := 48000.0
+	gnd, err := MeasureGroundTruthFar(v, sr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gnd.NumAngles() != 19 {
+		t.Fatalf("ground truth has %d angles", gnd.NumAngles())
+	}
+	for i := 0; i < gnd.NumAngles(); i++ {
+		if gnd.Far[i].Empty() {
+			t.Fatalf("empty ground truth at %g deg", gnd.Angle(i))
+		}
+	}
+	// Second measurement correlates highly but not perfectly.
+	re, err := RemeasureGroundTruthFar(v, sr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := 0.0
+	for i := 0; i < gnd.NumAngles(); i++ {
+		c += hrtf.MeanCorrelation(gnd.Far[i], re.Far[i]) / float64(gnd.NumAngles())
+	}
+	if c < 0.85 {
+		t.Errorf("repeat measurement correlation %.3f too low", c)
+	}
+	if c >= 0.99999 {
+		t.Errorf("repeat measurement should not be bit-identical (corr %.6f)", c)
+	}
+}
+
+func TestGlobalTemplateDiffersFromVolunteers(t *testing.T) {
+	sr := 48000.0
+	glob, err := GlobalTemplateFar(sr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVolunteer(2, 77)
+	gnd, err := MeasureGroundTruthFar(v, sr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c float64
+	for i := 0; i < gnd.NumAngles(); i++ {
+		c += hrtf.MeanCorrelation(glob.Far[i], gnd.Far[i]) / float64(gnd.NumAngles())
+	}
+	if c > 0.85 {
+		t.Errorf("global template too similar to an individual (corr %.3f) — personalization would be pointless", c)
+	}
+}
+
+func TestNearGroundTruth(t *testing.T) {
+	v := NewVolunteer(3, 88)
+	tab, err := MeasureGroundTruthNear(v, 48000, 30, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tab.NearAt(90)
+	if err != nil || h.Empty() {
+		t.Fatal("missing near ground truth at 90 deg")
+	}
+	// Left ear should lead for a left-side source.
+	if h.ITD() >= 0 {
+		t.Errorf("near-field ITD %g at 90 deg should favour the left ear", h.ITD())
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/acoustic"
+	"repro/internal/dsp"
+	"repro/internal/geom"
+	"repro/internal/hrtf"
+)
+
+// This file simulates the measurement side of the paper's §7 "3D HRTF"
+// extension: the user repeats the sweep on several elevation rings (arm
+// raised/lowered), producing one session per ring.
+
+// RunSphericalSession simulates one sweep per requested elevation ring
+// (degrees, within ±60) and returns the sessions keyed by elevation.
+func RunSphericalSession(v Volunteer, cfg SessionConfig, elevations []float64) (map[float64]*Session, error) {
+	if len(elevations) == 0 {
+		return nil, errors.New("sim: need at least one elevation ring")
+	}
+	cfg.fillDefaults()
+	world, err := v.World(cfg.SampleRate, *cfg.Room)
+	if err != nil {
+		return nil, err
+	}
+	hw := acoustic.NewSystemResponse(cfg.SampleRate, v.Rand("hardware"))
+	probe := dsp.Chirp(150, 0.45*cfg.SampleRate, cfg.ProbeSeconds, cfg.SampleRate)
+	out := make(map[float64]*Session, len(elevations))
+	for _, elev := range elevations {
+		ring, err := world.Ring(elev)
+		if err != nil {
+			return nil, fmt.Errorf("ring %.0f: %w", elev, err)
+		}
+		gestureRng := v.Rand(fmt.Sprintf("gesture-ring-%.0f", elev))
+		traj := NewTrajectory(cfg.Quality, gestureRng)
+		noiseRng := v.Rand(fmt.Sprintf("noise-ring-%.0f", elev))
+		s := &Session{
+			Probe:      probe,
+			SampleRate: cfg.SampleRate,
+			SystemIR:   hw.MeasureIR(512),
+			SyncOffset: acoustic.LeadInSeconds,
+			Trajectory: traj,
+		}
+		for i := 0; i < cfg.NumStops; i++ {
+			t := traj.Duration * (float64(i) + 0.5) / float64(cfg.NumStops)
+			az := traj.AngleDeg(t)
+			radius := traj.Radius(t)
+			rec, err := ring.Record(probe, az, radius, acoustic.RecordOptions{
+				System:   hw,
+				NoiseStd: cfg.NoiseStd,
+				Rng:      noiseRng,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Measurements = append(s.Measurements, Measurement{
+				Time:         t,
+				Rec:          rec,
+				TruePos:      geom.FromPolar(geom.Radians(az), radius),
+				TrueAngleDeg: az,
+			})
+		}
+		orient := func(t float64) float64 { return geom.Radians(traj.OrientationDeg(t)) }
+		s.IMU = cfg.Gyro.Simulate(orient, traj.Duration, v.Rand(fmt.Sprintf("imu-ring-%.0f", elev)))
+		out[elev] = s
+	}
+	return out, nil
+}
+
+// MeasureGroundTruthFarRing measures the volunteer's true far-field HRTF on
+// one elevation ring — the reference for evaluating the 3-D extension.
+func MeasureGroundTruthFarRing(v Volunteer, sampleRate, stepDeg, elevDeg float64) (*hrtf.Table, error) {
+	w, err := v.World(sampleRate, anechoic())
+	if err != nil {
+		return nil, err
+	}
+	ring, err := w.Ring(elevDeg)
+	if err != nil {
+		return nil, err
+	}
+	if stepDeg <= 0 {
+		stepDeg = 1
+	}
+	n := int(180/stepDeg) + 1
+	tab := hrtf.NewTable(sampleRate, 0, stepDeg, n)
+	irLen := int(irSeconds * sampleRate)
+	for i := 0; i < n; i++ {
+		l, r, err := ring.FarFieldIR(tab.Angle(i), irLen)
+		if err != nil {
+			return nil, err
+		}
+		tab.Far[i] = hrtf.HRIR{Left: l, Right: r, SampleRate: sampleRate}
+	}
+	return tab, nil
+}

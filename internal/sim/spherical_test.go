@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/hrtf"
+)
+
+func TestRunSphericalSessionShape(t *testing.T) {
+	v := NewVolunteer(1, 71)
+	sessions, err := RunSphericalSession(v, SessionConfig{NumStops: 8}, []float64{-20, 0, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 3 {
+		t.Fatalf("%d rings", len(sessions))
+	}
+	for elev, s := range sessions {
+		if len(s.Measurements) != 8 {
+			t.Fatalf("ring %g: %d stops", elev, len(s.Measurements))
+		}
+		for _, m := range s.Measurements {
+			if dsp.RMS(m.Rec.Left) == 0 {
+				t.Fatalf("ring %g: silent recording", elev)
+			}
+		}
+		if len(s.IMU) == 0 || s.SyncOffset <= 0 {
+			t.Fatalf("ring %g: missing IMU or sync offset", elev)
+		}
+	}
+	// Different rings must not share identical recordings.
+	a := sessions[0].Measurements[4].Rec.Left
+	b := sessions[20].Measurements[4].Rec.Left
+	c, _ := dsp.NormXCorrPeak(a, b)
+	if c > 0.999 {
+		t.Error("rings should differ acoustically")
+	}
+}
+
+func TestRunSphericalSessionErrors(t *testing.T) {
+	v := NewVolunteer(1, 72)
+	if _, err := RunSphericalSession(v, SessionConfig{}, nil); err == nil {
+		t.Error("no elevations should fail")
+	}
+	if _, err := RunSphericalSession(v, SessionConfig{}, []float64{75}); err == nil {
+		t.Error("extreme elevation should fail")
+	}
+}
+
+func TestGroundTruthFarRing(t *testing.T) {
+	v := NewVolunteer(2, 73)
+	flat, err := MeasureGroundTruthFarRing(v, 48000, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := MeasureGroundTruthFarRing(v, 48000, 30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The horizontal ring must match the standard far-field measurement.
+	std, err := MeasureGroundTruthFar(v, 48000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := flat.FarAt(60)
+	hs, _ := std.FarAt(60)
+	if hrtf.MeanCorrelation(h0, hs) < 0.97 {
+		t.Errorf("ring(0) ground truth should match the standard one (corr %.3f)",
+			hrtf.MeanCorrelation(h0, hs))
+	}
+	// Elevation changes the reference.
+	h30, _ := up.FarAt(60)
+	if c := hrtf.MeanCorrelation(h0, h30); c > 0.995 {
+		t.Errorf("elevated ground truth should differ (corr %.4f)", c)
+	}
+}

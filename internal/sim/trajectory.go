@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// GestureQuality selects how well the simulated participant performs the
+// phone-rotation gesture.
+type GestureQuality int
+
+const (
+	// GestureGood is a careful sweep with normal hand wobble.
+	GestureGood GestureQuality = iota
+	// GestureArmDroop lowers/retracts the arm over time, pulling the
+	// phone too close to the head (the failure §4.6 auto-detects).
+	GestureArmDroop
+	// GestureWild adds large angular jitter and facing error, modelling
+	// the rare high-error cases of Fig 17.
+	GestureWild
+)
+
+// String names the gesture quality.
+func (g GestureQuality) String() string {
+	switch g {
+	case GestureGood:
+		return "good"
+	case GestureArmDroop:
+		return "arm-droop"
+	case GestureWild:
+		return "wild"
+	default:
+		return "unknown"
+	}
+}
+
+// Trajectory is a simulated hand-held phone sweep around the head: the
+// polar angle progresses from StartDeg to EndDeg over Duration while the
+// radius and the phone's facing direction wobble the way human arms do.
+type Trajectory struct {
+	// StartDeg and EndDeg bound the sweep (paper convention: 0 = nose,
+	// 180 = back of head; the sweep passes the left ear at 90).
+	StartDeg, EndDeg float64
+	// Duration of the sweep in seconds.
+	Duration float64
+	// BaseRadius is the nominal arm length (head center to phone), m.
+	BaseRadius float64
+
+	quality GestureQuality
+	// Wobble terms (precomputed from the volunteer's RNG).
+	radiusWobble  [3]wobble
+	angleWobble   [3]wobble
+	facingWobble  [3]wobble
+	radiusDrift   float64 // m lost over the full sweep (arm droop)
+	facingBiasDeg float64 // constant screen-facing error
+}
+
+type wobble struct {
+	ampl, freq, phase float64
+}
+
+func (w wobble) at(t float64) float64 {
+	return w.ampl * math.Sin(2*math.Pi*w.freq*t+w.phase)
+}
+
+// NewTrajectory draws a trajectory for one session. rng controls all the
+// human imperfections.
+func NewTrajectory(quality GestureQuality, rng *rand.Rand) *Trajectory {
+	tr := &Trajectory{
+		// Users begin "at the nose" and end "behind the head", but only
+		// approximately; the residual offsets are a real error source
+		// because the pipeline assumes the sweep starts at 0.
+		StartDeg:   4 * (2*rng.Float64() - 1),
+		EndDeg:     180 + 4*(2*rng.Float64()-1),
+		Duration:   20,
+		BaseRadius: 0.32 + 0.05*rng.Float64(),
+		quality:    quality,
+	}
+	radiusAmp := 0.008
+	angleAmp := 1.5  // degrees
+	facingAmp := 3.5 // degrees
+	tr.facingBiasDeg = 3 * (2*rng.Float64() - 1)
+	switch quality {
+	case GestureArmDroop:
+		tr.radiusDrift = 0.16 + 0.06*rng.Float64()
+	case GestureWild:
+		angleAmp = 6
+		facingAmp = 8
+		tr.facingBiasDeg = 8 * (2*rng.Float64() - 1)
+		radiusAmp = 0.03
+	}
+	for i := 0; i < 3; i++ {
+		tr.radiusWobble[i] = wobble{radiusAmp * rng.Float64(), 0.1 + 0.5*rng.Float64(), rng.Float64() * 2 * math.Pi}
+		tr.angleWobble[i] = wobble{angleAmp * rng.Float64(), 0.1 + 0.4*rng.Float64(), rng.Float64() * 2 * math.Pi}
+		tr.facingWobble[i] = wobble{facingAmp * rng.Float64(), 0.05 + 0.3*rng.Float64(), rng.Float64() * 2 * math.Pi}
+	}
+	return tr
+}
+
+// Quality returns the gesture quality the trajectory was drawn with.
+func (tr *Trajectory) Quality() GestureQuality { return tr.quality }
+
+// AngleDeg returns the true polar angle of the phone at time t: a smooth
+// ease-in/ease-out sweep plus hand jitter.
+func (tr *Trajectory) AngleDeg(t float64) float64 {
+	u := t / tr.Duration
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	// Smoothstep pacing: arms accelerate and decelerate.
+	s := u * u * (3 - 2*u)
+	deg := tr.StartDeg + (tr.EndDeg-tr.StartDeg)*s
+	for _, w := range tr.angleWobble {
+		deg += w.at(t)
+	}
+	return deg
+}
+
+// Radius returns the phone's distance from the head center at time t.
+func (tr *Trajectory) Radius(t float64) float64 {
+	u := t / tr.Duration
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	r := tr.BaseRadius - tr.radiusDrift*u
+	for _, w := range tr.radiusWobble {
+		r += w.at(t)
+	}
+	if r < 0.12 {
+		r = 0.12
+	}
+	return r
+}
+
+// Position returns the phone's true position at time t.
+func (tr *Trajectory) Position(t float64) geom.Vec {
+	return geom.FromPolar(geom.Radians(tr.AngleDeg(t)), tr.Radius(t))
+}
+
+// OrientationDeg returns the phone's true facing orientation at time t.
+// The protocol asks the user to keep the screen facing their eyes, in which
+// case orientation equals the polar angle; real users hold it imperfectly,
+// which is the paper's dominant localization error source.
+func (tr *Trajectory) OrientationDeg(t float64) float64 {
+	deg := tr.AngleDeg(t) + tr.facingBiasDeg
+	for _, w := range tr.facingWobble {
+		deg += w.at(t)
+	}
+	return deg
+}

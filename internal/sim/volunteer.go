@@ -1,0 +1,102 @@
+// Package sim stands in for the paper's physical experiments: it creates
+// virtual volunteers (head geometry + pinna anatomy), generates the
+// hand-held phone trajectories of the measurement gesture, runs full
+// measurement sessions (probe playback → stereo in-ear recordings + IMU
+// log), and measures the ground-truth and global-template HRTFs that the
+// evaluation compares against. Code under internal/core never touches the
+// ground truth; it sees only what a real deployment would see.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/acoustic"
+	"repro/internal/head"
+	"repro/internal/pinna"
+	"repro/internal/room"
+)
+
+// Volunteer is one simulated study participant.
+type Volunteer struct {
+	// ID is a 1-based participant number.
+	ID int
+	// Head is the participant's true head geometry (evaluation-only).
+	Head head.Params
+	// seed derives the pinna anatomy and per-session randomness.
+	seed int64
+}
+
+// NewVolunteer draws a participant with anthropometrically plausible head
+// parameters. Participants are fully determined by (id, seed).
+func NewVolunteer(id int, seed int64) Volunteer {
+	rng := rand.New(rand.NewSource(seed ^ int64(id)*0x1E3779B97F4A7C15))
+	jitter := func(mean, spread float64) float64 {
+		return mean + spread*(2*rng.Float64()-1)
+	}
+	return Volunteer{
+		ID: id,
+		Head: head.Params{
+			A: jitter(0.095, 0.015),
+			B: jitter(0.075, 0.012),
+			C: jitter(0.090, 0.015),
+		},
+		seed: seed ^ int64(id)*0x517CC1B727220A95,
+	}
+}
+
+// Cohort returns n volunteers drawn from a master seed.
+func Cohort(n int, seed int64) []Volunteer {
+	out := make([]Volunteer, n)
+	for i := range out {
+		out[i] = NewVolunteer(i+1, seed)
+	}
+	return out
+}
+
+// String labels the volunteer.
+func (v Volunteer) String() string { return fmt.Sprintf("volunteer %d %v", v.ID, v.Head) }
+
+// Rand returns a deterministic RNG for a named aspect of this volunteer
+// (e.g. "session", "noise"), so repeated experiments are reproducible and
+// independent aspects do not share streams.
+func (v Volunteer) Rand(aspect string) *rand.Rand {
+	h := v.seed
+	for _, c := range aspect {
+		h = h*1099511628211 ^ int64(c)
+	}
+	return rand.New(rand.NewSource(h))
+}
+
+// World instantiates the volunteer's acoustic world at the given sample
+// rate inside the given room.
+func (v Volunteer) World(sampleRate float64, rm room.Config) (*acoustic.World, error) {
+	hm, err := head.New(v.Head)
+	if err != nil {
+		return nil, err
+	}
+	prng := v.Rand("pinna")
+	return &acoustic.World{
+		Head:       hm,
+		Pinna:      [2]*pinna.Response{pinna.New(prng), pinna.New(prng)},
+		Room:       rm,
+		SampleRate: sampleRate,
+	}, nil
+}
+
+// GlobalWorld builds the "average human" world whose far-field HRTF plays
+// the role of the downloadable global template: population-mean head
+// parameters and the population-average pinna.
+func GlobalWorld(sampleRate float64) (*acoustic.World, error) {
+	hm, err := head.New(head.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	avg := pinna.Average(25, 0x6e1)
+	return &acoustic.World{
+		Head:       hm,
+		Pinna:      [2]*pinna.Response{avg, avg},
+		Room:       room.Config{Width: 4, Depth: 5, Absorption: 0.5, MaxOrder: 0},
+		SampleRate: sampleRate,
+	}, nil
+}

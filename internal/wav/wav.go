@@ -1,0 +1,131 @@
+// Package wav reads and writes 16-bit PCM WAV files with the standard
+// library only, so examples and tools can emit audible artifacts of the
+// personalized HRTFs (binaural renders, probe signals, impulse responses).
+package wav
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrFormat is returned for files this package cannot parse.
+var ErrFormat = errors.New("wav: unsupported or malformed file")
+
+// EncodeStereo writes a 16-bit PCM stereo WAV. Samples outside [-1, 1] are
+// clipped. The two channels must have equal length.
+func EncodeStereo(w io.Writer, left, right []float64, sampleRate int) error {
+	if len(left) != len(right) {
+		return errors.New("wav: channel length mismatch")
+	}
+	return encode(w, [][]float64{left, right}, sampleRate)
+}
+
+// EncodeMono writes a 16-bit PCM mono WAV.
+func EncodeMono(w io.Writer, samples []float64, sampleRate int) error {
+	return encode(w, [][]float64{samples}, sampleRate)
+}
+
+func encode(w io.Writer, chans [][]float64, sampleRate int) error {
+	if sampleRate <= 0 {
+		return errors.New("wav: sample rate must be positive")
+	}
+	numCh := len(chans)
+	frames := len(chans[0])
+	dataLen := frames * numCh * 2
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(36+dataLen))
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16)
+	binary.LittleEndian.PutUint16(hdr[20:22], 1) // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], uint16(numCh))
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(sampleRate))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(sampleRate*numCh*2))
+	binary.LittleEndian.PutUint16(hdr[32:34], uint16(numCh*2))
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(dataLen))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*numCh)
+	for i := 0; i < frames; i++ {
+		for c := 0; c < numCh; c++ {
+			binary.LittleEndian.PutUint16(buf[2*c:], uint16(toPCM16(chans[c][i])))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func toPCM16(v float64) int16 {
+	v = math.Max(-1, math.Min(1, v))
+	s := math.Round(v * 32767)
+	return int16(s)
+}
+
+// Decode reads a 16-bit PCM WAV written by this package (or any plain
+// PCM16 file) and returns its channels and sample rate.
+func Decode(r io.Reader) (chans [][]float64, sampleRate int, err error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" {
+		return nil, 0, ErrFormat
+	}
+	var numCh, bits int
+	var data []byte
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			return nil, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		size := int(binary.LittleEndian.Uint32(chunk[4:8]))
+		body := make([]byte, size+size%2) // chunks are word-aligned
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		switch string(chunk[0:4]) {
+		case "fmt ":
+			if size < 16 {
+				return nil, 0, ErrFormat
+			}
+			if binary.LittleEndian.Uint16(body[0:2]) != 1 {
+				return nil, 0, fmt.Errorf("%w: non-PCM encoding", ErrFormat)
+			}
+			numCh = int(binary.LittleEndian.Uint16(body[2:4]))
+			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+		case "data":
+			data = body[:size]
+		}
+	}
+	if numCh == 0 || sampleRate == 0 || data == nil {
+		return nil, 0, ErrFormat
+	}
+	if bits != 16 {
+		return nil, 0, fmt.Errorf("%w: %d-bit samples", ErrFormat, bits)
+	}
+	frames := len(data) / (2 * numCh)
+	chans = make([][]float64, numCh)
+	for c := range chans {
+		chans[c] = make([]float64, frames)
+	}
+	for i := 0; i < frames; i++ {
+		for c := 0; c < numCh; c++ {
+			raw := int16(binary.LittleEndian.Uint16(data[2*(i*numCh+c):]))
+			chans[c][i] = float64(raw) / 32767
+		}
+	}
+	return chans, sampleRate, nil
+}

@@ -1,0 +1,121 @@
+package wav
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStereoRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1000
+	left := make([]float64, n)
+	right := make([]float64, n)
+	for i := range left {
+		left[i] = 0.9 * (2*rng.Float64() - 1)
+		right[i] = 0.9 * (2*rng.Float64() - 1)
+	}
+	var buf bytes.Buffer
+	if err := EncodeStereo(&buf, left, right, 48000); err != nil {
+		t.Fatal(err)
+	}
+	chans, sr, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr != 48000 || len(chans) != 2 || len(chans[0]) != n {
+		t.Fatalf("decoded %d channels, %d frames at %d Hz", len(chans), len(chans[0]), sr)
+	}
+	for i := range left {
+		if math.Abs(chans[0][i]-left[i]) > 1.0/32000 {
+			t.Fatalf("left sample %d: %g vs %g", i, chans[0][i], left[i])
+		}
+		if math.Abs(chans[1][i]-right[i]) > 1.0/32000 {
+			t.Fatalf("right sample %d: %g vs %g", i, chans[1][i], right[i])
+		}
+	}
+}
+
+func TestMonoRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+		var buf bytes.Buffer
+		if err := EncodeMono(&buf, x, 44100); err != nil {
+			return false
+		}
+		chans, sr, err := Decode(&buf)
+		if err != nil || sr != 44100 || len(chans) != 1 {
+			return false
+		}
+		for i := range x {
+			if math.Abs(chans[0][i]-x[i]) > 1.0/32000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClipping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeMono(&buf, []float64{5, -5, 0}, 8000); err != nil {
+		t.Fatal(err)
+	}
+	chans, _, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chans[0][0] < 0.99 || chans[0][1] > -0.99 {
+		t.Errorf("out-of-range samples should clip: %v", chans[0])
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeStereo(&buf, []float64{1}, []float64{1, 2}, 48000); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := EncodeMono(&buf, []float64{1}, 0); err == nil {
+		t.Error("zero sample rate should fail")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, _, err := Decode(bytes.NewReader([]byte("not a wav file at all"))); !errors.Is(err, ErrFormat) {
+		t.Errorf("expected ErrFormat, got %v", err)
+	}
+	if _, _, err := Decode(bytes.NewReader(nil)); !errors.Is(err, ErrFormat) {
+		t.Error("empty input should fail with ErrFormat")
+	}
+	// Valid RIFF/WAVE but missing chunks.
+	hdr := append([]byte("RIFF"), 0, 0, 0, 0)
+	hdr = append(hdr, []byte("WAVE")...)
+	if _, _, err := Decode(bytes.NewReader(hdr)); !errors.Is(err, ErrFormat) {
+		t.Error("chunkless file should fail")
+	}
+}
+
+func TestHeaderFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeMono(&buf, make([]float64, 10), 22050); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if string(b[0:4]) != "RIFF" || string(b[8:12]) != "WAVE" || string(b[36:40]) != "data" {
+		t.Error("header magic wrong")
+	}
+	if len(b) != 44+20 {
+		t.Errorf("file size %d, want 64", len(b))
+	}
+}

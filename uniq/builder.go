@@ -1,0 +1,127 @@
+package uniq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// SessionBuilder assembles a SessionInput incrementally, the way a live
+// app collects it: configure once, append gyro batches and per-stop
+// recordings as they arrive, then Finish. The builder validates as it goes
+// so problems surface at collection time rather than after the sweep.
+type SessionBuilder struct {
+	in      SessionInput
+	lastIMU float64
+	err     error
+}
+
+// NewSessionBuilder starts a session for the given probe signal and sample
+// rate. syncOffset is the calibrated playback latency in seconds.
+func NewSessionBuilder(probe []float64, sampleRate, syncOffset float64) *SessionBuilder {
+	b := &SessionBuilder{
+		in: SessionInput{
+			Probe:      append([]float64(nil), probe...),
+			SampleRate: sampleRate,
+			SyncOffset: syncOffset,
+		},
+		lastIMU: math.Inf(-1),
+	}
+	if len(probe) == 0 {
+		b.err = errors.New("uniq: builder needs a probe signal")
+	}
+	if sampleRate <= 0 {
+		b.err = errors.New("uniq: builder needs a positive sample rate")
+	}
+	return b
+}
+
+// SetSystemIR attaches the measured speaker–mic response for compensation.
+func (b *SessionBuilder) SetSystemIR(ir []float64) *SessionBuilder {
+	if b.err == nil {
+		b.in.SystemIR = append([]float64(nil), ir...)
+	}
+	return b
+}
+
+// AddIMU appends one gyroscope sample (t seconds from session start,
+// vertical-axis rate in rad/s). Samples must arrive in time order.
+func (b *SessionBuilder) AddIMU(t, rateZ float64) *SessionBuilder {
+	if b.err != nil {
+		return b
+	}
+	if t < b.lastIMU {
+		b.err = fmt.Errorf("uniq: IMU sample at %.3fs arrived after %.3fs", t, b.lastIMU)
+		return b
+	}
+	b.lastIMU = t
+	b.in.IMU = append(b.in.IMU, IMUSample{T: t, RateZ: rateZ})
+	return b
+}
+
+// AddStop appends one measurement stop: the probe playback started at t
+// seconds and the earbuds captured the two channels.
+func (b *SessionBuilder) AddStop(t float64, left, right []float64) *SessionBuilder {
+	if b.err != nil {
+		return b
+	}
+	if len(left) == 0 || len(right) == 0 {
+		b.err = fmt.Errorf("uniq: stop at %.2fs has an empty channel", t)
+		return b
+	}
+	if n := len(b.in.Stops); n > 0 && t <= b.in.Stops[n-1].Time {
+		b.err = fmt.Errorf("uniq: stop at %.2fs out of order", t)
+		return b
+	}
+	if dsp.RMS(left) == 0 && dsp.RMS(right) == 0 {
+		// Accept but warn via error only at Finish if everything is
+		// silent; individual silent stops are dropped by the pipeline.
+		_ = t
+	}
+	b.in.Stops = append(b.in.Stops, StopRecording{
+		Time:  t,
+		Left:  append([]float64(nil), left...),
+		Right: append([]float64(nil), right...),
+	})
+	return b
+}
+
+// Err reports the first collection error, if any.
+func (b *SessionBuilder) Err() error { return b.err }
+
+// Finish validates and returns the assembled session input.
+func (b *SessionBuilder) Finish() (SessionInput, error) {
+	if b.err != nil {
+		return SessionInput{}, b.err
+	}
+	if len(b.in.Stops) < 5 {
+		return SessionInput{}, fmt.Errorf("uniq: only %d stops collected; the sweep needs at least 5", len(b.in.Stops))
+	}
+	if len(b.in.IMU) < 2 {
+		return SessionInput{}, errors.New("uniq: too few IMU samples")
+	}
+	if last := b.in.Stops[len(b.in.Stops)-1].Time; b.lastIMU < last {
+		return SessionInput{}, fmt.Errorf("uniq: IMU log ends at %.2fs before the last stop at %.2fs", b.lastIMU, last)
+	}
+	return b.in, nil
+}
+
+// Confidence summarizes how much to trust a personalized profile on a 0–1
+// scale, combining the sensor-fusion residual (dominant term) with the
+// gesture verdict. Applications can gate features on it (e.g. require
+// ≥0.7 before enabling AoA-based UI).
+func (p *Profile) Confidence() float64 {
+	if p == nil || p.Table == nil {
+		return 0
+	}
+	// 0° residual -> 1.0; 10° (the rejection threshold) -> ~0.25.
+	c := 1 / (1 + math.Pow(p.MeanResidualDeg/6, 2))
+	if p.QualityReport != "gesture ok" && p.QualityReport != "anechoic ground truth" &&
+		p.QualityReport != "global template" && p.QualityReport != "loaded from file" &&
+		p.QualityReport != "ring profile" {
+		c *= 0.5 // the sweep was flagged; profile forced through
+	}
+	return c
+}

@@ -1,0 +1,109 @@
+package uniq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hrtf"
+)
+
+func TestSessionBuilderHappyPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	// Rebuild a simulated session through the builder and verify the
+	// pipeline accepts the result identically.
+	u := VirtualUser{ID: 1, Seed: 42}
+	ref, err := SimulateSession(u, GestureGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewSessionBuilder(ref.Probe, ref.SampleRate, ref.SyncOffset).SetSystemIR(ref.SystemIR)
+	for _, s := range ref.IMU {
+		b.AddIMU(s.T, s.RateZ)
+	}
+	for _, stop := range ref.Stops {
+		b.AddStop(stop.Time, stop.Left, stop.Right)
+	}
+	in, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Personalize(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Confidence() < 0.3 {
+		t.Errorf("good sweep confidence %.2f too low", prof.Confidence())
+	}
+}
+
+func TestSessionBuilderValidation(t *testing.T) {
+	probe := Chirp(200, 8000, 0.02, 48000)
+
+	if _, err := NewSessionBuilder(nil, 48000, 0).Finish(); err == nil {
+		t.Error("missing probe should fail")
+	}
+	if _, err := NewSessionBuilder(probe, 0, 0).Finish(); err == nil {
+		t.Error("zero rate should fail")
+	}
+
+	b := NewSessionBuilder(probe, 48000, 0)
+	b.AddIMU(1, 0).AddIMU(0.5, 0)
+	if b.Err() == nil || !strings.Contains(b.Err().Error(), "after") {
+		t.Errorf("out-of-order IMU should fail, got %v", b.Err())
+	}
+
+	b = NewSessionBuilder(probe, 48000, 0)
+	b.AddStop(1, []float64{1}, nil)
+	if b.Err() == nil {
+		t.Error("empty channel should fail")
+	}
+
+	b = NewSessionBuilder(probe, 48000, 0)
+	b.AddStop(2, []float64{1}, []float64{1}).AddStop(1, []float64{1}, []float64{1})
+	if b.Err() == nil {
+		t.Error("out-of-order stop should fail")
+	}
+
+	// Too few stops.
+	b = NewSessionBuilder(probe, 48000, 0)
+	b.AddIMU(0, 0).AddIMU(10, 0)
+	b.AddStop(1, []float64{1}, []float64{1})
+	if _, err := b.Finish(); err == nil {
+		t.Error("too few stops should fail")
+	}
+
+	// IMU log ending before the last stop.
+	b = NewSessionBuilder(probe, 48000, 0)
+	b.AddIMU(0, 0).AddIMU(1, 0)
+	for i := 0; i < 6; i++ {
+		b.AddStop(float64(i)+0.5, []float64{1}, []float64{1})
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Error("short IMU log should fail")
+	}
+}
+
+func TestConfidenceScale(t *testing.T) {
+	var nilP *Profile
+	if nilP.Confidence() != 0 {
+		t.Error("nil profile confidence should be 0")
+	}
+	good := &Profile{Table: newEmptyTableForTest(), MeanResidualDeg: 1, QualityReport: "gesture ok"}
+	bad := &Profile{Table: newEmptyTableForTest(), MeanResidualDeg: 9, QualityReport: "gesture ok"}
+	flagged := &Profile{Table: newEmptyTableForTest(), MeanResidualDeg: 1, QualityReport: "phone too close"}
+	if !(good.Confidence() > bad.Confidence()) {
+		t.Error("confidence should fall with residual")
+	}
+	if !(good.Confidence() > flagged.Confidence()) {
+		t.Error("flagged sweeps should lose confidence")
+	}
+	if good.Confidence() <= 0.8 {
+		t.Errorf("1-degree residual should be high confidence, got %.2f", good.Confidence())
+	}
+}
+
+// newEmptyTableForTest builds a minimal table so Confidence sees a non-nil
+// profile.
+func newEmptyTableForTest() *hrtf.Table { return hrtf.NewTable(48000, 0, 90, 3) }

@@ -1,0 +1,41 @@
+package uniq
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestMeasureSyncOffsetPublic(t *testing.T) {
+	sr := 48000.0
+	probe := Chirp(150, 20000, 0.04, sr)
+	loop := dsp.FractionalDelay(probe, 0.002*sr)
+	got, err := MeasureSyncOffset(loop, probe, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.002) > 5e-5 {
+		t.Errorf("offset %g, want 0.002", got)
+	}
+}
+
+func TestCompactPublic(t *testing.T) {
+	p, err := GroundTruthProfile(VirtualUser{ID: 2, Seed: 3}, 48000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := p.Compact(15)
+	if small.Table.NumAngles() != 13 {
+		t.Fatalf("compact angles %d", small.Table.NumAngles())
+	}
+	// Rendering still works from a coarse slot.
+	l, r, err := small.Render([]float64{1}, 90, true)
+	if err != nil || len(l) == 0 || len(r) == 0 {
+		t.Fatalf("compact render failed: %v", err)
+	}
+	var nilP *Profile
+	if nilP.Compact(5) != nil {
+		t.Error("nil compact should stay nil")
+	}
+}

@@ -1,0 +1,82 @@
+package uniq
+
+import (
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// distanceProfile personalizes once for the distance-rendering tests (the
+// near table requires the pipeline; ground-truth profiles only carry far
+// entries).
+func distanceProfile(t *testing.T) *Profile {
+	t.Helper()
+	in, err := SimulateSession(VirtualUser{ID: 1, Seed: 42}, GestureGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Personalize(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRenderAtDistance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	p := distanceProfile(t)
+	click := dsp.DelayedImpulse(512, 128, 1)
+
+	// Closer is louder.
+	nearL, _, err := p.RenderAtDistance(click, 60, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farL, farR, err := p.RenderAtDistance(click, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.Energy(nearL) <= dsp.Energy(farL) {
+		t.Error("a 0.4 m source should be louder than a 3 m one")
+	}
+
+	// Beyond the boundary the render matches the pure far-field path
+	// up to the 1/r gain.
+	pureL, pureR, err := p.Render(click, 60, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := dsp.NormXCorrPeak(farL, pureL)
+	cr, _ := dsp.NormXCorrPeak(farR, pureR)
+	if cl < 0.999 || cr < 0.999 {
+		t.Errorf("far render should match the far table (corr %.4f/%.4f)", cl, cr)
+	}
+
+	// Inside the boundary it matches the near table.
+	pnL, _, err := p.Render(click, 60, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, _ := dsp.NormXCorrPeak(nearL, pnL)
+	if cn < 0.999 {
+		t.Errorf("near render should match the near table (corr %.4f)", cn)
+	}
+
+	// The crossfade midpoint blends both (correlates well with either).
+	midL, _, err := p.RenderAtDistance(click, 60, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmn, _ := dsp.NormXCorrPeak(midL, pnL)
+	cmf, _ := dsp.NormXCorrPeak(midL, pureL)
+	if cmn < 0.8 || cmf < 0.8 {
+		t.Errorf("boundary render should resemble both fields (%.3f near, %.3f far)", cmn, cmf)
+	}
+
+	var nilP *Profile
+	if _, _, err := nilP.RenderAtDistance(click, 0, 1); err == nil {
+		t.Error("nil profile should fail")
+	}
+}

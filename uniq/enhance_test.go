@@ -1,0 +1,99 @@
+package uniq
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestEnhanceFromSuppressesInterferer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("beamforming scenario")
+	}
+	u := VirtualUser{ID: 8, Seed: 44}
+	// Ground-truth profile isolates the beamformer from pipeline error.
+	prof, err := GroundTruthProfile(u, 48000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	target := dsp.WhiteNoise(12000, rng)
+	interf := dsp.Music(0.25, 48000, rng)
+	tL, tR, err := SimulateAmbientSound(u, target, 45, 48000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iL, iR, err := SimulateAmbientSound(u, interf, 150, 48000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixL := dsp.Add(tL, iL)
+	mixR := dsp.Add(tR, iR)
+	enhanced, err := prof.EnhanceFrom(mixL, mixR, 45, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leakBefore, _ := dsp.NormXCorrPeak(interf, mixR)
+	leakAfter, _ := dsp.NormXCorrPeak(interf, enhanced)
+	if leakAfter >= leakBefore {
+		t.Errorf("null should reduce interferer leakage: %.3f -> %.3f", leakBefore, leakAfter)
+	}
+	keepBefore, _ := dsp.NormXCorrPeak(target, mixR)
+	keepAfter, _ := dsp.NormXCorrPeak(target, enhanced)
+	if keepAfter < keepBefore {
+		t.Errorf("target should not degrade: %.3f -> %.3f", keepBefore, keepAfter)
+	}
+	// Without a null the call still works.
+	if _, err := prof.EnhanceFrom(mixL, mixR, 45, -1); err != nil {
+		t.Fatal(err)
+	}
+	var nilP *Profile
+	if _, err := nilP.EnhanceFrom(mixL, mixR, 45, -1); err == nil {
+		t.Error("nil profile should fail")
+	}
+}
+
+func TestProfile3DSaveLoadPublic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ring pipeline")
+	}
+	u := VirtualUser{ID: 9, Seed: 55}
+	rings, err := SimulateSphericalSession(u, GestureGood, []float64{0, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := PersonalizeSpherical(rings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p3.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load3D(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Elevations()) != 2 {
+		t.Fatalf("elevations %v", back.Elevations())
+	}
+	mono := dsp.Tone(500, 0.02, 48000)
+	l1, _, err := p3.Render(mono, 60, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := back.Render(mono, 60, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := dsp.NormXCorrPeak(l1, l2)
+	if c < 0.999 {
+		t.Errorf("render changed across save/load (corr %.4f)", c)
+	}
+	var nilP *Profile3D
+	if err := nilP.Save(&buf); err == nil {
+		t.Error("nil 3D profile save should fail")
+	}
+}

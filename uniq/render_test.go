@@ -1,0 +1,88 @@
+package uniq
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// groundTruthProfileForTest avoids the full pipeline for render-only tests.
+func groundTruthProfileForTest(t *testing.T) *Profile {
+	t.Helper()
+	p, err := GroundTruthProfile(VirtualUser{ID: 5, Seed: 6}, 48000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRenderMovingPublic(t *testing.T) {
+	p := groundTruthProfileForTest(t)
+	mono := dsp.Tone(500, 0.2, 48000)
+	l, r, err := p.RenderMoving(mono, func(t float64) float64 { return 30 + 300*t })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) == 0 || len(r) == 0 {
+		t.Fatal("empty moving render")
+	}
+	var nilProfile *Profile
+	if _, _, err := nilProfile.RenderMoving(mono, nil); err == nil {
+		t.Error("nil profile should fail")
+	}
+}
+
+func TestTrackHeadPublic(t *testing.T) {
+	p := groundTruthProfileForTest(t)
+	mono := dsp.Tone(700, 0.3, 48000)
+	l, r, err := p.TrackHead(mono, 45, func(t float64) float64 { return 90 * t })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) == 0 || len(r) == 0 {
+		t.Fatal("empty tracked render")
+	}
+}
+
+func TestRenderInRoomPublic(t *testing.T) {
+	p := groundTruthProfileForTest(t)
+	click := dsp.DelayedImpulse(1024, 512, 1)
+	dryL, _, err := p.Render(click, 60, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wetL, wetR, err := p.RenderInRoom(click, 60, 1.2, RoomOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wetL) <= len(dryL) {
+		t.Error("room render should have a longer tail than the anechoic render")
+	}
+	if dsp.Energy(wetL)+dsp.Energy(wetR) <= dsp.Energy(dryL) {
+		t.Error("room render should carry reflection energy")
+	}
+}
+
+func TestWriteWAVPublic(t *testing.T) {
+	p := groundTruthProfileForTest(t)
+	mono := dsp.Tone(500, 0.05, 48000)
+	l, r, err := p.Render(mono, 45, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize to avoid clipping in the WAV.
+	peak := math.Max(dsp.MaxAbs(l), dsp.MaxAbs(r))
+	if peak > 1 {
+		l = dsp.Scale(l, 0.9/peak)
+		r = dsp.Scale(r, 0.9/peak)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteWAV(&buf, l, r); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 44+len(l)*4 {
+		t.Errorf("WAV suspiciously small: %d bytes", buf.Len())
+	}
+}

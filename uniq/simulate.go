@@ -1,0 +1,123 @@
+package uniq
+
+import (
+	"math/rand"
+
+	"repro/internal/acoustic"
+	"repro/internal/dsp"
+	"repro/internal/hrtf"
+	"repro/internal/room"
+	"repro/internal/sim"
+)
+
+// VirtualUser identifies a reproducible simulated person: head geometry and
+// pinna anatomy derive deterministically from (ID, Seed).
+type VirtualUser struct {
+	ID   int
+	Seed int64
+}
+
+// GestureQuality mirrors sim.GestureQuality for the public API.
+type GestureQuality = sim.GestureQuality
+
+// Gesture quality levels for SimulateSession.
+const (
+	GestureGood     = sim.GestureGood
+	GestureArmDroop = sim.GestureArmDroop
+	GestureWild     = sim.GestureWild
+)
+
+// SimulateSession produces a complete measurement session for a virtual
+// user — the drop-in substitute for real phone + earbud hardware. The
+// returned input feeds Personalize directly.
+func SimulateSession(u VirtualUser, quality GestureQuality) (SessionInput, error) {
+	v := sim.NewVolunteer(u.ID, u.Seed)
+	s, err := sim.RunSession(v, sim.SessionConfig{Quality: quality})
+	if err != nil {
+		return SessionInput{}, err
+	}
+	in := SessionInput{
+		Probe:      s.Probe,
+		SampleRate: s.SampleRate,
+		IMU:        s.IMU,
+		SystemIR:   s.SystemIR,
+		SyncOffset: s.SyncOffset,
+	}
+	for _, m := range s.Measurements {
+		in.Stops = append(in.Stops, StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
+	}
+	return in, nil
+}
+
+// SimulateAmbientSound renders what the virtual user's earbuds would record
+// for a far-field source playing src from angleDeg — useful for testing
+// DirectionOf end to end without hardware.
+func SimulateAmbientSound(u VirtualUser, src []float64, angleDeg, sampleRate, noiseStd float64) (left, right []float64, err error) {
+	v := sim.NewVolunteer(u.ID, u.Seed)
+	w, err := v.World(sampleRate, room.Config{Width: 8, Depth: 8, Absorption: 0.9, MaxOrder: 0})
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := w.RecordFarField(src, angleDeg, acoustic.RecordOptions{
+		NoiseStd: noiseStd,
+		Rng:      rand.New(rand.NewSource(u.Seed ^ int64(angleDeg*1000))),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec.Left, rec.Right, nil
+}
+
+// GroundTruthProfile measures the virtual user's true far-field HRTF in a
+// simulated anechoic chamber — the evaluation upper bound. Real deployments
+// cannot call this; it exists so experiments and examples can quantify
+// personalization quality.
+func GroundTruthProfile(u VirtualUser, sampleRate, stepDeg float64) (*Profile, error) {
+	v := sim.NewVolunteer(u.ID, u.Seed)
+	t, err := sim.MeasureGroundTruthFar(v, sampleRate, stepDeg)
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{Table: t, HeadParams: v.Head, QualityReport: "anechoic ground truth"}, nil
+}
+
+// GlobalProfile returns the non-personalized population-average template —
+// the baseline today's products ship.
+func GlobalProfile(sampleRate, stepDeg float64) (*Profile, error) {
+	t, err := sim.GlobalTemplateFar(sampleRate, stepDeg)
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{Table: t, QualityReport: "global template"}, nil
+}
+
+// Similarity reports the mean per-ear HRIR correlation between two
+// profiles' far-field tables over their overlapping angles — the paper's
+// personalization-quality metric (Fig 18).
+func Similarity(a, b *Profile) float64 {
+	if a == nil || b == nil || a.Table == nil || b.Table == nil {
+		return 0
+	}
+	n := 0
+	total := 0.0
+	for i := 0; i < a.Table.NumAngles(); i++ {
+		angle := a.Table.Angle(i)
+		ha := a.Table.Far[i]
+		hb, err := b.Table.FarAt(angle)
+		if err != nil || ha.Empty() || hb.Empty() {
+			continue
+		}
+		total += hrtf.MeanCorrelation(ha, hb)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Chirp exposes the standard probe generator so deployments can emit the
+// same signal the estimator expects.
+func Chirp(f0, f1, seconds, sampleRate float64) []float64 {
+	return dsp.Chirp(f0, f1, seconds, sampleRate)
+}

@@ -1,0 +1,109 @@
+package uniq
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The paper's §7 names 3-D (azimuth + elevation) HRTFs as the natural
+// extension: "the user would now need to move the phone on a sphere around
+// the head". This file implements that extension: the user repeats the
+// sweep on a few elevation rings (arm lowered / level / raised), each ring
+// runs the 2-D pipeline against the head cross-section its creeping wave
+// sees, and lookups interpolate across rings.
+
+// Profile3D is a personalized HRTF indexed by azimuth and elevation.
+type Profile3D struct {
+	inner *core.Profile3D
+}
+
+// SimulateSphericalSession simulates one sweep per elevation ring (degrees
+// within ±60) for a virtual user.
+func SimulateSphericalSession(u VirtualUser, quality GestureQuality, elevations []float64) (map[float64]SessionInput, error) {
+	v := sim.NewVolunteer(u.ID, u.Seed)
+	sessions, err := sim.RunSphericalSession(v, sim.SessionConfig{Quality: quality}, elevations)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[float64]SessionInput, len(sessions))
+	for elev, s := range sessions {
+		in := SessionInput{
+			Probe:      s.Probe,
+			SampleRate: s.SampleRate,
+			IMU:        s.IMU,
+			SystemIR:   s.SystemIR,
+			SyncOffset: s.SyncOffset,
+		}
+		for _, m := range s.Measurements {
+			in.Stops = append(in.Stops, StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
+		}
+		out[elev] = in
+	}
+	return out, nil
+}
+
+// PersonalizeSpherical runs the UNIQ pipeline once per elevation ring and
+// returns the 3-D profile.
+func PersonalizeSpherical(rings map[float64]SessionInput, opt Options) (*Profile3D, error) {
+	p, err := core.PersonalizeSpherical(rings, core.PipelineOptions{
+		SkipGestureCheck:      opt.SkipGestureCheck,
+		DisableRoomTruncation: opt.DisableRoomEchoTruncation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Profile3D{inner: p}, nil
+}
+
+// Render spatializes a mono sound from (azimuth, elevation), both degrees.
+func (p *Profile3D) Render(mono []float64, azimuthDeg, elevationDeg float64) (left, right []float64, err error) {
+	if p == nil || p.inner == nil {
+		return nil, nil, errors.New("uniq: empty 3D profile")
+	}
+	return p.inner.RenderAt(mono, azimuthDeg, elevationDeg)
+}
+
+// Elevations returns the measured ring elevations, ascending.
+func (p *Profile3D) Elevations() []float64 {
+	if p == nil || p.inner == nil {
+		return nil
+	}
+	return append([]float64(nil), p.inner.Elevations...)
+}
+
+// Save writes the 3-D profile (all rings) as JSON.
+func (p *Profile3D) Save(w io.Writer) error {
+	if p == nil || p.inner == nil {
+		return errors.New("uniq: empty 3D profile")
+	}
+	return p.inner.Encode(w)
+}
+
+// Load3D reads a 3-D profile previously written by Save.
+func Load3D(r io.Reader) (*Profile3D, error) {
+	inner, err := core.Decode3D(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Profile3D{inner: inner}, nil
+}
+
+// RingProfile returns the 2-D profile of one measured ring.
+func (p *Profile3D) RingProfile(elevationDeg float64) (*Profile, error) {
+	if p == nil || p.inner == nil {
+		return nil, errors.New("uniq: empty 3D profile")
+	}
+	ring, ok := p.inner.Rings[elevationDeg]
+	if !ok {
+		return nil, errors.New("uniq: no ring at that elevation")
+	}
+	return &Profile{
+		Table:           ring.Table,
+		HeadParams:      ring.HeadParams,
+		QualityReport:   "ring profile",
+		MeanResidualDeg: ring.MeanResidualDeg,
+	}, nil
+}

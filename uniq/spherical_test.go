@@ -1,0 +1,62 @@
+package uniq
+
+import (
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestSphericalPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-ring pipeline")
+	}
+	u := VirtualUser{ID: 6, Seed: 12}
+	rings, err := SimulateSphericalSession(u, GestureGood, []float64{0, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rings) != 2 {
+		t.Fatalf("%d rings", len(rings))
+	}
+	p3, err := PersonalizeSpherical(rings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p3.Elevations(); len(got) != 2 || got[0] != 0 || got[1] != 30 {
+		t.Fatalf("elevations %v", got)
+	}
+	mono := dsp.Tone(600, 0.05, 48000)
+	l, r, err := p3.Render(mono, 70, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) == 0 || len(r) == 0 {
+		t.Fatal("empty 3D render")
+	}
+	ring, err := p3.RingProfile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Table == nil {
+		t.Fatal("ring profile missing table")
+	}
+	if _, err := p3.RingProfile(99); err == nil {
+		t.Error("unknown ring should fail")
+	}
+	var nilP *Profile3D
+	if _, _, err := nilP.Render(mono, 0, 0); err == nil {
+		t.Error("nil 3D profile should fail")
+	}
+	if nilP.Elevations() != nil {
+		t.Error("nil 3D profile elevations should be nil")
+	}
+}
+
+func TestSphericalSessionValidation(t *testing.T) {
+	if _, err := SimulateSphericalSession(VirtualUser{ID: 1, Seed: 1}, GestureGood, nil); err == nil {
+		t.Error("no elevations should fail")
+	}
+	if _, err := PersonalizeSpherical(nil, Options{}); err == nil {
+		t.Error("no rings should fail")
+	}
+}

@@ -1,0 +1,179 @@
+// Package uniq is the public API of the UNIQ HRTF personalization system
+// (SIGCOMM 2021: "Personalizing Head Related Transfer Functions for
+// Earables").
+//
+// A downstream application uses it in three steps:
+//
+//  1. Collect a measurement session: the user wears earbuds with in-ear
+//     microphones and sweeps their phone around their head while it plays
+//     the probe signal; the app records stereo audio per stop and the
+//     phone's gyroscope throughout. (For experimentation without hardware,
+//     SimulateSession produces an equivalent session from a virtual user.)
+//
+//  2. Call Personalize. It estimates the per-stop acoustic channels,
+//     jointly fits the user's head-diffraction parameters and the phone
+//     track (sensor fusion), interpolates the near-field HRTF and
+//     synthesizes the far-field HRTF. The result is a Profile.
+//
+//  3. Use the Profile: render spatial audio from any direction
+//     (Profile.Render), estimate the direction of ambient sounds
+//     (Profile.DirectionOf, Profile.DirectionOfKnown), or export/import
+//     the underlying lookup table as JSON (Profile.Save, Load).
+package uniq
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/head"
+	"repro/internal/hrtf"
+	"repro/internal/imu"
+)
+
+// SessionInput is a measurement session as collected by a deployment. See
+// core.SessionInput; the alias keeps one definition of the contract.
+type SessionInput = core.SessionInput
+
+// StopRecording is one measurement stop's stereo recording.
+type StopRecording = core.StopRecording
+
+// IMUSample is one gyroscope reading (vertical-axis rate, rad/s).
+type IMUSample = imu.Sample
+
+// ErrBadGesture is returned by Personalize when the sweep failed the
+// automatic quality check and should be redone.
+var ErrBadGesture = core.ErrBadGesture
+
+// Profile is a personalized HRTF profile for one user.
+type Profile struct {
+	// Table is the §4.4 lookup table (near- and far-field HRIRs indexed
+	// by angle in degrees, 0 = straight ahead, 90 = left, 180 = behind).
+	Table *hrtf.Table
+	// HeadParams are the fitted head-shape parameters E = (a, b, c) in
+	// metres.
+	HeadParams head.Params
+	// QualityReport summarizes the measurement sweep.
+	QualityReport string
+	// MeanResidualDeg is the sensor-fusion residual; small values
+	// indicate a trustworthy profile.
+	MeanResidualDeg float64
+}
+
+// Options tunes Personalize. The zero value is a good default.
+type Options struct {
+	// SkipGestureCheck accepts sweeps that would otherwise be rejected.
+	SkipGestureCheck bool
+	// DisableRoomEchoTruncation keeps room reverberation in the
+	// estimated channels (not recommended; exists for analysis).
+	DisableRoomEchoTruncation bool
+}
+
+// Personalize runs the full UNIQ pipeline on a measurement session.
+func Personalize(in SessionInput, opt Options) (*Profile, error) {
+	p, err := core.Personalize(in, core.PipelineOptions{
+		SkipGestureCheck:      opt.SkipGestureCheck,
+		DisableRoomTruncation: opt.DisableRoomEchoTruncation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reason := "gesture ok"
+	if !p.Gesture.OK {
+		reason = p.Gesture.Reason
+	}
+	return &Profile{
+		Table:           p.Table,
+		HeadParams:      p.HeadParams,
+		QualityReport:   reason,
+		MeanResidualDeg: p.MeanResidualDeg,
+	}, nil
+}
+
+// Render spatializes a mono sound so the listener perceives it arriving
+// from angleDeg. Set farField for sources beyond roughly one metre (the
+// usual case); near-field rendering uses the measured arm-distance HRTF.
+func (p *Profile) Render(mono []float64, angleDeg float64, farField bool) (left, right []float64, err error) {
+	if p == nil || p.Table == nil {
+		return nil, nil, errors.New("uniq: empty profile")
+	}
+	return p.Table.RenderAt(mono, angleDeg, farField)
+}
+
+// DirectionOf estimates the arrival angle (degrees, 0–180) of an unknown
+// ambient sound captured by the two in-ear microphones.
+func (p *Profile) DirectionOf(left, right []float64) (float64, error) {
+	est, err := core.EstimateAoAUnknown(left, right, p.Table, core.AoAOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return est.AngleDeg, nil
+}
+
+// DirectionOfKnown estimates the arrival angle of a known source signal
+// (e.g. a beacon the app itself emits).
+func (p *Profile) DirectionOfKnown(left, right, src []float64) (float64, error) {
+	est, err := core.EstimateAoAKnown(left, right, src, p.Table, core.AoAOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return est.AngleDeg, nil
+}
+
+// EnhanceFrom beamforms toward a target direction using the personalized
+// HRTF (the hearing-aid scenario of §4.5: listen to the person you face in
+// a noisy room). Pass the direction of a known interferer as nullDeg to
+// steer a spatial null at it — with two microphones one null is available,
+// and it provides most of the benefit; pass a negative nullDeg to skip.
+func (p *Profile) EnhanceFrom(left, right []float64, targetDeg, nullDeg float64) ([]float64, error) {
+	if p == nil || p.Table == nil {
+		return nil, errors.New("uniq: empty profile")
+	}
+	opt := core.BeamformOptions{}
+	if nullDeg >= 0 {
+		opt.NullAngleDeg = &nullDeg
+		// Callers typically obtained nullDeg from AoA estimation;
+		// power-minimizing refinement absorbs that estimation error.
+		opt.AdaptiveNull = true
+	}
+	return core.BeamformToward(left, right, targetDeg, p.Table, opt)
+}
+
+// MeasureSyncOffset calibrates the playback chain's latency from a loopback
+// recording (play the probe with the mic held at the speaker; pass the
+// recording here). The result goes into SessionInput.SyncOffset.
+func MeasureSyncOffset(loopback, probe []float64, sampleRate float64) (float64, error) {
+	return core.MeasureSyncOffset(loopback, probe, sampleRate)
+}
+
+// Compact returns a copy of the profile with the lookup table downsampled
+// to every step-th angle — for shipping to constrained devices.
+func (p *Profile) Compact(step int) *Profile {
+	if p == nil || p.Table == nil {
+		return p
+	}
+	return &Profile{
+		Table:           p.Table.Compact(step),
+		HeadParams:      p.HeadParams,
+		QualityReport:   p.QualityReport,
+		MeanResidualDeg: p.MeanResidualDeg,
+	}
+}
+
+// Save writes the profile's lookup table as JSON.
+func (p *Profile) Save(w io.Writer) error {
+	if p == nil || p.Table == nil {
+		return errors.New("uniq: empty profile")
+	}
+	return p.Table.Encode(w)
+}
+
+// Load reads a lookup table previously written by Save and wraps it in a
+// Profile (head parameters are not persisted in the table format).
+func Load(r io.Reader) (*Profile, error) {
+	t, err := hrtf.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{Table: t, QualityReport: "loaded from file"}, nil
+}

@@ -1,0 +1,123 @@
+package uniq
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	u := VirtualUser{ID: 1, Seed: 2024}
+	in, err := SimulateSession(u, GestureGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Personalize(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Table == nil || prof.Table.NumAngles() == 0 {
+		t.Fatal("empty profile table")
+	}
+
+	// The personalized profile should be closer to ground truth than the
+	// global template is.
+	gnd, err := GroundTruthProfile(u, in.SampleRate, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err := GlobalProfile(in.SampleRate, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPers := Similarity(gnd, prof)
+	sGlob := Similarity(gnd, glob)
+	t.Logf("similarity to ground truth: personalized %.3f, global %.3f", sPers, sGlob)
+	if sPers <= sGlob {
+		t.Errorf("personalized (%.3f) should beat global (%.3f)", sPers, sGlob)
+	}
+
+	// Rendering and AoA round trip: render via ground truth world, then
+	// let the profile estimate the direction back.
+	src := dsp.WhiteNoise(9600, rand.New(rand.NewSource(5)))
+	left, right, err := SimulateAmbientSound(u, src, 70, in.SampleRate, 0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := prof.DirectionOf(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(deg-70) > 25 {
+		t.Errorf("DirectionOf = %.0f deg, want ~70", deg)
+	}
+
+	// Save/Load round trip.
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Similarity(prof, back) < 0.999 {
+		t.Error("profile changed across save/load")
+	}
+
+	// Render produces a binaural pair.
+	l, r, err := prof.Render(src[:2400], 45, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) == 0 || len(r) == 0 {
+		t.Error("render returned empty channels")
+	}
+}
+
+func TestPersonalizeRejectsBadGesture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	u := VirtualUser{ID: 9, Seed: 3}
+	in, err := SimulateSession(u, GestureArmDroop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Personalize(in, Options{}); err == nil {
+		t.Error("bad gesture should be rejected")
+	}
+	prof, err := Personalize(in, Options{SkipGestureCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.QualityReport == "gesture ok" {
+		t.Error("quality report should carry the rejection reason")
+	}
+}
+
+func TestEmptyProfileGuards(t *testing.T) {
+	var p *Profile
+	if _, _, err := p.Render([]float64{1}, 0, true); err == nil {
+		t.Error("nil profile render should fail")
+	}
+	if err := p.Save(&bytes.Buffer{}); err == nil {
+		t.Error("nil profile save should fail")
+	}
+	if Similarity(nil, nil) != 0 {
+		t.Error("nil similarity should be 0")
+	}
+}
+
+func TestChirpExposed(t *testing.T) {
+	c := Chirp(100, 1000, 0.01, 48000)
+	if len(c) != 480 {
+		t.Errorf("chirp length %d", len(c))
+	}
+}
