@@ -11,11 +11,17 @@
 package repro
 
 import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/service"
 	"repro/internal/sim"
 )
 
@@ -182,5 +188,79 @@ func BenchmarkSessionSimulation(b *testing.B) {
 		if _, err := sim.RunSession(v, sim.SessionConfig{NumStops: 12}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- serving layer (internal/service) ---
+
+// BenchmarkServiceThroughput measures sessions/sec through the uniqd worker
+// pool over the wire: submit b.N pre-simulated sessions via the typed
+// client against an httptest server, wait for all jobs to drain. Sub-benches
+// sweep the worker count (1, 4, NumCPU) to expose pool scaling; the solve
+// uses a deliberately coarse fusion search so the bench exercises the
+// serving machinery rather than the full-resolution optimizer.
+func BenchmarkServiceThroughput(b *testing.B) {
+	v := sim.NewVolunteer(1, 777)
+	sess, err := sim.RunSession(v, sim.SessionConfig{NumStops: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := core.SessionInput{
+		Probe: sess.Probe, SampleRate: sess.SampleRate,
+		IMU: sess.IMU, SystemIR: sess.SystemIR, SyncOffset: sess.SyncOffset,
+	}
+	for _, m := range sess.Measurements {
+		in.Stops = append(in.Stops, core.StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
+	}
+	pipeline := core.PipelineOptions{
+		Fusion: core.FusionOptions{
+			GridPoints: 2,
+			MaxEvals:   40,
+			Loc:        core.LocalizerOptions{AngleStepDeg: 3, RadiusSteps: 8, BoundaryVertices: 120},
+		},
+		Gesture: core.GestureLimits{MaxResidualDeg: 15},
+	}
+
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc, err := service.New(service.Config{
+				StoreDir:   b.TempDir(),
+				Workers:    workers,
+				QueueDepth: b.N + workers,
+				Pipeline:   pipeline,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(svc.Handler())
+			defer ts.Close()
+			client := service.NewClient(ts.URL)
+			ctx := context.Background()
+
+			b.ResetTimer()
+			ids := make([]string, b.N)
+			for i := 0; i < b.N; i++ {
+				id, err := client.Submit(ctx, fmt.Sprintf("bench%d", i), in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[i] = id
+			}
+			start := time.Now()
+			for _, id := range ids {
+				if _, err := client.WaitDone(ctx, id, 20*time.Millisecond); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "sessions/sec")
+			sdCtx, cancel := context.WithTimeout(ctx, time.Minute)
+			defer cancel()
+			if err := svc.Shutdown(sdCtx); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

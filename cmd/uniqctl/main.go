@@ -1,9 +1,13 @@
 // Command uniqctl runs the UNIQ personalization pipeline on a simulated
-// measurement session and exports the resulting §4.4 lookup table.
+// measurement session and exports the resulting §4.4 lookup table — or,
+// with the submit/get subcommands, drives a running uniqd server instead
+// of solving in-process.
 //
 // Usage:
 //
 //	uniqctl [-user N] [-seed N] [-quality good|droop|wild] [-out table.json] [-compare]
+//	uniqctl submit -server http://host:8080 [-user N] [-seed N] [-quality good|droop|wild] [-name ID]
+//	uniqctl get    -server http://host:8080 -name ID [-out profile.json]
 //
 // -compare additionally measures the user's ground-truth HRTF and the
 // global template and reports the personalization gain.
@@ -18,6 +22,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "submit":
+			runSubmit(os.Args[2:])
+			return
+		case "get":
+			runGet(os.Args[2:])
+			return
+		}
+	}
 	user := flag.Int("user", 1, "virtual user id")
 	seed := flag.Int64("seed", 2024, "virtual user seed")
 	quality := flag.String("quality", "good", "gesture quality: good, droop, wild")
@@ -29,15 +43,8 @@ func main() {
 	spherical := flag.Bool("spherical", false, "measure on three elevation rings (3D extension)")
 	flag.Parse()
 
-	var q uniq.GestureQuality
-	switch *quality {
-	case "good":
-		q = uniq.GestureGood
-	case "droop":
-		q = uniq.GestureArmDroop
-	case "wild":
-		q = uniq.GestureWild
-	default:
+	q, ok := parseQuality(*quality)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "uniqctl: unknown quality %q\n", *quality)
 		os.Exit(2)
 	}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/service"
+	"repro/uniq"
+)
+
+// runSubmit simulates a volunteer's measurement sweep and submits it to a
+// uniqd server, polling the job to completion.
+func runSubmit(args []string) {
+	fs := flag.NewFlagSet("uniqctl submit", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "uniqd base URL")
+	user := fs.Int("user", 1, "virtual user id")
+	seed := fs.Int64("seed", 2024, "virtual user seed")
+	quality := fs.String("quality", "good", "gesture quality: good, droop, wild")
+	name := fs.String("name", "", "profile owner id on the server (default vol<user>)")
+	timeout := fs.Duration("timeout", 15*time.Minute, "give up after this long")
+	fs.Parse(args)
+
+	q, ok := parseQuality(*quality)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "uniqctl: unknown quality %q\n", *quality)
+		os.Exit(2)
+	}
+	owner := *name
+	if owner == "" {
+		owner = fmt.Sprintf("vol%d", *user)
+	}
+
+	fmt.Printf("simulating measurement sweep for user %d (seed %d, gesture %s)...\n", *user, *seed, q)
+	in, err := uniq.SimulateSession(uniq.VirtualUser{ID: *user, Seed: *seed}, q)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := service.NewClient(*server)
+	jobID, err := c.Submit(ctx, owner, in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("submitted: job %s for profile %q; polling...\n", jobID, owner)
+	st, err := c.WaitDone(ctx, jobID, time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	took := time.Duration(st.FinishedUnixMS-st.SubmittedUnixMS) * time.Millisecond
+	fmt.Printf("done in %v\n", took)
+
+	prof, err := c.Profile(ctx, owner)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profile %q: head %+v, residual %.1f°, table %d angles\n",
+		prof.User, prof.HeadParams, prof.MeanResidualDeg, prof.Table.NumAngles())
+}
+
+// runGet fetches a stored profile from a uniqd server.
+func runGet(args []string) {
+	fs := flag.NewFlagSet("uniqctl get", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "uniqd base URL")
+	name := fs.String("name", "", "profile owner id on the server (required)")
+	out := fs.String("out", "", "write the full profile JSON to this file")
+	fs.Parse(args)
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "uniqctl get: -name is required")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	prof, err := service.NewClient(*server).Profile(ctx, *name)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profile %q (job %s): head %+v, residual %.1f°, table %d angles, gesture ok=%v\n",
+		prof.User, prof.JobID, prof.HeadParams, prof.MeanResidualDeg,
+		prof.Table.NumAngles(), prof.GestureOK)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(prof); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// parseQuality maps the CLI quality names to gesture qualities.
+func parseQuality(s string) (uniq.GestureQuality, bool) {
+	switch s {
+	case "good":
+		return uniq.GestureGood, true
+	case "droop":
+		return uniq.GestureArmDroop, true
+	case "wild":
+		return uniq.GestureWild, true
+	}
+	return uniq.GestureGood, false
+}

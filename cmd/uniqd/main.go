@@ -1,0 +1,96 @@
+// Command uniqd serves UNIQ HRTF personalization over HTTP: measurement
+// sessions go into a bounded job queue drained by a worker pool running the
+// full pipeline; completed profiles are persisted to a directory of JSON
+// files (with an in-memory LRU in front) and served to readers alongside
+// AoA queries and binaural renders.
+//
+// Usage:
+//
+//	uniqd [-addr :8080] [-dir ./profiles] [-workers N] [-queue N]
+//	      [-job-timeout 10m] [-cache N]
+//
+// API (see DESIGN.md for the full table):
+//
+//	POST /v1/sessions                 submit a session  -> 202 {jobId}
+//	GET  /v1/jobs/{id}                poll a job
+//	GET  /v1/profiles                 list users
+//	GET  /v1/profiles/{user}          fetch a stored profile
+//	POST /v1/profiles/{user}/aoa      angle-of-arrival query
+//	POST /v1/profiles/{user}/render   short binaural render
+//	GET  /debug/metrics               Prometheus text metrics
+//	GET  /healthz                     liveness
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the listener stops, in-flight
+// HTTP requests and every accepted job drain (bounded by -drain-timeout),
+// and completed profiles are on disk before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "./profiles", "profile store directory")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent personalization solves")
+	queue := flag.Int("queue", 64, "bounded job queue depth")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job solve deadline")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain deadline")
+	cache := flag.Int("cache", 128, "profiles kept in the in-memory LRU")
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		StoreDir:   *dir,
+		CacheSize:  *cache,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+	})
+	if err != nil {
+		log.Fatalf("uniqd: %v", err)
+	}
+	users, err := svc.Store().Users()
+	if err != nil {
+		log.Fatalf("uniqd: %v", err)
+	}
+	log.Printf("uniqd: store %s holds %d profile(s); %d worker(s), queue %d",
+		*dir, len(users), *workers, *queue)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("uniqd: listening on %s", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("uniqd: shutting down, draining jobs (up to %v)...", *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("uniqd: %v", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("uniqd: http drain: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("uniqd: job drain: %v", err)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("uniqd: drain deadline hit; remaining jobs canceled")
+	}
+	fmt.Println("uniqd: bye")
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -102,6 +103,14 @@ var ErrTooFewObservations = errors.New("core: sensor fusion needs at least 5 obs
 // FuseSensors jointly estimates the head parameters and the phone track
 // from acoustic delays and IMU orientations (eq. 2 and 3 of the paper).
 func FuseSensors(obs []FusionObservation, opt FusionOptions) (FusionResult, error) {
+	return FuseSensorsContext(context.Background(), obs, opt)
+}
+
+// FuseSensorsContext is FuseSensors with cancellation. The fit dominates
+// the pipeline's runtime, so the context is checked on every objective
+// evaluation: once it is done the search short-circuits and the context's
+// error is returned.
+func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt FusionOptions) (FusionResult, error) {
 	opt.fillDefaults()
 	if len(obs) < 5 {
 		return FusionResult{}, ErrTooFewObservations
@@ -113,6 +122,9 @@ func FuseSensors(obs []FusionObservation, opt FusionOptions) (FusionResult, erro
 	}
 	objective := func(x []float64) float64 {
 		evals++
+		if ctx.Err() != nil {
+			return math.Inf(1) // poison the search; checked after Minimize
+		}
 		p := head.Params{A: x[0], B: x[1], C: x[2]}
 		loc, err := NewLocalizer(p, opt.Loc)
 		if err != nil {
@@ -141,6 +153,9 @@ func FuseSensors(obs []FusionObservation, opt FusionOptions) (FusionResult, erro
 		Tol:      1e-10,
 		MaxEvals: opt.MaxEvals,
 	})
+	if cerr := ctx.Err(); cerr != nil {
+		return FusionResult{}, cerr
+	}
 	if err != nil {
 		return FusionResult{}, err
 	}

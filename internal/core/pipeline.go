@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -75,16 +76,57 @@ type Personalization struct {
 	Gesture GestureReport
 }
 
+// ErrInvalidSession is the sentinel wrapped by every SessionInput
+// validation failure. Service boundaries feed Personalize untrusted JSON;
+// errors.Is(err, ErrInvalidSession) distinguishes "bad request" from a
+// pipeline failure on well-formed input.
+var ErrInvalidSession = errors.New("core: invalid session input")
+
+// Validate checks the structural invariants a session must satisfy before
+// any DSP runs: a finite positive sample rate, a non-empty probe, at least
+// one stop with matched non-empty stereo channels, and an IMU log. All
+// failures wrap ErrInvalidSession.
+func (in SessionInput) Validate() error {
+	if in.SampleRate <= 0 || math.IsNaN(in.SampleRate) || math.IsInf(in.SampleRate, 0) {
+		return fmt.Errorf("%w: sample rate %v (want a finite rate > 0)", ErrInvalidSession, in.SampleRate)
+	}
+	if len(in.Probe) == 0 {
+		return fmt.Errorf("%w: empty probe signal", ErrInvalidSession)
+	}
+	if len(in.Stops) == 0 {
+		return fmt.Errorf("%w: session has no measurement stops", ErrInvalidSession)
+	}
+	if len(in.IMU) == 0 {
+		return fmt.Errorf("%w: session has no IMU samples", ErrInvalidSession)
+	}
+	for i, stop := range in.Stops {
+		if len(stop.Left) == 0 || len(stop.Right) == 0 {
+			return fmt.Errorf("%w: stop %d has an empty channel (left %d, right %d samples)",
+				ErrInvalidSession, i, len(stop.Left), len(stop.Right))
+		}
+		if len(stop.Left) != len(stop.Right) {
+			return fmt.Errorf("%w: stop %d has mismatched channels (left %d, right %d samples)",
+				ErrInvalidSession, i, len(stop.Left), len(stop.Right))
+		}
+	}
+	return nil
+}
+
 // Personalize runs the full UNIQ pipeline (Fig 6): channel estimation →
 // diffraction-aware sensor fusion → near-field interpolation → near-far
 // synthesis. It returns ErrBadGesture (wrapped) when the sweep fails the
 // quality check.
 func Personalize(in SessionInput, opt PipelineOptions) (*Personalization, error) {
-	if len(in.Stops) == 0 {
-		return nil, errors.New("core: session has no measurement stops")
-	}
-	if len(in.IMU) == 0 {
-		return nil, errors.New("core: session has no IMU samples")
+	return PersonalizeContext(context.Background(), in, opt)
+}
+
+// PersonalizeContext is Personalize with cancellation: the context is
+// checked between pipeline stages, per measurement stop, and inside the
+// sensor-fusion search, so a server can bound the solve with a deadline.
+// It returns the context's error when cancelled.
+func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOptions) (*Personalization, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
 	}
 
 	// 1. Channel estimation per stop.
@@ -99,6 +141,9 @@ func Personalize(in SessionInput, opt PipelineOptions) (*Personalization, error)
 	var channels []BinauralChannel
 	var obs []FusionObservation
 	for _, stop := range in.Stops {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ch, err := est.Estimate(stop.Left, stop.Right)
 		if err != nil {
 			continue // skip unusable stops rather than failing the sweep
@@ -130,7 +175,7 @@ func Personalize(in SessionInput, opt PipelineOptions) (*Personalization, error)
 	}
 
 	// 2. Diffraction-aware sensor fusion.
-	fusion, err := FuseSensors(obs, opt.Fusion)
+	fusion, err := FuseSensorsContext(ctx, obs, opt.Fusion)
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +187,9 @@ func Personalize(in SessionInput, opt PipelineOptions) (*Personalization, error)
 	}
 
 	// 4. Near-field interpolation.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nfOpt := opt.NearField
 	nfOpt.ModelCorrection = true
 	near, err := InterpolateNearField(channels, fusion.AnglesRad, fusion.Radii, fusion.Params, nfOpt)
@@ -150,6 +198,9 @@ func Personalize(in SessionInput, opt PipelineOptions) (*Personalization, error)
 	}
 
 	// 5. Near-far conversion.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	meanRadius := 0.0
 	for _, r := range fusion.Radii {
 		meanRadius += r / float64(len(fusion.Radii))

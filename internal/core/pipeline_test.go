@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/hrtf"
+	"repro/internal/imu"
 	"repro/internal/sim"
 )
 
@@ -127,6 +130,66 @@ func TestPersonalizeInputValidation(t *testing.T) {
 	in := SessionInput{Stops: []StopRecording{{}}}
 	if _, err := Personalize(in, PipelineOptions{}); err == nil {
 		t.Error("missing IMU should fail")
+	}
+
+	// Every structural defect must surface as ErrInvalidSession before any
+	// DSP runs (the service boundary feeds this untrusted JSON).
+	valid := SessionInput{
+		Probe:      []float64{1, 0, 0, 0},
+		SampleRate: 48000,
+		Stops:      []StopRecording{{Left: []float64{1, 2}, Right: []float64{3, 4}}},
+		IMU:        []imu.Sample{{T: 0, RateZ: 0}},
+	}
+	cases := []struct {
+		name   string
+		mutate func(*SessionInput)
+	}{
+		{"zero sample rate", func(s *SessionInput) { s.SampleRate = 0 }},
+		{"negative sample rate", func(s *SessionInput) { s.SampleRate = -48000 }},
+		{"NaN sample rate", func(s *SessionInput) { s.SampleRate = math.NaN() }},
+		{"Inf sample rate", func(s *SessionInput) { s.SampleRate = math.Inf(1) }},
+		{"empty probe", func(s *SessionInput) { s.Probe = nil }},
+		{"no stops", func(s *SessionInput) { s.Stops = nil }},
+		{"no IMU", func(s *SessionInput) { s.IMU = nil }},
+		{"empty left channel", func(s *SessionInput) { s.Stops[0].Left = nil }},
+		{"empty right channel", func(s *SessionInput) { s.Stops[0].Right = nil }},
+		{"mismatched channels", func(s *SessionInput) { s.Stops[0].Right = []float64{1} }},
+	}
+	for _, tc := range cases {
+		in := valid
+		in.Stops = append([]StopRecording(nil), valid.Stops...)
+		tc.mutate(&in)
+		if err := in.Validate(); !errors.Is(err, ErrInvalidSession) {
+			t.Errorf("%s: want ErrInvalidSession, got %v", tc.name, err)
+		}
+		if _, err := Personalize(in, PipelineOptions{}); !errors.Is(err, ErrInvalidSession) {
+			t.Errorf("%s: Personalize should reject, got %v", tc.name, err)
+		}
+	}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("structurally valid input rejected: %v", err)
+	}
+}
+
+func TestPersonalizeContextCancel(t *testing.T) {
+	v := sim.NewVolunteer(3, 31)
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = PersonalizeContext(ctx, sessionInput(s), PipelineOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context should abort the pipeline, got %v", err)
+	}
+	// A deadline that expires mid-solve must abort too: the fusion search
+	// checks the context on every objective evaluation.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	_, err = PersonalizeContext(ctx2, sessionInput(s), PipelineOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline should abort the pipeline, got %v", err)
 	}
 }
 

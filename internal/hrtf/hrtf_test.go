@@ -148,9 +148,32 @@ func TestTableJSONRoundTrip(t *testing.T) {
 	if back.NumAngles() != tab.NumAngles() || back.AngleStep != tab.AngleStep {
 		t.Fatal("table geometry lost in round trip")
 	}
+	// JSON must preserve every tap bit-for-bit (encoding/json emits the
+	// shortest representation that round-trips a float64 exactly): the
+	// profile store depends on reloaded tables answering AoA queries
+	// identically to the in-memory original.
+	bitsEqual := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
 	for i := range tab.Near {
-		if c := MeanCorrelation(tab.Near[i], back.Near[i]); c < 0.999999 {
-			t.Fatalf("near entry %d corrupted (corr %g)", i, c)
+		if !bitsEqual(tab.Near[i].Left, back.Near[i].Left) ||
+			!bitsEqual(tab.Near[i].Right, back.Near[i].Right) {
+			t.Fatalf("near entry %d not bit-identical after round trip", i)
+		}
+		if !bitsEqual(tab.Far[i].Left, back.Far[i].Left) ||
+			!bitsEqual(tab.Far[i].Right, back.Far[i].Right) {
+			t.Fatalf("far entry %d not bit-identical after round trip", i)
+		}
+		if tab.Near[i].SampleRate != back.Near[i].SampleRate {
+			t.Fatalf("near entry %d sample rate changed", i)
 		}
 	}
 }

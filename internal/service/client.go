@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Client is the typed Go client for a uniqd server. The zero HTTPClient
+// uses http.DefaultClient; BaseURL is e.g. "http://127.0.0.1:8080".
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response decoded from the server's error body.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// do runs one JSON round trip. in may be nil (GET); out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("service: encode request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae apiError
+		msg := ""
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ae); err == nil {
+			msg = ae.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit uploads a measurement session for user and returns the accepted
+// job's ID.
+func (c *Client) Submit(ctx context.Context, user string, in core.SessionInput) (string, error) {
+	var resp SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", SubmitRequest{User: user, Input: in}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.JobID, nil
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// WaitJob polls a job until it reaches a terminal state or the context
+// expires. poll <= 0 defaults to 100 ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// ErrJobFailed is returned by WaitDone when the job reached a terminal
+// state other than done.
+var ErrJobFailed = errors.New("service: job did not complete")
+
+// WaitDone polls like WaitJob but also fails when the job finishes in any
+// state other than done.
+func (c *Client) WaitDone(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	st, err := c.WaitJob(ctx, id, poll)
+	if err != nil {
+		return st, err
+	}
+	if st.State != JobDone {
+		return st, fmt.Errorf("%w: job %s is %s: %s", ErrJobFailed, id, st.State, st.Error)
+	}
+	return st, nil
+}
+
+// Profile fetches a user's stored profile.
+func (c *Client) Profile(ctx context.Context, user string) (*StoredProfile, error) {
+	var p StoredProfile
+	if err := c.do(ctx, http.MethodGet, "/v1/profiles/"+user, nil, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Users lists users with stored profiles.
+func (c *Client) Users(ctx context.Context) ([]string, error) {
+	var resp struct {
+		Users []string `json:"users"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/profiles", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Users, nil
+}
+
+// AoA runs an angle-of-arrival query against a user's stored table.
+func (c *Client) AoA(ctx context.Context, user string, req AoARequest) (AoAResponse, error) {
+	var resp AoAResponse
+	err := c.do(ctx, http.MethodPost, "/v1/profiles/"+user+"/aoa", req, &resp)
+	return resp, err
+}
+
+// Render asks the server for a short binaural render.
+func (c *Client) Render(ctx context.Context, user string, req RenderRequest) (RenderResponse, error) {
+	var resp RenderResponse
+	err := c.do(ctx, http.MethodPost, "/v1/profiles/"+user+"/render", req, &resp)
+	return resp, err
+}
+
+// Metrics fetches the /debug/metrics exposition page.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/debug/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: string(data)}
+	}
+	return string(data), nil
+}
+
+// Health pings /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -1,0 +1,17 @@
+// Package service is the serving layer of the UNIQ reproduction: a
+// stdlib-only HTTP daemon (cmd/uniqd) that turns the in-process
+// personalization pipeline into the system a real deployment would run.
+//
+// The write path accepts measurement sessions (POST /v1/sessions) into a
+// bounded job queue drained by a worker pool running core.Personalize with
+// per-job deadlines; completed profiles land in a Store — an LRU cache in
+// front of atomic-write JSON files, so profiles survive restarts. The read
+// path serves job status, stored profiles (the paper's §4.4 lookup table),
+// known/unknown-source AoA queries against a user's personal table (§4.5),
+// and short binaural renders via internal/render. GET /debug/metrics
+// exposes per-endpoint counters and latency histograms plus queue and
+// worker gauges in Prometheus text format.
+//
+// Client is the typed Go client for the API; cmd/uniqctl's submit/get
+// subcommands and the end-to-end tests drive the whole loop through it.
+package service

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// e2ePipeline keeps the end-to-end solves affordable under -race: a coarser
+// fusion search than the default, applied identically to the served solves
+// and the direct reference calls so the outputs must match exactly.
+func e2ePipeline() core.PipelineOptions {
+	return core.PipelineOptions{
+		Fusion: core.FusionOptions{
+			GridPoints: 2,
+			MaxEvals:   40,
+			Loc:        core.LocalizerOptions{AngleStepDeg: 3, RadiusSteps: 8, BoundaryVertices: 120},
+		},
+		// The coarse search inflates the α/θ residual; widen the gesture
+		// limit to match so good sweeps aren't rejected for solver economy.
+		Gesture: core.GestureLimits{MaxResidualDeg: 15},
+	}
+}
+
+// e2eSession simulates one volunteer's measurement sweep.
+func e2eSession(t *testing.T, id int) core.SessionInput {
+	t.Helper()
+	v := sim.NewVolunteer(id, int64(1000+id))
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.SessionInput{
+		Probe:      s.Probe,
+		SampleRate: s.SampleRate,
+		IMU:        s.IMU,
+		SystemIR:   s.SystemIR,
+		SyncOffset: s.SyncOffset,
+	}
+	for _, m := range s.Measurements {
+		in.Stops = append(in.Stops, core.StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
+	}
+	return in
+}
+
+// TestServiceEndToEnd drives the whole loop over the wire with the real
+// pipeline: concurrent submissions from four simulated volunteers, polling
+// to completion, profile fetches checked bit-for-bit against direct
+// core.Personalize calls on the same inputs, an AoA query, and a store
+// restart.
+func TestServiceEndToEnd(t *testing.T) {
+	const users = 4
+	dir := t.TempDir()
+	svc, err := New(Config{
+		StoreDir:   dir,
+		Workers:    2,
+		QueueDepth: 2 * users,
+		JobTimeout: 5 * time.Minute,
+		Pipeline:   e2ePipeline(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	client := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Minute)
+	defer cancel()
+
+	inputs := make(map[string]core.SessionInput, users)
+	for i := 1; i <= users; i++ {
+		inputs[fmt.Sprintf("vol%d", i)] = e2eSession(t, i)
+	}
+
+	// Concurrent submissions through the typed client.
+	jobs := make(map[string]string, users)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for user, in := range inputs {
+		wg.Add(1)
+		go func(user string, in core.SessionInput) {
+			defer wg.Done()
+			id, err := client.Submit(ctx, user, in)
+			if err != nil {
+				t.Errorf("submit %s: %v", user, err)
+				return
+			}
+			mu.Lock()
+			jobs[user] = id
+			mu.Unlock()
+		}(user, in)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for user, id := range jobs {
+		if _, err := client.WaitDone(ctx, id, 200*time.Millisecond); err != nil {
+			t.Fatalf("wait %s: %v", user, err)
+		}
+	}
+
+	// Every served profile must equal a direct in-process solve on the
+	// same input: the service adds transport and storage, not numerics.
+	for user, in := range inputs {
+		got, err := client.Profile(ctx, user)
+		if err != nil {
+			t.Fatalf("fetch %s: %v", user, err)
+		}
+		want, err := core.PersonalizeContext(ctx, in, e2ePipeline())
+		if err != nil {
+			t.Fatalf("direct solve %s: %v", user, err)
+		}
+		tablesBitsEqual(t, want.Table, got.Table)
+		if got.HeadParams != want.HeadParams {
+			t.Errorf("%s head params %+v over the wire, %+v direct", user, got.HeadParams, want.HeadParams)
+		}
+		if !got.GestureOK {
+			t.Errorf("%s gesture flagged: %s", user, got.GestureReason)
+		}
+	}
+
+	// AoA over the wire answers exactly like the library against the same
+	// table (render a known probe through the user's own far-field HRIR).
+	prof, err := client.Profile(ctx, "vol1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := inputs["vol1"].Probe
+	fh, err := prof.Table.FarAt(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := fh.Render(src)
+	served, err := client.AoA(ctx, "vol1", AoARequest{Left: left, Right: right, Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := coreAoAKnown(left, right, src, prof.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.AngleDeg != direct.AngleDeg {
+		t.Errorf("served AoA %.2f, direct %.2f", served.AngleDeg, direct.AngleDeg)
+	}
+
+	// Snapshot the served profiles, then restart on the same directory:
+	// profiles must still be served, unchanged, from disk.
+	before := make(map[string]*StoredProfile, users)
+	for user := range inputs {
+		p, err := client.Profile(ctx, user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[user] = p
+	}
+	ts.Close()
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), time.Minute)
+	defer sdCancel()
+	if err := svc.Shutdown(sdCtx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	svc2, err := New(Config{StoreDir: dir, Workers: 1, Pipeline: e2ePipeline()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer func() {
+		ts2.Close()
+		_ = svc2.Shutdown(context.Background())
+	}()
+	client2 := NewClient(ts2.URL)
+	usersListed, err := client2.Users(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(usersListed) != users {
+		t.Fatalf("after restart Users() = %v, want %d entries", usersListed, users)
+	}
+	for user := range inputs {
+		reloaded, err := client2.Profile(ctx, user)
+		if err != nil {
+			t.Fatalf("restart fetch %s: %v", user, err)
+		}
+		tablesBitsEqual(t, before[user].Table, reloaded.Table)
+		if reloaded.JobID != before[user].JobID || reloaded.HeadParams != before[user].HeadParams {
+			t.Errorf("%s metadata changed across restart", user)
+		}
+	}
+}

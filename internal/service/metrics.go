@@ -1,0 +1,129 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. The spread
+// covers both microsecond reads (profile cache hits) and multi-second
+// solves observed through the submit/poll path.
+var latencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointStats accumulates one endpoint's counters and latency histogram.
+type endpointStats struct {
+	byCode map[int]uint64
+	bucket []uint64 // parallel to latencyBuckets, plus +Inf at the end
+	sum    float64
+	count  uint64
+}
+
+// Metrics records per-endpoint request counts and latency histograms. All
+// methods are safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one request against an endpoint label (the route
+// pattern, e.g. "POST /v1/sessions").
+func (m *Metrics) Observe(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.endpoints[endpoint]
+	if !ok {
+		st = &endpointStats{
+			byCode: make(map[int]uint64),
+			bucket: make([]uint64, len(latencyBuckets)+1),
+		}
+		m.endpoints[endpoint] = st
+	}
+	st.byCode[code]++
+	st.sum += seconds
+	st.count++
+	idx := len(latencyBuckets) // +Inf
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			idx = i
+			break
+		}
+	}
+	st.bucket[idx]++
+}
+
+// Gauge is one instantaneous value for the exposition page.
+type Gauge struct {
+	Name  string
+	Value float64
+}
+
+// WriteText renders the registry in Prometheus text format, followed by
+// the given gauges. Output ordering is deterministic (sorted labels) so
+// tests and diffs are stable.
+func (m *Metrics) WriteText(w io.Writer, gauges ...Gauge) {
+	m.mu.Lock()
+	type flat struct {
+		endpoint string
+		st       endpointStats
+		codes    []int
+	}
+	var eps []flat
+	for ep, st := range m.endpoints {
+		cp := endpointStats{
+			byCode: make(map[int]uint64, len(st.byCode)),
+			bucket: append([]uint64(nil), st.bucket...),
+			sum:    st.sum,
+			count:  st.count,
+		}
+		var codes []int
+		for c, n := range st.byCode {
+			cp.byCode[c] = n
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		eps = append(eps, flat{ep, cp, codes})
+	}
+	m.mu.Unlock()
+	sort.Slice(eps, func(i, j int) bool { return eps[i].endpoint < eps[j].endpoint })
+
+	fmt.Fprintln(w, "# TYPE uniqd_requests_total counter")
+	for _, e := range eps {
+		for _, code := range e.codes {
+			fmt.Fprintf(w, "uniqd_requests_total{endpoint=%q,code=\"%d\"} %d\n",
+				e.endpoint, code, e.st.byCode[code])
+		}
+	}
+	fmt.Fprintln(w, "# TYPE uniqd_request_seconds histogram")
+	for _, e := range eps {
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += e.st.bucket[i]
+			fmt.Fprintf(w, "uniqd_request_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				e.endpoint, formatBound(ub), cum)
+		}
+		cum += e.st.bucket[len(latencyBuckets)]
+		fmt.Fprintf(w, "uniqd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e.endpoint, cum)
+		fmt.Fprintf(w, "uniqd_request_seconds_sum{endpoint=%q} %g\n", e.endpoint, e.st.sum)
+		fmt.Fprintf(w, "uniqd_request_seconds_count{endpoint=%q} %d\n", e.endpoint, e.st.count)
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.Name, g.Name,
+			strconv.FormatFloat(g.Value, 'g', -1, 64))
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus expects (no
+// trailing zeros, no exponent for these magnitudes).
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

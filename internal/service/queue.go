@@ -1,0 +1,335 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// JobState is the lifecycle of a personalization job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobStatus is the wire representation of a job.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	User  string   `json:"user"`
+	State JobState `json:"state"`
+	// Error carries the failure reason for failed/canceled jobs.
+	Error string `json:"error,omitempty"`
+	// SubmittedUnixMS / StartedUnixMS / FinishedUnixMS timestamp the
+	// transitions (0 = not reached).
+	SubmittedUnixMS int64 `json:"submittedUnixMs"`
+	StartedUnixMS   int64 `json:"startedUnixMs,omitempty"`
+	FinishedUnixMS  int64 `json:"finishedUnixMs,omitempty"`
+}
+
+// job is the pool's internal record. The pool's mutex guards all mutable
+// fields after submission.
+type job struct {
+	id    string
+	user  string
+	input core.SessionInput
+
+	state     JobState
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Sentinel errors surfaced by Submit.
+var (
+	// ErrQueueFull means the bounded job queue has no room; retry later.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrPoolClosed means the pool is shutting down and accepts no work.
+	ErrPoolClosed = errors.New("service: pool is shut down")
+)
+
+// PoolConfig tunes the worker pool.
+type PoolConfig struct {
+	// Workers is the number of concurrent solves (default 1).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs
+	// (default 64).
+	QueueDepth int
+	// JobTimeout bounds one solve; 0 means the default 10 minutes,
+	// negative disables.
+	JobTimeout time.Duration
+	// Pipeline is passed to every core.Personalize call.
+	Pipeline core.PipelineOptions
+	// Store receives completed profiles.
+	Store *Store
+
+	// run overrides the solver (tests); nil means core.PersonalizeContext.
+	run func(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error)
+}
+
+// Pool is the bounded job queue plus the workers draining it. Completed
+// profiles are written to the configured Store before the job is marked
+// done, so a client that observes state "done" can immediately fetch the
+// profile.
+type Pool struct {
+	cfg  PoolConfig
+	jobs chan *job
+
+	mu       sync.Mutex
+	byID     map[string]*job
+	finished []string // FIFO of terminal job IDs, for record pruning
+	closed   bool
+
+	busy     atomic.Int64
+	byState  [3]atomic.Uint64 // done, failed, canceled tallies
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+}
+
+// retainedJobs bounds how many terminal job records Job() can still see;
+// older ones are forgotten FIFO so the daemon's memory stays flat.
+const retainedJobs = 4096
+
+// NewPool starts the workers and returns the pool.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("service: pool needs a store")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
+	if cfg.run == nil {
+		cfg.run = core.PersonalizeContext
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	p := &Pool{
+		cfg:      cfg,
+		jobs:     make(chan *job, cfg.QueueDepth),
+		byID:     make(map[string]*job),
+		baseCtx:  ctx,
+		baseStop: stop,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// QueueDepth returns the number of jobs accepted but not yet started.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// QueueCapacity returns the queue bound.
+func (p *Pool) QueueCapacity() int { return cap(p.jobs) }
+
+// Busy returns the number of workers currently running a solve.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
+
+// Finished returns the tallies of terminal jobs by outcome.
+func (p *Pool) Finished() (done, failed, canceled uint64) {
+	return p.byState[0].Load(), p.byState[1].Load(), p.byState[2].Load()
+}
+
+// newJobID returns a 16-hex-digit random job identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for a server; fall back to
+		// a timestamp so we at least stay unique-ish rather than panic.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit validates and enqueues a session. It never blocks: a full queue
+// returns ErrQueueFull immediately so the HTTP layer can shed load.
+func (p *Pool) Submit(user string, in core.SessionInput) (JobStatus, error) {
+	if !ValidUser(user) {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrBadUser, user)
+	}
+	if err := in.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	j := &job{
+		id:        newJobID(),
+		user:      user,
+		input:     in,
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return JobStatus{}, ErrPoolClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.byID[j.id] = j
+		st := j.statusLocked()
+		p.mu.Unlock()
+		return st, nil
+	default:
+		p.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+}
+
+// Job returns the status of a job by ID.
+func (p *Pool) Job(id string) (JobStatus, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.byID[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.statusLocked(), true
+}
+
+// statusLocked snapshots the wire status. Caller holds the pool's mutex
+// (or exclusive ownership pre-submission).
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:              j.id,
+		User:            j.user,
+		State:           j.state,
+		Error:           j.err,
+		SubmittedUnixMS: j.submitted.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		st.StartedUnixMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedUnixMS = j.finished.UnixMilli()
+	}
+	return st
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.runJob(j)
+	}
+}
+
+func (p *Pool) runJob(j *job) {
+	p.busy.Add(1)
+	defer p.busy.Add(-1)
+
+	p.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	p.mu.Unlock()
+
+	ctx := p.baseCtx
+	cancel := context.CancelFunc(func() {})
+	if p.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.JobTimeout)
+	}
+	res, err := p.cfg.run(ctx, j.input, p.cfg.Pipeline)
+	cancel()
+	if err == nil {
+		err = p.cfg.Store.Put(profileFrom(j, res))
+	}
+	p.finish(j, err)
+}
+
+// profileFrom assembles the stored form of a finished solve.
+func profileFrom(j *job, res *core.Personalization) *StoredProfile {
+	return &StoredProfile{
+		User:            j.user,
+		JobID:           j.id,
+		CreatedUnixMS:   time.Now().UnixMilli(),
+		HeadParams:      res.HeadParams,
+		MeanResidualDeg: res.MeanResidualDeg,
+		GestureOK:       res.Gesture.OK,
+		GestureReason:   res.Gesture.Reason,
+		Table:           res.Table,
+	}
+}
+
+func (p *Pool) finish(j *job, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j.finished = time.Now()
+	j.input = core.SessionInput{} // a session is megabytes; drop it now
+	switch {
+	case err == nil:
+		j.state = JobDone
+		p.byState[0].Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = JobFailed
+		j.err = fmt.Sprintf("job timed out after %v", p.cfg.JobTimeout)
+		p.byState[1].Add(1)
+	case errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		j.err = "canceled by shutdown"
+		p.byState[2].Add(1)
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+		p.byState[1].Add(1)
+	}
+	p.finished = append(p.finished, j.id)
+	for len(p.finished) > retainedJobs {
+		delete(p.byID, p.finished[0])
+		p.finished = p.finished[1:]
+	}
+}
+
+// Shutdown stops accepting work and drains everything already accepted:
+// queued jobs still run, in-flight jobs finish. If ctx expires first the
+// remaining jobs are canceled (they finish quickly with state "canceled")
+// and Shutdown returns the context's error once the workers exit.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		p.baseStop() // cancel in-flight solves; workers exit promptly
+		<-drained
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,238 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/imu"
+)
+
+// tinySession is the smallest input that passes SessionInput.Validate.
+func tinySession() core.SessionInput {
+	return core.SessionInput{
+		Probe:      []float64{1, 0, 0, 0},
+		SampleRate: 48000,
+		Stops:      []core.StopRecording{{Left: []float64{1, 2}, Right: []float64{3, 4}}},
+		IMU:        []imu.Sample{{T: 0, RateZ: 0}},
+	}
+}
+
+// fakeResult returns a minimal successful personalization.
+func fakeResult() *core.Personalization {
+	return &core.Personalization{Table: syntheticTable(5)}
+}
+
+func newTestPool(t *testing.T, cfg PoolConfig) *Pool {
+	t.Helper()
+	if cfg.Store == nil {
+		st, err := OpenStore(t.TempDir(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = p.Shutdown(ctx)
+	})
+	return p
+}
+
+// waitState polls until the job reaches a terminal state.
+func waitState(t *testing.T, p *Pool, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := p.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobStatus{}
+}
+
+func TestPoolRunsJobAndStoresProfile(t *testing.T) {
+	p := newTestPool(t, PoolConfig{
+		Workers: 1,
+		run: func(ctx context.Context, in core.SessionInput, opt core.PipelineOptions) (*core.Personalization, error) {
+			return fakeResult(), nil
+		},
+	})
+	st, err := p.Submit("alice", tinySession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobQueued || st.ID == "" {
+		t.Fatalf("unexpected submit status %+v", st)
+	}
+	final := waitState(t, p, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("job finished %s (%s), want done", final.State, final.Error)
+	}
+	prof, err := p.cfg.Store.Get("alice")
+	if err != nil {
+		t.Fatalf("profile not stored: %v", err)
+	}
+	if prof.JobID != st.ID {
+		t.Fatalf("profile jobId %q, want %q", prof.JobID, st.ID)
+	}
+	done, failed, canceled := p.Finished()
+	if done != 1 || failed != 0 || canceled != 0 {
+		t.Fatalf("tallies done=%d failed=%d canceled=%d", done, failed, canceled)
+	}
+}
+
+func TestPoolSubmitValidates(t *testing.T) {
+	p := newTestPool(t, PoolConfig{Workers: 1, run: func(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error) {
+		return fakeResult(), nil
+	}})
+	if _, err := p.Submit("bad user!", tinySession()); !errors.Is(err, ErrBadUser) {
+		t.Errorf("bad user: got %v", err)
+	}
+	in := tinySession()
+	in.SampleRate = -1
+	if _, err := p.Submit("alice", in); !errors.Is(err, core.ErrInvalidSession) {
+		t.Errorf("invalid session: got %v", err)
+	}
+}
+
+func TestPoolQueueFullAndDepth(t *testing.T) {
+	release := make(chan struct{})
+	p := newTestPool(t, PoolConfig{
+		Workers:    1,
+		QueueDepth: 1,
+		run: func(ctx context.Context, in core.SessionInput, opt core.PipelineOptions) (*core.Personalization, error) {
+			select {
+			case <-release:
+				return fakeResult(), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	first, err := p.Submit("u1", tinySession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick it up so the queue slot frees.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Busy() != 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if p.Busy() != 1 {
+		t.Fatal("worker never started the first job")
+	}
+	second, err := p.Submit("u2", tinySession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.QueueDepth(); got != 1 {
+		t.Fatalf("queue depth %d, want 1", got)
+	}
+	if _, err := p.Submit("u3", tinySession()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: got %v, want ErrQueueFull", err)
+	}
+	close(release)
+	if st := waitState(t, p, first.ID); st.State != JobDone {
+		t.Errorf("first job %s", st.State)
+	}
+	if st := waitState(t, p, second.ID); st.State != JobDone {
+		t.Errorf("second job %s", st.State)
+	}
+}
+
+func TestPoolJobTimeout(t *testing.T) {
+	p := newTestPool(t, PoolConfig{
+		Workers:    1,
+		JobTimeout: 30 * time.Millisecond,
+		run: func(ctx context.Context, in core.SessionInput, opt core.PipelineOptions) (*core.Personalization, error) {
+			<-ctx.Done() // a well-behaved solver returns the ctx error
+			return nil, ctx.Err()
+		},
+	})
+	st, err := p.Submit("slow", tinySession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, p, st.ID)
+	if final.State != JobFailed {
+		t.Fatalf("timed-out job state %s, want failed", final.State)
+	}
+	if final.Error == "" {
+		t.Error("timed-out job should carry an error message")
+	}
+}
+
+func TestPoolShutdownDrainsQueuedJobs(t *testing.T) {
+	ran := make(chan string, 8)
+	p := newTestPool(t, PoolConfig{
+		Workers:    1,
+		QueueDepth: 8,
+		run: func(ctx context.Context, in core.SessionInput, opt core.PipelineOptions) (*core.Personalization, error) {
+			time.Sleep(10 * time.Millisecond)
+			ran <- "x"
+			return fakeResult(), nil
+		},
+	})
+	var ids []string
+	for i, u := range []string{"a", "b", "c"} {
+		st, err := p.Submit(u, tinySession())
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("shutdown drained %d jobs, want 3", len(ran))
+	}
+	for _, id := range ids {
+		st, ok := p.Job(id)
+		if !ok || st.State != JobDone {
+			t.Errorf("job %s: %v after drain", id, st.State)
+		}
+	}
+	if _, err := p.Submit("late", tinySession()); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("submit after shutdown: got %v", err)
+	}
+}
+
+func TestPoolShutdownCancelsInFlight(t *testing.T) {
+	p := newTestPool(t, PoolConfig{
+		Workers: 1,
+		run: func(ctx context.Context, in core.SessionInput, opt core.PipelineOptions) (*core.Personalization, error) {
+			<-ctx.Done() // never finishes on its own
+			return nil, ctx.Err()
+		},
+	})
+	st, err := p.Submit("stuck", tinySession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced shutdown returned %v", err)
+	}
+	final, ok := p.Job(st.ID)
+	if !ok || final.State != JobCanceled {
+		t.Fatalf("in-flight job state %v, want canceled", final.State)
+	}
+}

@@ -1,0 +1,390 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/render"
+)
+
+// Config assembles a Service.
+type Config struct {
+	// StoreDir is the profile store's directory (required).
+	StoreDir string
+	// CacheSize bounds the in-memory profile cache (default 128).
+	CacheSize int
+	// Workers / QueueDepth / JobTimeout tune the solve pool (see
+	// PoolConfig).
+	Workers    int
+	QueueDepth int
+	JobTimeout time.Duration
+	// Pipeline is applied to every personalization solve.
+	Pipeline core.PipelineOptions
+	// MaxBodyBytes bounds request bodies (default 64 MiB — a measurement
+	// session is a few MB of JSON).
+	MaxBodyBytes int64
+
+	// run overrides the solver (tests).
+	run func(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error)
+}
+
+// maxRenderSamples bounds POST .../render input so one request cannot
+// convolve minutes of audio on the serving path.
+const maxRenderSamples = 1 << 20
+
+// Service wires the store, the job pool and the HTTP API together.
+type Service struct {
+	cfg     Config
+	store   *Store
+	pool    *Pool
+	metrics *Metrics
+	handler http.Handler
+}
+
+// New opens the store, starts the worker pool and builds the HTTP handler.
+func New(cfg Config) (*Service, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	store, err := OpenStore(cfg.StoreDir, cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := NewPool(PoolConfig{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		JobTimeout: cfg.JobTimeout,
+		Pipeline:   cfg.Pipeline,
+		Store:      store,
+		run:        cfg.run,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{cfg: cfg, store: store, pool: pool, metrics: NewMetrics()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/profiles", s.handleProfiles)
+	mux.HandleFunc("GET /v1/profiles/{user}", s.handleProfile)
+	mux.HandleFunc("POST /v1/profiles/{user}/aoa", s.handleAoA)
+	mux.HandleFunc("POST /v1/profiles/{user}/render", s.handleRender)
+	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.handler = s.instrument(mux)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler { return s.handler }
+
+// Store exposes the profile store (the daemon reports its directory; tests
+// inspect it).
+func (s *Service) Store() *Store { return s.store }
+
+// Pool exposes the job pool.
+func (s *Service) Pool() *Pool { return s.pool }
+
+// Shutdown drains the job pool; see Pool.Shutdown. The HTTP server is
+// drained separately by its own Shutdown.
+func (s *Service) Shutdown(ctx context.Context) error {
+	return s.pool.Shutdown(ctx)
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the router with request counting and latency
+// histograms, labelled by route pattern so path wildcards don't explode
+// cardinality.
+func (s *Service) instrument(next *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		endpoint := r.Pattern
+		if endpoint == "" {
+			endpoint = "unmatched"
+		}
+		s.metrics.Observe(endpoint, rec.code, time.Since(start).Seconds())
+	})
+}
+
+// --- wire types ---
+
+// SubmitRequest is the body of POST /v1/sessions.
+type SubmitRequest struct {
+	// User owns the resulting profile.
+	User string `json:"user"`
+	// Input is the measurement session to personalize.
+	Input core.SessionInput `json:"input"`
+}
+
+// SubmitResponse acknowledges an accepted session.
+type SubmitResponse struct {
+	JobID     string   `json:"jobId"`
+	State     JobState `json:"state"`
+	StatusURL string   `json:"statusUrl"`
+}
+
+// AoARequest is the body of POST /v1/profiles/{user}/aoa: a stereo earbud
+// recording. When Src is present the known-source estimator (eq. 9) runs;
+// otherwise the unknown-source estimator (eq. 11).
+type AoARequest struct {
+	Left  []float64 `json:"left"`
+	Right []float64 `json:"right"`
+	Src   []float64 `json:"src,omitempty"`
+}
+
+// AoAResponse reports the estimated arrival angle.
+type AoAResponse struct {
+	AngleDeg float64 `json:"angleDeg"`
+	Score    float64 `json:"score"`
+	Front    bool    `json:"front"`
+	Method   string  `json:"method"`
+}
+
+// RenderRequest is the body of POST /v1/profiles/{user}/render: a mono
+// signal placed at AngleDeg, optionally sweeping linearly to EndAngleDeg
+// over the signal's duration.
+type RenderRequest struct {
+	Mono        []float64 `json:"mono"`
+	AngleDeg    float64   `json:"angleDeg"`
+	EndAngleDeg *float64  `json:"endAngleDeg,omitempty"`
+}
+
+// RenderResponse carries the binaural pair.
+type RenderResponse struct {
+	Left       []float64 `json:"left"`
+	Right      []float64 `json:"right"`
+	SampleRate float64   `json:"sampleRate"`
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection is the client's problem at this point
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body under the configured size limit,
+// reporting 400/413 itself. It returns false when the caller should stop.
+func (s *Service) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		} else {
+			httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// profileFor fetches a user's profile, reporting 400/404 itself. It
+// returns nil when the caller should stop.
+func (s *Service) profileFor(w http.ResponseWriter, user string) *StoredProfile {
+	p, err := s.store.Get(user)
+	switch {
+	case errors.Is(err, ErrBadUser):
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil
+	case errors.Is(err, ErrProfileNotFound):
+		httpError(w, http.StatusNotFound, "%v", err)
+		return nil
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return nil
+	}
+	return p
+}
+
+// --- handlers ---
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	st, err := s.pool.Submit(req.User, req.Input)
+	switch {
+	case errors.Is(err, ErrBadUser) || errors.Is(err, core.ErrInvalidSession):
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrPoolClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		JobID:     st.ID,
+		State:     st.State,
+		StatusURL: "/v1/jobs/" + st.ID,
+	})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.pool.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	users, err := s.store.Users()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if users == nil {
+		users = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"users": users})
+}
+
+func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
+	p := s.profileFor(w, r.PathValue("user"))
+	if p == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Service) handleAoA(w http.ResponseWriter, r *http.Request) {
+	p := s.profileFor(w, r.PathValue("user"))
+	if p == nil {
+		return
+	}
+	var req AoARequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Left) == 0 || len(req.Right) == 0 {
+		httpError(w, http.StatusBadRequest, "aoa needs both left and right recordings")
+		return
+	}
+	var (
+		est    core.AoAEstimate
+		err    error
+		method = "unknown"
+	)
+	if len(req.Src) > 0 {
+		method = "known"
+		est, err = core.EstimateAoAKnown(req.Left, req.Right, req.Src, p.Table, core.AoAOptions{})
+	} else {
+		est, err = core.EstimateAoAUnknown(req.Left, req.Right, p.Table, core.AoAOptions{})
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "aoa estimation failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AoAResponse{
+		AngleDeg: est.AngleDeg,
+		Score:    est.Score,
+		Front:    core.FrontBack(est.AngleDeg),
+		Method:   method,
+	})
+}
+
+func (s *Service) handleRender(w http.ResponseWriter, r *http.Request) {
+	p := s.profileFor(w, r.PathValue("user"))
+	if p == nil {
+		return
+	}
+	var req RenderRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Mono) == 0 {
+		httpError(w, http.StatusBadRequest, "render needs a mono signal")
+		return
+	}
+	if len(req.Mono) > maxRenderSamples {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"mono signal too long: %d samples (max %d)", len(req.Mono), maxRenderSamples)
+		return
+	}
+	rr := &render.Renderer{Table: p.Table}
+	angleAt := func(float64) float64 { return req.AngleDeg }
+	if req.EndAngleDeg != nil {
+		dur := float64(len(req.Mono)) / p.Table.SampleRate
+		start, end := req.AngleDeg, *req.EndAngleDeg
+		angleAt = func(t float64) float64 {
+			return start + (end-start)*t/dur
+		}
+	}
+	left, right, err := rr.RenderMoving(req.Mono, angleAt)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "render failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RenderResponse{
+		Left:       left,
+		Right:      right,
+		SampleRate: p.Table.SampleRate,
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	done, failed, canceled := s.pool.Finished()
+	hits, misses, evictions := s.store.Stats()
+	stored := 0
+	if users, err := s.store.Users(); err == nil {
+		stored = len(users)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteText(w,
+		Gauge{"uniqd_queue_depth", float64(s.pool.QueueDepth())},
+		Gauge{"uniqd_queue_capacity", float64(s.pool.QueueCapacity())},
+		Gauge{"uniqd_workers_busy", float64(s.pool.Busy())},
+		Gauge{"uniqd_workers_total", float64(s.pool.Workers())},
+		Gauge{"uniqd_jobs_done_total", float64(done)},
+		Gauge{"uniqd_jobs_failed_total", float64(failed)},
+		Gauge{"uniqd_jobs_canceled_total", float64(canceled)},
+		Gauge{"uniqd_profiles_stored", float64(stored)},
+		Gauge{"uniqd_profile_cache_entries", float64(s.store.Cached())},
+		Gauge{"uniqd_profile_cache_hits_total", float64(hits)},
+		Gauge{"uniqd_profile_cache_misses_total", float64(misses)},
+		Gauge{"uniqd_profile_cache_evictions_total", float64(evictions)},
+	)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,229 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/head"
+	"repro/internal/hrtf"
+)
+
+// StoredProfile is the persisted form of a completed personalization: the
+// §4.4 lookup table plus the provenance a deployment wants alongside it.
+type StoredProfile struct {
+	// User is the profile owner's identifier.
+	User string `json:"user"`
+	// JobID is the job that produced the profile (empty for imports).
+	JobID string `json:"jobId,omitempty"`
+	// CreatedUnixMS is the completion time, Unix milliseconds.
+	CreatedUnixMS int64 `json:"createdUnixMs"`
+	// HeadParams is the fitted head geometry E_opt.
+	HeadParams head.Params `json:"headParams"`
+	// MeanResidualDeg is the sensor-fusion residual (profile trust signal).
+	MeanResidualDeg float64 `json:"meanResidualDeg"`
+	// GestureOK / GestureReason summarize the sweep quality report.
+	GestureOK     bool   `json:"gestureOk"`
+	GestureReason string `json:"gestureReason,omitempty"`
+	// Table is the personalized near/far lookup table.
+	Table *hrtf.Table `json:"table"`
+}
+
+// ErrProfileNotFound is returned by Store.Get for unknown users.
+var ErrProfileNotFound = errors.New("service: no profile stored for that user")
+
+// ErrBadUser is returned for user identifiers the store refuses to map to
+// filenames.
+var ErrBadUser = errors.New("service: invalid user id")
+
+// validUser matches the identifiers accepted as profile owners: they double
+// as filenames, so the alphabet is deliberately narrow.
+var validUser = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidUser reports whether a user identifier is acceptable to the store.
+func ValidUser(user string) bool {
+	return validUser.MatchString(user) && !strings.Contains(user, "..")
+}
+
+// Store persists profiles as one JSON file per user under dir, with an LRU
+// cache of decoded profiles in front. Writes are atomic (temp file +
+// rename), so a crash never leaves a half-written profile, and a fresh
+// Store opened on the same directory serves everything previously Put.
+//
+// Profiles returned by Get are shared: callers must treat them (and their
+// tables) as read-only.
+type Store struct {
+	dir string
+	cap int
+
+	mu    sync.Mutex
+	byKey map[string]*list.Element // user -> element; value is *StoredProfile
+	order *list.List               // front = most recently used
+
+	hits, misses, evictions atomic.Uint64
+}
+
+// OpenStore opens (creating if needed) a profile store rooted at dir.
+// cacheCap bounds the number of decoded profiles kept in memory (<= 0
+// means the default 128).
+func OpenStore(dir string, cacheCap int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("service: store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: create store dir: %w", err)
+	}
+	if cacheCap <= 0 {
+		cacheCap = 128
+	}
+	return &Store{
+		dir:   dir,
+		cap:   cacheCap,
+		byKey: make(map[string]*list.Element),
+		order: list.New(),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(user string) string {
+	return filepath.Join(s.dir, user+".json")
+}
+
+// Put persists a profile and caches it. The profile must carry a valid
+// user and a table.
+func (s *Store) Put(p *StoredProfile) error {
+	if p == nil || p.Table == nil {
+		return errors.New("service: refusing to store an empty profile")
+	}
+	if !ValidUser(p.User) {
+		return fmt.Errorf("%w: %q", ErrBadUser, p.User)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("service: encode profile: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Atomic write: a reader either sees the old profile or the new one,
+	// never a torn file; rename is atomic on POSIX filesystems.
+	tmp, err := os.CreateTemp(s.dir, "."+p.User+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: stage profile: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("service: stage profile: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("service: stage profile: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(p.User)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("service: commit profile: %w", err)
+	}
+	s.cacheLocked(p)
+	return nil
+}
+
+// Get returns the profile for a user, from cache when warm, otherwise from
+// disk. It returns ErrProfileNotFound when the user has no profile.
+func (s *Store) Get(user string) (*StoredProfile, error) {
+	if !ValidUser(user) {
+		return nil, fmt.Errorf("%w: %q", ErrBadUser, user)
+	}
+	s.mu.Lock()
+	if el, ok := s.byKey[user]; ok {
+		s.order.MoveToFront(el)
+		p := el.Value.(*StoredProfile)
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return p, nil
+	}
+	s.mu.Unlock()
+	s.misses.Add(1)
+
+	data, err := os.ReadFile(s.path(user))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrProfileNotFound, user)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: read profile: %w", err)
+	}
+	var p StoredProfile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("service: decode profile %q: %w", user, err)
+	}
+	if p.Table == nil {
+		return nil, fmt.Errorf("service: profile %q has no table", user)
+	}
+	s.mu.Lock()
+	s.cacheLocked(&p)
+	// Another goroutine may have cached the same user while we read disk;
+	// return the canonical cached copy so everyone shares one table.
+	canonical := s.byKey[user].Value.(*StoredProfile)
+	s.mu.Unlock()
+	return canonical, nil
+}
+
+// cacheLocked inserts or refreshes a cache entry, evicting from the LRU
+// tail past capacity. Caller holds s.mu.
+func (s *Store) cacheLocked(p *StoredProfile) {
+	if el, ok := s.byKey[p.User]; ok {
+		el.Value = p
+		s.order.MoveToFront(el)
+		return
+	}
+	s.byKey[p.User] = s.order.PushFront(p)
+	for s.order.Len() > s.cap {
+		tail := s.order.Back()
+		s.order.Remove(tail)
+		delete(s.byKey, tail.Value.(*StoredProfile).User)
+		s.evictions.Add(1)
+	}
+}
+
+// Users lists every user with a persisted profile, sorted.
+func (s *Store) Users() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: list profiles: %w", err)
+	}
+	var users []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		user := strings.TrimSuffix(name, ".json")
+		if ValidUser(user) {
+			users = append(users, user)
+		}
+	}
+	sort.Strings(users)
+	return users, nil
+}
+
+// Cached returns the number of profiles currently held in memory.
+func (s *Store) Cached() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// Stats reports cache hit/miss/eviction counters (for /debug/metrics).
+func (s *Store) Stats() (hits, misses, evictions uint64) {
+	return s.hits.Load(), s.misses.Load(), s.evictions.Load()
+}
