@@ -181,6 +181,52 @@ func BenchmarkPipelinePersonalize(b *testing.B) {
 	}
 }
 
+// BenchmarkPersonalizeParallel measures one solve end to end while sweeping
+// the pipeline's internal worker pool (PipelineOptions.Workers): the
+// per-stop channel-estimation fan-out plus the parallel fusion seeding
+// grid. The fusion search is deliberately coarse so the bench exposes the
+// fan-out scaling rather than the sequential simplex refinement; the output
+// is bit-identical across worker counts (asserted by
+// core.TestPersonalizeWorkerDeterminism).
+func BenchmarkPersonalizeParallel(b *testing.B) {
+	v := sim.NewVolunteer(1, 777)
+	sess, err := sim.RunSession(v, sim.SessionConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := core.SessionInput{
+		Probe: sess.Probe, SampleRate: sess.SampleRate,
+		IMU: sess.IMU, SystemIR: sess.SystemIR, SyncOffset: sess.SyncOffset,
+	}
+	for _, m := range sess.Measurements {
+		in.Stops = append(in.Stops, core.StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
+	}
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := core.PipelineOptions{
+				Workers: workers,
+				Fusion: core.FusionOptions{
+					GridPoints: 2,
+					MaxEvals:   40,
+					Loc:        core.LocalizerOptions{AngleStepDeg: 3, RadiusSteps: 8, BoundaryVertices: 120},
+				},
+				Gesture: core.GestureLimits{MaxResidualDeg: 15},
+			}
+			if workers == 1 {
+				opt.Workers = -1 // fully sequential baseline
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Personalize(in, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+		})
+	}
+}
+
 func BenchmarkSessionSimulation(b *testing.B) {
 	v := sim.NewVolunteer(2, 888)
 	b.ResetTimer()

@@ -1,0 +1,173 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/sim"
+)
+
+// BenchRecord is one measured kernel in the bench.json summary.
+type BenchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	// SessionsPerSec is set for whole-pipeline records.
+	SessionsPerSec float64 `json:"sessionsPerSec,omitempty"`
+}
+
+// BenchSummary is the bench.json schema: a flat record list plus the
+// derived headline ratios trajectory tracking plots across PRs.
+type BenchSummary struct {
+	Schema          string             `json:"schema"`
+	GeneratedUnixMS int64              `json:"generatedUnixMs"`
+	GoVersion       string             `json:"goVersion"`
+	GoMaxProcs      int                `json:"goMaxProcs"`
+	Benchmarks      []BenchRecord      `json:"benchmarks"`
+	Derived         map[string]float64 `json:"derived"`
+}
+
+// TestEmitBenchJSON measures the PR's headline kernels with
+// testing.Benchmark and writes a machine-readable summary for BENCH_*.json
+// trajectory tracking. It is opt-in — set BENCH_JSON to the output path:
+//
+//	BENCH_JSON=bench.json go test -run TestEmitBenchJSON .
+func TestEmitBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to emit the benchmark summary")
+	}
+
+	sum := BenchSummary{
+		Schema:          "uniq-bench/v1",
+		GeneratedUnixMS: time.Now().UnixMilli(),
+		GoVersion:       runtime.Version(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Derived:         map[string]float64{},
+	}
+	add := func(name string, r testing.BenchmarkResult) BenchRecord {
+		rec := BenchRecord{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		sum.Benchmarks = append(sum.Benchmarks, rec)
+		return rec
+	}
+
+	// FFT engine: plan API on caller-owned buffers, pow2 and Bluestein,
+	// complex and real paths.
+	for _, n := range []int{1024, 16384} {
+		src := make([]complex128, n)
+		buf := make([]complex128, n)
+		for i := range src {
+			src[i] = complex(float64(i%7)-3, float64(i%5)-2)
+		}
+		p := dsp.PlanFFT(n)
+		add(fmt.Sprintf("fft/planned/pow2-%d", n), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				p.Forward(buf)
+			}
+		}))
+	}
+	for _, n := range []int{1000, 4410} {
+		src := make([]complex128, n)
+		buf := make([]complex128, n)
+		for i := range src {
+			src[i] = complex(float64(i%7)-3, float64(i%5)-2)
+		}
+		p := dsp.PlanFFT(n)
+		add(fmt.Sprintf("fft/planned/bluestein-%d", n), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				p.Forward(buf)
+			}
+		}))
+	}
+	{
+		n := 16384
+		src := make([]float64, n)
+		dst := make([]complex128, n)
+		for i := range src {
+			src[i] = float64(i%9) - 4
+		}
+		p := dsp.PlanFFT(n)
+		add(fmt.Sprintf("fft/planned/real-pow2-%d", n), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.ForwardReal(dst, src)
+			}
+		}))
+	}
+
+	// Whole pipeline at 1 / 4 / NumCPU internal workers (coarse fusion, as
+	// in BenchmarkPersonalizeParallel).
+	v := sim.NewVolunteer(1, 777)
+	sess, err := sim.RunSession(v, sim.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.SessionInput{
+		Probe: sess.Probe, SampleRate: sess.SampleRate,
+		IMU: sess.IMU, SystemIR: sess.SystemIR, SyncOffset: sess.SyncOffset,
+	}
+	for _, m := range sess.Measurements {
+		in.Stops = append(in.Stops, core.StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
+	}
+	perWorkers := map[int]float64{}
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		if _, done := perWorkers[workers]; done {
+			continue
+		}
+		opt := core.PipelineOptions{
+			Workers: workers,
+			Fusion: core.FusionOptions{
+				GridPoints: 2,
+				MaxEvals:   40,
+				Loc:        core.LocalizerOptions{AngleStepDeg: 3, RadiusSteps: 8, BoundaryVertices: 120},
+			},
+			Gesture: core.GestureLimits{MaxResidualDeg: 15},
+		}
+		if workers == 1 {
+			opt.Workers = -1
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Personalize(in, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rec := add(fmt.Sprintf("personalize/workers=%d", workers), r)
+		perSec := 1e9 / rec.NsPerOp
+		sum.Benchmarks[len(sum.Benchmarks)-1].SessionsPerSec = perSec
+		perWorkers[workers] = rec.NsPerOp
+	}
+	if base, ok := perWorkers[1]; ok {
+		if par, ok := perWorkers[runtime.NumCPU()]; ok && par > 0 {
+			sum.Derived["personalizeSpeedupNumCPUvs1"] = base / par
+		}
+	}
+
+	out, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d records)", path, len(sum.Benchmarks))
+}

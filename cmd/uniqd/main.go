@@ -7,7 +7,7 @@
 // Usage:
 //
 //	uniqd [-addr :8080] [-dir ./profiles] [-workers N] [-queue N]
-//	      [-job-timeout 10m] [-cache N]
+//	      [-pipeline-workers N] [-job-timeout 10m] [-cache N] [-pprof]
 //
 // API (see DESIGN.md for the full table):
 //
@@ -18,6 +18,7 @@
 //	POST /v1/profiles/{user}/aoa      angle-of-arrival query
 //	POST /v1/profiles/{user}/render   short binaural render
 //	GET  /debug/metrics               Prometheus text metrics
+//	GET  /debug/pprof/*               profiling (only with -pprof)
 //	GET  /healthz                     liveness
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener stops, in-flight
@@ -32,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -45,18 +47,22 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dir := flag.String("dir", "./profiles", "profile store directory")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent personalization solves")
+	pipelineWorkers := flag.Int("pipeline-workers", 0,
+		"per-solve worker pool size (channel-estimation fan-out + fusion grid; 0 = GOMAXPROCS, <0 = sequential)")
 	queue := flag.Int("queue", 64, "bounded job queue depth")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job solve deadline")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain deadline")
 	cache := flag.Int("cache", 128, "profiles kept in the in-memory LRU")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	svc, err := service.New(service.Config{
-		StoreDir:   *dir,
-		CacheSize:  *cache,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
+		StoreDir:        *dir,
+		CacheSize:       *cache,
+		Workers:         *workers,
+		PipelineWorkers: *pipelineWorkers,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
 	})
 	if err != nil {
 		log.Fatalf("uniqd: %v", err)
@@ -68,7 +74,22 @@ func main() {
 	log.Printf("uniqd: store %s holds %d profile(s); %d worker(s), queue %d",
 		*dir, len(users), *workers, *queue)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *enablePprof {
+		// Mount the pprof handlers explicitly (rather than via the
+		// package's DefaultServeMux side effect) in front of the API so
+		// the personalization hot paths can be profiled in situ.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("uniqd: pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("uniqd: listening on %s", *addr)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/head"
@@ -50,6 +52,11 @@ type FusionOptions struct {
 	// PriorMean overrides the anthropometric prior center (zero value:
 	// population-mean head). Elevated-ring fits (§7 extension) scale it.
 	PriorMean head.Params
+	// Workers parallelizes the seeding grid search across goroutines
+	// (0 = GOMAXPROCS, 1 = sequential, negative = sequential). The grid
+	// points are independent and the minimum scan is order-fixed, so the
+	// fit is bit-identical at every worker count.
+	Workers int
 }
 
 func (o *FusionOptions) fillDefaults() {
@@ -115,13 +122,16 @@ func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt Fusion
 	if len(obs) < 5 {
 		return FusionResult{}, ErrTooFewObservations
 	}
-	evals := 0
+	var evals atomic.Int64
 	mean := opt.PriorMean
 	if (mean == head.Params{}) {
 		mean = head.DefaultParams()
 	}
+	// The objective is called concurrently by the seeding grid search:
+	// everything it touches is read-only (obs, options, the context) except
+	// the evaluation counter, which is atomic.
 	objective := func(x []float64) float64 {
-		evals++
+		evals.Add(1)
 		if ctx.Err() != nil {
 			return math.Inf(1) // poison the search; checked after Minimize
 		}
@@ -149,7 +159,14 @@ func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt Fusion
 		Lo: []float64{opt.ParamLo.A, opt.ParamLo.B, opt.ParamLo.C},
 		Hi: []float64{opt.ParamHi.A, opt.ParamHi.B, opt.ParamHi.C},
 	}
-	res, err := optimize.Minimize(objective, bounds, opt.GridPoints, optimize.NelderMeadOptions{
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	res, err := optimize.MinimizeParallel(objective, bounds, opt.GridPoints, workers, optimize.NelderMeadOptions{
 		Tol:      1e-10,
 		MaxEvals: opt.MaxEvals,
 	})
@@ -160,7 +177,7 @@ func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt Fusion
 		return FusionResult{}, err
 	}
 	eopt := head.Params{A: res.X[0], B: res.X[1], C: res.X[2]}
-	out := FusionResult{Params: eopt, Evals: evals}
+	out := FusionResult{Params: eopt, Evals: int(evals.Load())}
 	loc, err := NewLocalizer(eopt, opt.Loc)
 	if err != nil {
 		return FusionResult{}, err

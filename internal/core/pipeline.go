@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/head"
@@ -55,6 +58,12 @@ type PipelineOptions struct {
 	// sensor fusion (the per-measurement slant is estimated from the
 	// mean binaural delay).
 	RingElevationDeg float64
+	// Workers bounds the pipeline's internal parallelism: the per-stop
+	// channel-estimation fan-out and (unless Fusion.Workers overrides it)
+	// the sensor-fusion seeding grid. 0 means GOMAXPROCS; negative means
+	// sequential. Stops are independent and results are re-assembled in
+	// sweep order, so the output is bit-identical at every worker count.
+	Workers int
 }
 
 // Personalization is the pipeline's output: the §4.4 lookup table plus the
@@ -74,6 +83,14 @@ type Personalization struct {
 	MeanResidualDeg float64
 	// Gesture is the quality report.
 	Gesture GestureReport
+	// SkippedStops counts measurement stops dropped because channel
+	// estimation failed on them (e.g. no identifiable first tap). A
+	// non-zero count means the sweep was degraded even though the solve
+	// succeeded.
+	SkippedStops int
+	// StopError is the first per-stop estimation error, nil when no stop
+	// was skipped.
+	StopError error
 }
 
 // ErrInvalidSession is the sentinel wrapped by every SessionInput
@@ -129,7 +146,10 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 		return nil, err
 	}
 
-	// 1. Channel estimation per stop.
+	// 1. Channel estimation per stop, fanned across a bounded worker pool:
+	// stops are independent, so they run concurrently and are re-assembled
+	// in sweep order below (the output is bit-identical at any worker
+	// count).
 	est := &ChannelEstimator{
 		Probe:              in.Probe,
 		SampleRate:         in.SampleRate,
@@ -137,17 +157,73 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 		SyncOffset:         in.SyncOffset,
 		TruncateRoomEchoes: !opt.DisableRoomTruncation,
 	}
+	// Fill the estimator's defaults once up front: Estimate then never
+	// writes the estimator, making it safe to share across the workers.
+	est.fillDefaults()
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if opt.Fusion.Workers == 0 {
+		opt.Fusion.Workers = workers
+	}
+	if workers > len(in.Stops) {
+		workers = len(in.Stops)
+	}
 	track := imu.Integrate(in.IMU, 0)
-	var channels []BinauralChannel
-	var obs []FusionObservation
-	for _, stop := range in.Stops {
+	type stopResult struct {
+		ch  BinauralChannel
+		err error
+	}
+	results := make([]stopResult, len(in.Stops))
+	if workers == 1 {
+		for i, stop := range in.Stops {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			results[i].ch, results[i].err = est.Estimate(stop.Left, stop.Right)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(in.Stops) {
+						return
+					}
+					stop := in.Stops[i]
+					results[i].ch, results[i].err = est.Estimate(stop.Left, stop.Right)
+				}
+			}()
+		}
+		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ch, err := est.Estimate(stop.Left, stop.Right)
-		if err != nil {
-			continue // skip unusable stops rather than failing the sweep
+	}
+	var channels []BinauralChannel
+	var obs []FusionObservation
+	skipped := 0
+	var firstSkip error
+	for i, stop := range in.Stops {
+		if results[i].err != nil {
+			// Skip unusable stops rather than failing the sweep, but keep
+			// the evidence: operators watch SkippedStops for degraded
+			// sessions.
+			skipped++
+			if firstSkip == nil {
+				firstSkip = fmt.Errorf("core: stop %d: %w", i, results[i].err)
+			}
+			continue
 		}
+		ch := results[i].ch
 		channels = append(channels, ch)
 		obs = append(obs, FusionObservation{
 			DelayLeft:  ch.DelayLeft,
@@ -216,6 +292,8 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 		Radii:           fusion.Radii,
 		MeanResidualDeg: geom.Degrees(fusion.MeanAngleResidualRad),
 		Gesture:         gesture,
+		SkippedStops:    skipped,
+		StopError:       firstSkip,
 	}
 	for _, a := range fusion.AnglesRad {
 		out.TrackDeg = append(out.TrackDeg, geom.Degrees(a))

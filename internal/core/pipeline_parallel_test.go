@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// coarseOptions keeps the parallelism tests fast: the solve still runs every
+// pipeline stage, just on a coarse fusion grid.
+func coarseOptions(workers int) PipelineOptions {
+	return PipelineOptions{
+		Workers: workers,
+		Fusion: FusionOptions{
+			GridPoints: 2,
+			MaxEvals:   40,
+			Loc:        LocalizerOptions{AngleStepDeg: 3, RadiusSteps: 8, BoundaryVertices: 120},
+		},
+		Gesture: GestureLimits{MaxResidualDeg: 15},
+	}
+}
+
+// TestPersonalizeWorkerDeterminism asserts the pipeline's contract that the
+// worker count is invisible in the output: the table, head parameters, and
+// track must be bit-identical whether the stop fan-out and fusion grid run
+// sequentially or across many goroutines.
+func TestPersonalizeWorkerDeterminism(t *testing.T) {
+	v := sim.NewVolunteer(4, 4321)
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sessionInput(s)
+
+	type snapshot struct {
+		table []byte
+		p     *Personalization
+	}
+	run := func(workers int) snapshot {
+		p, err := Personalize(in, coarseOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		tb, err := json.Marshal(p.Table)
+		if err != nil {
+			t.Fatalf("workers=%d: marshal table: %v", workers, err)
+		}
+		return snapshot{table: tb, p: p}
+	}
+
+	base := run(-1) // sequential
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		got := run(workers)
+		if string(got.table) != string(base.table) {
+			t.Errorf("workers=%d: table differs from sequential run", workers)
+		}
+		if got.p.HeadParams != base.p.HeadParams {
+			t.Errorf("workers=%d: head params %+v != %+v", workers, got.p.HeadParams, base.p.HeadParams)
+		}
+		for i := range base.p.TrackDeg {
+			if got.p.TrackDeg[i] != base.p.TrackDeg[i] {
+				t.Errorf("workers=%d: track[%d] %v != %v", workers, i, got.p.TrackDeg[i], base.p.TrackDeg[i])
+				break
+			}
+		}
+		for i := range base.p.Radii {
+			if got.p.Radii[i] != base.p.Radii[i] {
+				t.Errorf("workers=%d: radius[%d] differs", workers, i)
+				break
+			}
+		}
+	}
+}
+
+// TestPersonalizeSkippedStops checks that unusable stops are counted and
+// the first error kept, rather than silently dropped — and that the counts
+// agree between sequential and parallel runs.
+func TestPersonalizeSkippedStops(t *testing.T) {
+	v := sim.NewVolunteer(5, 555)
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sessionInput(s)
+	// Silence two stops: channel estimation finds no first tap in them.
+	for _, i := range []int{2, 7} {
+		in.Stops[i].Left = make([]float64, len(in.Stops[i].Left))
+		in.Stops[i].Right = make([]float64, len(in.Stops[i].Right))
+	}
+	for _, workers := range []int{1, 4} {
+		p, err := Personalize(in, coarseOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if p.SkippedStops != 2 {
+			t.Errorf("workers=%d: SkippedStops = %d, want 2", workers, p.SkippedStops)
+		}
+		if p.StopError == nil {
+			t.Fatalf("workers=%d: StopError should carry the first failure", workers)
+		}
+		if !errors.Is(p.StopError, ErrNoFirstTap) {
+			t.Errorf("workers=%d: StopError = %v, want wrapped ErrNoFirstTap", workers, p.StopError)
+		}
+		if !strings.Contains(p.StopError.Error(), "stop 2") {
+			t.Errorf("workers=%d: StopError %q should name the first bad stop", workers, p.StopError)
+		}
+	}
+	// A clean sweep reports zero.
+	clean, err := Personalize(sessionInput(s), coarseOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.SkippedStops != 0 || clean.StopError != nil {
+		t.Errorf("clean sweep reported %d skipped (%v)", clean.SkippedStops, clean.StopError)
+	}
+}
+
+// TestPersonalizeCancelMidFanOut cancels while the parallel stop fan-out is
+// in flight: the pipeline must return the context's error promptly and
+// leave no worker goroutines behind.
+func TestPersonalizeCancelMidFanOut(t *testing.T) {
+	v := sim.NewVolunteer(6, 66)
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sessionInput(s)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Land inside channel estimation: a 19-stop fan-out takes well over
+		// a millisecond per stop.
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = PersonalizeContext(ctx, in, coarseOptions(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// "Promptly": in-flight per-stop estimates finish but no new ones
+	// start; the whole return is far below a full solve.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	// No leaked workers once the call returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

@@ -21,7 +21,9 @@ func IsPow2(n int) bool {
 // FFT computes the in-place-free discrete Fourier transform of x and returns
 // a new slice. Any length is supported: powers of two use an iterative
 // radix-2 Cooley-Tukey kernel; other lengths fall back to Bluestein's
-// algorithm. An empty input returns an empty output.
+// algorithm. An empty input returns an empty output. The transform runs
+// through the cached per-size Plan, so repeated calls at one size share
+// twiddle tables and scratch.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
@@ -29,11 +31,8 @@ func FFT(x []complex128) []complex128 {
 	if n <= 1 {
 		return out
 	}
-	if IsPow2(n) {
-		fftRadix2(out, false)
-		return out
-	}
-	return bluestein(out, false)
+	PlanFFT(n).Forward(out)
+	return out
 }
 
 // IFFT computes the inverse discrete Fourier transform of x (with the usual
@@ -45,115 +44,34 @@ func IFFT(x []complex128) []complex128 {
 	if n <= 1 {
 		return out
 	}
-	if IsPow2(n) {
-		fftRadix2(out, true)
-	} else {
-		out = bluestein(out, true)
-	}
-	scale := complex(1/float64(n), 0)
-	for i := range out {
-		out[i] *= scale
-	}
+	PlanFFT(n).Inverse(out)
 	return out
 }
 
-// fftRadix2 transforms x in place. len(x) must be a power of two.
-// If inverse is true the conjugate transform is computed (no scaling).
+// fftRadix2 transforms x in place through the cached plan for len(x), which
+// must be a power of two. If inverse is true the conjugate transform is
+// computed (no scaling) — the contract the convolution helpers scale on.
 func fftRadix2(x []complex128, inverse bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	if len(x) <= 1 {
+		return
 	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		// Precompute the principal twiddle and iterate multiplicatively;
-		// recompute from sin/cos every few steps to bound error drift.
-		wStep := complex(math.Cos(step), math.Sin(step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				if k&63 == 0 {
-					ang := step * float64(k)
-					w = complex(math.Cos(ang), math.Sin(ang))
-				}
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein computes the DFT of arbitrary-length x via the chirp-z transform,
-// returning a new slice. If inverse is true the conjugate transform is
-// computed (no scaling).
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	m := NextPow2(2*n - 1)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// w[k] = exp(sign * i*pi*k^2/n)
-	w := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k^2 mod 2n computed with big-safe arithmetic to avoid overflow.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		ang := sign * math.Pi * float64(kk) / float64(n)
-		w[k] = complex(math.Cos(ang), math.Sin(ang))
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * w[k]
-	}
-	b[0] = complex(real(w[0]), -imag(w[0]))
-	for k := 1; k < n; k++ {
-		c := complex(real(w[k]), -imag(w[k]))
-		b[k] = c
-		b[m-k] = c
-	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftRadix2(a, true)
-	invM := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * w[k]
-	}
-	return out
+	PlanFFT(len(x)).transform(x, inverse)
 }
 
 // FFTReal transforms a real-valued signal and returns its full complex
-// spectrum (length len(x)).
+// spectrum (length len(x)). Even lengths run the half-size complex trick —
+// one len/2-point transform plus an untangling pass — rather than widening
+// the input to complex128.
 func FFTReal(x []float64) []complex128 {
 	c := make([]complex128, len(x))
-	for i, v := range x {
-		c[i] = complex(v, 0)
-	}
-	if len(c) <= 1 {
+	if len(x) <= 1 {
+		for i, v := range x {
+			c[i] = complex(v, 0)
+		}
 		return c
 	}
-	if IsPow2(len(c)) {
-		fftRadix2(c, false)
-		return c
-	}
-	return bluestein(c, false)
+	PlanFFT(len(x)).ForwardReal(c, x)
+	return c
 }
 
 // IFFTReal inverts a spectrum and returns only the real part of the result.

@@ -1,0 +1,254 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// This file preserves the pre-plan FFT kernels (twiddles recomputed and
+// scratch allocated on every call) as a benchmark baseline, so the plan
+// cache's win stays measurable and regressions against it are visible:
+//
+//	go test -bench 'BenchmarkFFT(Planned|Legacy)' -benchmem ./internal/dsp
+//
+// The copies are test-only and verified against the live implementation by
+// TestLegacyKernelsAgree.
+
+// legacyFFTRadix2 is the seed repo's radix-2 kernel: bit reversal computed
+// per call, twiddles iterated multiplicatively with periodic resync.
+func legacyFFTRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				if k&63 == 0 {
+					ang := step * float64(k)
+					w = complex(math.Cos(ang), math.Sin(ang))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// legacyBluestein is the seed repo's chirp-z transform: chirp, filter and
+// both work arrays rebuilt per call.
+func legacyBluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := NextPow2(2*n - 1)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		w[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+	}
+	b[0] = complex(real(w[0]), -imag(w[0]))
+	for k := 1; k < n; k++ {
+		c := complex(real(w[k]), -imag(w[k]))
+		b[k] = c
+		b[m-k] = c
+	}
+	legacyFFTRadix2(a, false)
+	legacyFFTRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	legacyFFTRadix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * w[k]
+	}
+	return out
+}
+
+func legacyFFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if IsPow2(n) {
+		legacyFFTRadix2(out, false)
+		return out
+	}
+	return legacyBluestein(out, false)
+}
+
+// legacyFFTReal is the seed repo's real transform: widen to complex128 and
+// run the complex kernel.
+func legacyFFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	if len(c) <= 1 {
+		return c
+	}
+	if IsPow2(len(c)) {
+		legacyFFTRadix2(c, false)
+		return c
+	}
+	return legacyBluestein(c, false)
+}
+
+// TestLegacyKernelsAgree keeps the baseline honest: if the live transform
+// and the frozen legacy copy drift apart, the benchmark comparison is
+// meaningless.
+func TestLegacyKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{8, 100, 128, 1000, 1024} {
+		x := make([]complex128, n)
+		r := make([]float64, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			r[i] = rng.NormFloat64()
+		}
+		planned, legacy := FFT(x), legacyFFT(x)
+		for i := range planned {
+			if cmplx.Abs(planned[i]-legacy[i]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d bin %d: planned %v, legacy %v", n, i, planned[i], legacy[i])
+			}
+		}
+		plannedR, legacyR := FFTReal(r), legacyFFTReal(r)
+		for i := range plannedR {
+			if cmplx.Abs(plannedR[i]-legacyR[i]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d real bin %d: planned %v, legacy %v", n, i, plannedR[i], legacyR[i])
+			}
+		}
+	}
+}
+
+// benchSizes cover both kernels: pow2 radix-2 and Bluestein.
+var benchSizes = []struct {
+	name string
+	n    int
+}{
+	{"pow2-1024", 1024},
+	{"pow2-16384", 16384},
+	{"bluestein-1000", 1000},
+	{"bluestein-4410", 4410},
+}
+
+func benchInputComplex(n int) []complex128 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func benchInputReal(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// BenchmarkFFTPlanned measures the plan-cached engine through the Plan API
+// (caller-owned buffers: zero allocations on the pow2 path, pooled scratch
+// on the Bluestein path).
+func BenchmarkFFTPlanned(b *testing.B) {
+	for _, bc := range benchSizes {
+		b.Run(bc.name, func(b *testing.B) {
+			src := benchInputComplex(bc.n)
+			buf := make([]complex128, bc.n)
+			p := PlanFFT(bc.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				p.Forward(buf)
+			}
+		})
+	}
+	for _, bc := range benchSizes {
+		b.Run("real-"+bc.name, func(b *testing.B) {
+			src := benchInputReal(bc.n)
+			dst := make([]complex128, bc.n)
+			p := PlanFFT(bc.n)
+			p.ForwardReal(dst, src) // warm the real-trick tables
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.ForwardReal(dst, src)
+			}
+		})
+	}
+}
+
+// BenchmarkFFTLegacy measures the frozen pre-plan kernels on the same
+// inputs.
+func BenchmarkFFTLegacy(b *testing.B) {
+	for _, bc := range benchSizes {
+		b.Run(bc.name, func(b *testing.B) {
+			src := benchInputComplex(bc.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				legacyFFT(src)
+			}
+		})
+	}
+	for _, bc := range benchSizes {
+		b.Run("real-"+bc.name, func(b *testing.B) {
+			src := benchInputReal(bc.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				legacyFFTReal(src)
+			}
+		})
+	}
+}
+
+// BenchmarkFFTWrapper measures the unchanged package-level API (allocates
+// its output but shares the cached plan) — the speedup every existing
+// caller gets for free.
+func BenchmarkFFTWrapper(b *testing.B) {
+	for _, bc := range benchSizes {
+		b.Run(bc.name, func(b *testing.B) {
+			src := benchInputComplex(bc.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				FFT(src)
+			}
+		})
+	}
+}

@@ -9,7 +9,10 @@ package optimize
 import (
 	"errors"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Objective is a scalar function of an n-dimensional point.
@@ -221,6 +224,84 @@ func GridSearch(f Objective, bounds Bounds, pointsPerDim int) (Result, error) {
 	return best, nil
 }
 
+// GridSearchParallel is GridSearch with the grid split across workers
+// goroutines (<= 0 means GOMAXPROCS). f must be safe for concurrent calls.
+// The result is deterministic and identical to sequential GridSearch for a
+// deterministic f: every grid value is collected by index and the minimum
+// scan walks the same index order, so ties break the same way at any worker
+// count.
+func GridSearchParallel(f Objective, bounds Bounds, pointsPerDim, workers int) (Result, error) {
+	dim := len(bounds.Lo)
+	if dim == 0 {
+		return Result{}, errors.New("optimize: empty bounds")
+	}
+	if err := bounds.Validate(dim); err != nil {
+		return Result{}, err
+	}
+	if pointsPerDim < 2 {
+		pointsPerDim = 2
+	}
+	total := 1
+	for i := 0; i < dim; i++ {
+		total *= pointsPerDim
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	// gridPoint expands flat index n into coordinates, writing into x.
+	gridPoint := func(n int, x []float64) {
+		k := n
+		for i := 0; i < dim; i++ {
+			idx := k % pointsPerDim
+			k /= pointsPerDim
+			x[i] = bounds.Lo[i] + (bounds.Hi[i]-bounds.Lo[i])*float64(idx)/float64(pointsPerDim-1)
+		}
+	}
+	vals := make([]float64, total)
+	if workers == 1 {
+		x := make([]float64, dim)
+		for n := 0; n < total; n++ {
+			gridPoint(n, x)
+			vals[n] = f(x)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				x := make([]float64, dim)
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= total {
+						return
+					}
+					gridPoint(n, x)
+					vals[n] = f(x)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	best := Result{F: math.Inf(1), Evals: total, Converged: true}
+	bestN := -1
+	for n, v := range vals {
+		if v < best.F {
+			best.F = v
+			bestN = n
+		}
+	}
+	if bestN >= 0 {
+		best.X = make([]float64, dim)
+		gridPoint(bestN, best.X)
+	}
+	return best, nil
+}
+
 // GoldenSection minimizes a 1-D function on [lo, hi] to the given tolerance.
 func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
 	if tol <= 0 {
@@ -249,7 +330,16 @@ func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64)
 // Minimize runs GridSearch then refines with NelderMead — the composite
 // strategy the sensor-fusion module uses for E=(a,b,c).
 func Minimize(f Objective, bounds Bounds, gridPoints int, opt NelderMeadOptions) (Result, error) {
-	seed, err := GridSearch(f, bounds, gridPoints)
+	return MinimizeParallel(f, bounds, gridPoints, 1, opt)
+}
+
+// MinimizeParallel is Minimize with the seeding grid evaluated by workers
+// concurrent goroutines (<= 0 means GOMAXPROCS; the simplex refinement is
+// inherently sequential either way). f must be safe for concurrent calls
+// when workers != 1. For a deterministic f the result is bit-identical at
+// every worker count.
+func MinimizeParallel(f Objective, bounds Bounds, gridPoints, workers int, opt NelderMeadOptions) (Result, error) {
+	seed, err := GridSearchParallel(f, bounds, gridPoints, workers)
 	if err != nil {
 		return Result{}, err
 	}

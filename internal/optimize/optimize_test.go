@@ -152,3 +152,55 @@ func TestBoundsClamp(t *testing.T) {
 		t.Errorf("clamp gave %v", x)
 	}
 }
+
+func TestGridSearchParallelMatchesSequential(t *testing.T) {
+	// A surface with deliberate ties (plateaus) so tie-breaking order is
+	// observable: the parallel scan must pick the same flat-index winner as
+	// the sequential one at every worker count.
+	f := func(x []float64) float64 {
+		return math.Floor(2*math.Abs(x[0])) + math.Floor(2*math.Abs(x[1]))
+	}
+	want, err := GridSearch(f, box(2, -1, 1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got, err := GridSearchParallel(f, box(2, -1, 1), 9, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.F != want.F || got.Evals != want.Evals {
+			t.Errorf("workers=%d: F=%v evals=%d, want F=%v evals=%d",
+				workers, got.F, got.Evals, want.F, want.Evals)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Errorf("workers=%d: X=%v, want %v (tie broken differently)", workers, got.X, want.X)
+				break
+			}
+		}
+	}
+}
+
+func TestMinimizeParallelMatchesMinimize(t *testing.T) {
+	want, err := Minimize(rosenbrock, box(2, -2, 2), 5, NelderMeadOptions{MaxEvals: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := MinimizeParallel(rosenbrock, box(2, -2, 2), 5, workers, NelderMeadOptions{MaxEvals: 200})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.F != want.F || got.Evals != want.Evals {
+			t.Errorf("workers=%d: F=%v evals=%d, want F=%v evals=%d",
+				workers, got.F, got.Evals, want.F, want.Evals)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Errorf("workers=%d: X=%v, want %v", workers, got.X, want.X)
+				break
+			}
+		}
+	}
+}

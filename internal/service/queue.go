@@ -263,7 +263,7 @@ func (p *Pool) runJob(j *job) {
 
 // profileFrom assembles the stored form of a finished solve.
 func profileFrom(j *job, res *core.Personalization) *StoredProfile {
-	return &StoredProfile{
+	p := &StoredProfile{
 		User:            j.user,
 		JobID:           j.id,
 		CreatedUnixMS:   time.Now().UnixMilli(),
@@ -271,8 +271,13 @@ func profileFrom(j *job, res *core.Personalization) *StoredProfile {
 		MeanResidualDeg: res.MeanResidualDeg,
 		GestureOK:       res.Gesture.OK,
 		GestureReason:   res.Gesture.Reason,
+		SkippedStops:    res.SkippedStops,
 		Table:           res.Table,
 	}
+	if res.StopError != nil {
+		p.StopError = res.StopError.Error()
+	}
+	return p
 }
 
 func (p *Pool) finish(j *job, err error) {

@@ -25,6 +25,11 @@ type Config struct {
 	JobTimeout time.Duration
 	// Pipeline is applied to every personalization solve.
 	Pipeline core.PipelineOptions
+	// PipelineWorkers overrides Pipeline.Workers when non-zero: the size
+	// of the per-solve worker pool that fans channel estimation and the
+	// fusion seeding grid across cores. Independent of Workers (concurrent
+	// solves): total parallelism is roughly Workers × PipelineWorkers.
+	PipelineWorkers int
 	// MaxBodyBytes bounds request bodies (default 64 MiB — a measurement
 	// session is a few MB of JSON).
 	MaxBodyBytes int64
@@ -50,6 +55,9 @@ type Service struct {
 func New(cfg Config) (*Service, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.PipelineWorkers != 0 {
+		cfg.Pipeline.Workers = cfg.PipelineWorkers
 	}
 	store, err := OpenStore(cfg.StoreDir, cfg.CacheSize)
 	if err != nil {

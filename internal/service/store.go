@@ -33,6 +33,10 @@ type StoredProfile struct {
 	// GestureOK / GestureReason summarize the sweep quality report.
 	GestureOK     bool   `json:"gestureOk"`
 	GestureReason string `json:"gestureReason,omitempty"`
+	// SkippedStops / StopError surface degraded sweeps: stops dropped by
+	// channel estimation and the first per-stop error (empty when none).
+	SkippedStops int    `json:"skippedStops,omitempty"`
+	StopError    string `json:"stopError,omitempty"`
 	// Table is the personalized near/far lookup table.
 	Table *hrtf.Table `json:"table"`
 }
