@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// guardRegressionThreshold fails the guard when a kernel runs this much
+// slower than the committed bench.json record (1.20 = +20% ns/op). Wide
+// enough to ride out scheduler noise on shared CI runners, tight enough
+// to catch a real regression in the FFT engine or the fusion hot path.
+const guardRegressionThreshold = 1.20
+
+// TestBenchRegressionGuard replays the committed bench.json kernels for
+// the FFT plans and the sensor-fusion solve and fails on a >20% ns/op
+// regression. Opt-in (it costs benchmark time):
+//
+//	BENCH_GUARD=1 go test -run TestBenchRegressionGuard .
+//
+// CI runs it in the bench-smoke job. The guard compares against the
+// committed numbers, so after an intentional perf change regenerate the
+// baseline with BENCH_JSON=bench.json (see README) and commit it.
+func TestBenchRegressionGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the benchmark regression guard")
+	}
+	raw, err := os.ReadFile("bench.json")
+	if err != nil {
+		t.Fatalf("no committed baseline: %v", err)
+	}
+	var sum BenchSummary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("bench.json: %v", err)
+	}
+	if sum.Schema != "uniq-bench/v1" {
+		t.Fatalf("bench.json schema %q not understood", sum.Schema)
+	}
+	guarded := 0
+	for _, rec := range sum.Benchmarks {
+		if !strings.HasPrefix(rec.Name, "fft/planned/") && rec.Name != "fuseSensors" {
+			continue
+		}
+		if rec.NsPerOp <= 0 {
+			t.Errorf("%s: committed baseline has nsPerOp %v; regenerate bench.json", rec.Name, rec.NsPerOp)
+			continue
+		}
+		r, ok := measureKernel(rec.Name)
+		if !ok {
+			t.Errorf("%s: committed record has no measurable kernel; update measureKernel or bench.json", rec.Name)
+			continue
+		}
+		guarded++
+		got := float64(r.NsPerOp())
+		ratio := got / rec.NsPerOp
+		if ratio > guardRegressionThreshold {
+			t.Errorf("%s regressed: %.0f ns/op vs committed %.0f ns/op (%.2fx > %.2fx allowed)",
+				rec.Name, got, rec.NsPerOp, ratio, guardRegressionThreshold)
+		} else {
+			t.Logf("%s: %.0f ns/op vs committed %.0f ns/op (%.2fx)", rec.Name, got, rec.NsPerOp, ratio)
+		}
+	}
+	if guarded == 0 {
+		t.Fatal("bench.json contains no guarded kernels; regenerate it with BENCH_JSON=bench.json")
+	}
+}

@@ -3,15 +3,139 @@ package repro
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dsp"
+	"repro/internal/geom"
+	"repro/internal/head"
 	"repro/internal/sim"
 )
+
+// seedFuseSensorsNsPerOp is BenchmarkFuseSensors on the code before the
+// sweep-batch Localizer build, the refine quad pruning and the
+// params-keyed cache (commit 77f7551, this machine). It anchors the
+// derived fusionSpeedupVsSeed ratio across PRs.
+const seedFuseSensorsNsPerOp = 2308303519.0
+
+// fuseBenchObservations builds the deterministic noise-free fusion input
+// used by the fuseSensors kernel (mirrors the core package's benchmark).
+func fuseBenchObservations() ([]core.FusionObservation, error) {
+	m, err := head.New(head.Params{A: 0.105, B: 0.085, C: 0.098})
+	if err != nil {
+		return nil, err
+	}
+	var obs []core.FusionObservation
+	for deg := 8.0; deg <= 172; deg += 6 {
+		r := 0.30 + 0.04*math.Sin(deg/30)
+		pos := geom.FromPolar(geom.Radians(deg), r)
+		l, err1 := m.PathTo(pos, head.Left)
+		rr, err2 := m.PathTo(pos, head.Right)
+		if err1 != nil {
+			return nil, err1
+		}
+		if err2 != nil {
+			return nil, err2
+		}
+		obs = append(obs, core.FusionObservation{
+			DelayLeft:  l.Delay,
+			DelayRight: rr.Delay,
+			AlphaRad:   geom.Radians(deg),
+		})
+	}
+	return obs, nil
+}
+
+// measureKernel runs the named bench.json kernel with testing.Benchmark.
+// It is shared by the emitter and the bench-smoke regression guard so both
+// measure exactly the same workload. ok is false for names the function
+// does not know (e.g. personalize records, which need session setup).
+func measureKernel(name string) (testing.BenchmarkResult, bool) {
+	switch {
+	case strings.HasPrefix(name, "fft/planned/pow2-"), strings.HasPrefix(name, "fft/planned/bluestein-"):
+		var n int
+		if _, err := fmt.Sscanf(name[strings.LastIndex(name, "-")+1:], "%d", &n); err != nil || n <= 0 {
+			return testing.BenchmarkResult{}, false
+		}
+		src := make([]complex128, n)
+		buf := make([]complex128, n)
+		for i := range src {
+			src[i] = complex(float64(i%7)-3, float64(i%5)-2)
+		}
+		p := dsp.PlanFFT(n)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				p.Forward(buf)
+			}
+		}), true
+	case name == "fft/planned/real-pow2-16384":
+		n := 16384
+		src := make([]float64, n)
+		dst := make([]complex128, n)
+		for i := range src {
+			src[i] = float64(i%9) - 4
+		}
+		p := dsp.PlanFFT(n)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.ForwardReal(dst, src)
+			}
+		}), true
+	case name == "localizer/build":
+		params := head.DefaultParams()
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				loc, err := core.NewLocalizer(params, core.LocalizerOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				loc.Release()
+			}
+		}), true
+	case name == "geom/tangent/path-query-240":
+		verts := make([]geom.Vec, 240)
+		for i := range verts {
+			theta := 2 * math.Pi * float64(i) / float64(len(verts))
+			verts[i] = geom.Vec{X: 0.09 * math.Cos(theta), Y: 0.07 * math.Sin(theta)}
+		}
+		bnd, err := geom.NewBoundary(verts)
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		p := geom.Vec{X: -0.31, Y: 0.22}
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bnd.ShortestExteriorPath(p, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), true
+	case name == "fuseSensors":
+		obs, err := fuseBenchObservations()
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FuseSensors(obs, core.FusionOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), true
+	}
+	return testing.BenchmarkResult{}, false
+}
 
 // BenchRecord is one measured kernel in the bench.json summary.
 type BenchRecord struct {
@@ -65,52 +189,28 @@ func TestEmitBenchJSON(t *testing.T) {
 		return rec
 	}
 
-	// FFT engine: plan API on caller-owned buffers, pow2 and Bluestein,
-	// complex and real paths.
-	for _, n := range []int{1024, 16384} {
-		src := make([]complex128, n)
-		buf := make([]complex128, n)
-		for i := range src {
-			src[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	// FFT engine (plan API, pow2/Bluestein/real), the geometry fast path,
+	// the Localizer delay-field build, and the full sensor-fusion solve —
+	// all measured through the same kernels the bench-smoke regression
+	// guard replays.
+	for _, name := range []string{
+		"fft/planned/pow2-1024",
+		"fft/planned/pow2-16384",
+		"fft/planned/bluestein-1000",
+		"fft/planned/bluestein-4410",
+		"fft/planned/real-pow2-16384",
+		"geom/tangent/path-query-240",
+		"localizer/build",
+		"fuseSensors",
+	} {
+		r, ok := measureKernel(name)
+		if !ok {
+			t.Fatalf("unknown bench kernel %q", name)
 		}
-		p := dsp.PlanFFT(n)
-		add(fmt.Sprintf("fft/planned/pow2-%d", n), testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				copy(buf, src)
-				p.Forward(buf)
-			}
-		}))
-	}
-	for _, n := range []int{1000, 4410} {
-		src := make([]complex128, n)
-		buf := make([]complex128, n)
-		for i := range src {
-			src[i] = complex(float64(i%7)-3, float64(i%5)-2)
+		rec := add(name, r)
+		if name == "fuseSensors" && rec.NsPerOp > 0 {
+			sum.Derived["fusionSpeedupVsSeed"] = seedFuseSensorsNsPerOp / rec.NsPerOp
 		}
-		p := dsp.PlanFFT(n)
-		add(fmt.Sprintf("fft/planned/bluestein-%d", n), testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				copy(buf, src)
-				p.Forward(buf)
-			}
-		}))
-	}
-	{
-		n := 16384
-		src := make([]float64, n)
-		dst := make([]complex128, n)
-		for i := range src {
-			src[i] = float64(i%9) - 4
-		}
-		p := dsp.PlanFFT(n)
-		add(fmt.Sprintf("fft/planned/real-pow2-%d", n), testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				p.ForwardReal(dst, src)
-			}
-		}))
 	}
 
 	// Whole pipeline at 1 / 4 / NumCPU internal workers (coarse fusion, as

@@ -127,16 +127,22 @@ func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt Fusion
 	if (mean == head.Params{}) {
 		mean = head.DefaultParams()
 	}
+	// Delay fields are memoized across objective evaluations: Nelder-Mead
+	// revisits parameter sets, and the final build repeats the winning
+	// vertex. Cached fields are exact-params matches, so the solve is
+	// bit-identical to building fresh every time.
+	cache := newLocalizerCache(opt.Loc)
+	defer cache.releaseAll()
 	// The objective is called concurrently by the seeding grid search:
 	// everything it touches is read-only (obs, options, the context) except
-	// the evaluation counter, which is atomic.
+	// the evaluation counter and the localizer cache, which synchronize.
 	objective := func(x []float64) float64 {
 		evals.Add(1)
 		if ctx.Err() != nil {
 			return math.Inf(1) // poison the search; checked after Minimize
 		}
 		p := head.Params{A: x[0], B: x[1], C: x[2]}
-		loc, err := NewLocalizer(p, opt.Loc)
+		loc, cached, err := cache.get(p)
 		if err != nil {
 			return math.Inf(1)
 		}
@@ -153,6 +159,9 @@ func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt Fusion
 		total /= float64(len(obs))
 		da, db, dc := p.A-mean.A, p.B-mean.B, p.C-mean.C
 		total += opt.PriorWeight * (da*da + db*db + dc*dc)
+		if !cached {
+			loc.Release()
+		}
 		return total
 	}
 	bounds := optimize.Bounds{
@@ -178,9 +187,14 @@ func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt Fusion
 	}
 	eopt := head.Params{A: res.X[0], B: res.X[1], C: res.X[2]}
 	out := FusionResult{Params: eopt, Evals: int(evals.Load())}
-	loc, err := NewLocalizer(eopt, opt.Loc)
+	// The winning vertex was just evaluated, so this is normally a cache
+	// hit — the solve's most expensive "free" reuse.
+	loc, cached, err := cache.get(eopt)
 	if err != nil {
 		return FusionResult{}, err
+	}
+	if !cached {
+		defer loc.Release()
 	}
 	var sumSq float64
 	for _, ob := range obs {

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/head"
+)
+
+// benchObservations builds deterministic noise-free fusion inputs from a
+// ground-truth head, mirroring syntheticObservations without a testing.T.
+func benchObservations(b *testing.B, p head.Params) []FusionObservation {
+	b.Helper()
+	m, err := head.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var obs []FusionObservation
+	for deg := 8.0; deg <= 172; deg += 6 {
+		r := 0.30 + 0.04*math.Sin(deg/30)
+		pos := geom.FromPolar(geom.Radians(deg), r)
+		l, err1 := m.PathTo(pos, head.Left)
+		rr, err2 := m.PathTo(pos, head.Right)
+		if err1 != nil || err2 != nil {
+			b.Fatal(err1, err2)
+		}
+		obs = append(obs, FusionObservation{
+			DelayLeft:  l.Delay,
+			DelayRight: rr.Delay,
+			AlphaRad:   geom.Radians(deg),
+		})
+	}
+	return obs
+}
+
+// BenchmarkFuseSensors times the §4.1 diffraction-aware sensor fusion at
+// its default resolution — the per-session solve every user pays, and the
+// hot path the sweep-batch Localizer build and the params-keyed cache
+// target.
+func BenchmarkFuseSensors(b *testing.B) {
+	obs := benchObservations(b, head.Params{A: 0.105, B: 0.085, C: 0.098})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FuseSensors(obs, FusionOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFuseSensorsCoarse is the coarse-grid configuration the parallel
+// pipeline benchmarks use; it isolates the fusion share of those numbers.
+func BenchmarkFuseSensorsCoarse(b *testing.B) {
+	obs := benchObservations(b, head.Params{A: 0.105, B: 0.085, C: 0.098})
+	opt := FusionOptions{
+		GridPoints: 2,
+		MaxEvals:   40,
+		Loc:        LocalizerOptions{AngleStepDeg: 3, RadiusSteps: 8, BoundaryVertices: 120},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FuseSensors(obs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalizerBuild times one delay-field construction at the default
+// resolution (240 angles x 16 radii x 2 ears = 7,680 path queries): the
+// inner loop of every fusion objective evaluation.
+func BenchmarkLocalizerBuild(b *testing.B) {
+	p := head.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc, err := NewLocalizer(p, LocalizerOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = loc
+	}
+}

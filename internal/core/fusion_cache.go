@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/head"
+)
+
+const (
+	// cacheQuantum buckets parameters at 0.1 µm for key hashing — far
+	// below any optimizer step that changes the objective. Bucketing is
+	// only a lookup strategy: a hit additionally requires the stored
+	// head.Params to match the query exactly, so two distinct parameter
+	// sets can never share a delay field and the fusion trajectory stays
+	// bit-identical to the uncached solve.
+	cacheQuantum = 1e-7
+	// cacheMaxEntries bounds retained fields (~60 KB each at the default
+	// grid). A fusion solve evaluates at most GridPoints³ + MaxEvals
+	// distinct parameter sets (~184 at defaults), so the cap is slack;
+	// past it new builds are simply handed to the caller un-cached.
+	cacheMaxEntries = 512
+)
+
+type cacheKey [3]int64
+
+func quantizeKey(p head.Params) cacheKey {
+	return cacheKey{
+		int64(math.Round(p.A / cacheQuantum)),
+		int64(math.Round(p.B / cacheQuantum)),
+		int64(math.Round(p.C / cacheQuantum)),
+	}
+}
+
+// localizerCache memoizes delay-field builds within one fusion solve.
+// Nelder-Mead revisits simplex vertices (reflect-then-contract sequences
+// re-evaluate earlier points) and the final post-fit build always repeats
+// the best vertex, so reuse is substantial. Safe for concurrent use; the
+// cached Localizers themselves are read-only after construction.
+type localizerCache struct {
+	mu  sync.Mutex
+	opt LocalizerOptions
+	m   map[cacheKey][]*Localizer
+	n   int
+}
+
+func newLocalizerCache(opt LocalizerOptions) *localizerCache {
+	return &localizerCache{opt: opt, m: make(map[cacheKey][]*Localizer)}
+}
+
+// get returns a Localizer for p, building one on a miss. cached reports
+// whether the cache retains the Localizer (released later by releaseAll);
+// when false the caller owns it and must Release it after use. Entries are
+// never evicted mid-solve, so a cached Localizer stays valid until
+// releaseAll.
+func (c *localizerCache) get(p head.Params) (loc *Localizer, cached bool, err error) {
+	k := quantizeKey(p)
+	c.mu.Lock()
+	for _, e := range c.m[k] {
+		if e.params == p {
+			c.mu.Unlock()
+			return e, true, nil
+		}
+	}
+	c.mu.Unlock()
+	loc, err = NewLocalizer(p, c.opt)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.m[k] {
+		if e.params == p {
+			// Lost a build race: adopt the cached field, recycle ours.
+			loc.Release()
+			return e, true, nil
+		}
+	}
+	if c.n >= cacheMaxEntries {
+		return loc, false, nil
+	}
+	c.m[k] = append(c.m[k], loc)
+	c.n++
+	return loc, true, nil
+}
+
+// releaseAll recycles every retained delay field. Call only when no
+// cached Localizer is still in use.
+func (c *localizerCache) releaseAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, es := range c.m {
+		for _, e := range es {
+			e.Release()
+		}
+		delete(c.m, k)
+	}
+	c.n = 0
+}

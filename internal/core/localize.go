@@ -3,8 +3,6 @@ package core
 import (
 	"errors"
 	"math"
-	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/geom"
@@ -37,6 +35,12 @@ type LocalizerOptions struct {
 	// (default 240 — cheaper than rendering fidelity, accurate to well
 	// under a millimetre of path length).
 	BoundaryVertices int
+	// Workers bounds the goroutines used to build the delay field. 0 or 1
+	// builds sequentially — the right default, because sensor fusion
+	// already evaluates candidate parameter sets in parallel and a nested
+	// per-build fan-out only oversubscribes the CPU. Set >1 for builds on
+	// the critical path with idle cores (e.g. the final post-fit build).
+	Workers int
 }
 
 func (o *LocalizerOptions) fillDefaults() {
@@ -66,11 +70,65 @@ type Localizer struct {
 	opt       LocalizerOptions
 	numAngles int
 	// dl/dr[j*RadiusSteps+k] is the delay (s) to the left/right ear from
-	// polar angle j*step, radius k.
+	// polar angle j*step, radius k. Both view the pooled scratch buffer.
 	dl, dr []float64
+	// scratch backs dl/dr; returned to fieldPool by Release.
+	scratch *fieldScratch
+}
+
+// fieldScratch is a recyclable delay-field allocation: one combined dl/dr
+// buffer plus the angle and ring scratch the sweep build needs. Pooling
+// these is what turns the per-objective-evaluation field build from the
+// dominant allocation source into a near-zero-alloc operation.
+type fieldScratch struct {
+	buf   []float64  // dl = buf[:size], dr = buf[size:2*size]
+	units []geom.Vec // unit direction per angle row (trig paid once per build)
+	pts   []geom.Vec // per-ring query points (sequential build only)
+	ring  []geom.Path
+}
+
+var fieldPool = sync.Pool{New: func() any { return new(fieldScratch) }}
+
+func (s *fieldScratch) resize(size, numAngles int) {
+	if cap(s.buf) < 2*size {
+		s.buf = make([]float64, 2*size)
+	}
+	s.buf = s.buf[:2*size]
+	if cap(s.units) < numAngles {
+		s.units = make([]geom.Vec, numAngles)
+	}
+	s.units = s.units[:numAngles]
+	if cap(s.pts) < numAngles {
+		s.pts = make([]geom.Vec, numAngles)
+	}
+	s.pts = s.pts[:numAngles]
+	if cap(s.ring) < numAngles {
+		s.ring = make([]geom.Path, numAngles)
+	}
+	s.ring = s.ring[:numAngles]
+}
+
+// Release returns the Localizer's field buffers to the shared pool. After
+// Release the Localizer must not be used. Calling it is optional — an
+// un-released Localizer is simply garbage-collected — but the fusion loop
+// builds hundreds of fields per solve and recycles every one.
+func (l *Localizer) Release() {
+	if l.scratch == nil {
+		return
+	}
+	s := l.scratch
+	l.scratch, l.dl, l.dr = nil, nil, nil
+	fieldPool.Put(s)
 }
 
 // NewLocalizer builds the delay field for the candidate parameters.
+//
+// The field is filled one radius ring at a time through the boundary's
+// incremental tangent sweep (geom.SweepRing), which costs O(angles + n)
+// per ring instead of O(angles * n); the results are bit-identical to
+// per-point path queries. With opt.Workers > 1 the rings are partitioned
+// across that many goroutines — output is identical either way because
+// every ring is independent.
 func NewLocalizer(p head.Params, opt LocalizerOptions) (*Localizer, error) {
 	opt.fillDefaults()
 	model, err := head.NewWithResolution(p, opt.BoundaryVertices)
@@ -82,63 +140,86 @@ func NewLocalizer(p head.Params, opt LocalizerOptions) (*Localizer, error) {
 		opt.RadiusMin = maxDim + 0.015
 	}
 	numAngles := int(math.Round(360 / opt.AngleStepDeg))
+	size := numAngles * opt.RadiusSteps
+	sc := fieldPool.Get().(*fieldScratch)
+	sc.resize(size, numAngles)
 	l := &Localizer{
 		params:    p,
 		opt:       opt,
 		numAngles: numAngles,
-		dl:        make([]float64, numAngles*opt.RadiusSteps),
-		dr:        make([]float64, numAngles*opt.RadiusSteps),
+		dl:        sc.buf[:size],
+		dr:        sc.buf[size : 2*size],
+		scratch:   sc,
 	}
-	// Sensor fusion rebuilds this field for every candidate parameter
-	// set, so the per-angle columns are computed in parallel. Each worker
-	// writes disjoint slice ranges; the model is read-only.
-	workers := runtime.NumCPU()
-	if workers > numAngles {
-		workers = numAngles
+	// Trig is hoisted out of the query loop: units[j] is FromPolar's unit
+	// direction for angle row j, and FromPolar(theta, r) == r * units[j]
+	// component-wise (IEEE multiplication is exact under sign flips, so
+	// the grid points are bit-identical to direct FromPolar calls).
+	for j := range sc.units {
+		theta := geom.Radians(float64(j) * opt.AngleStepDeg)
+		sc.units[j] = geom.Vec{X: -math.Sin(theta), Y: math.Cos(theta)}
 	}
-	if workers < 1 {
-		workers = 1
+	bnd := model.Boundary()
+	ears := [2]int{model.EarIndex(head.Left), model.EarIndex(head.Right)}
+	// buildRing fills both ears' delays for radius index k, writing
+	// strided into the angle-major field. pts/ring are caller-provided
+	// scratch so parallel builds don't share them.
+	buildRing := func(k int, pts []geom.Vec, ring []geom.Path) error {
+		r := l.radiusAt(k)
+		for j, u := range sc.units {
+			pts[j] = geom.Vec{X: r * u.X, Y: r * u.Y}
+		}
+		for e, earIdx := range ears {
+			if err := bnd.SweepRingPoints(pts, earIdx, ring); err != nil {
+				return err
+			}
+			d := l.dl
+			if e == 1 {
+				d = l.dr
+			}
+			for j := range ring {
+				d[j*opt.RadiusSteps+k] = ring[j].Length / head.SpeedOfSound
+			}
+		}
+		return nil
+	}
+	workers := opt.Workers
+	if workers > opt.RadiusSteps {
+		workers = opt.RadiusSteps
+	}
+	if workers <= 1 {
+		for k := 0; k < opt.RadiusSteps; k++ {
+			if err := buildRing(k, sc.pts, sc.ring); err != nil {
+				l.Release()
+				return nil, err
+			}
+		}
+		return l, nil
 	}
 	var firstErr error
 	var errMu sync.Mutex
 	var wg sync.WaitGroup
-	// Buffered and pre-filled so early-exiting workers never strand the
-	// producer.
-	rows := make(chan int, numAngles)
-	for j := 0; j < numAngles; j++ {
-		rows <- j
-	}
-	close(rows)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for j := range rows {
-				theta := geom.Radians(float64(j) * opt.AngleStepDeg)
-				for k := 0; k < opt.RadiusSteps; k++ {
-					pt := geom.FromPolar(theta, l.radiusAt(k))
-					pl, err1 := model.PathTo(pt, head.Left)
-					pr, err2 := model.PathTo(pt, head.Right)
-					if err1 != nil || err2 != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							if err1 != nil {
-								firstErr = err1
-							} else {
-								firstErr = err2
-							}
-						}
-						errMu.Unlock()
-						return
+			pts := make([]geom.Vec, numAngles)
+			ring := make([]geom.Path, numAngles)
+			for k := w; k < opt.RadiusSteps; k += workers {
+				if err := buildRing(k, pts, ring); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
 					}
-					l.dl[j*opt.RadiusSteps+k] = pl.Delay
-					l.dr[j*opt.RadiusSteps+k] = pr.Delay
+					errMu.Unlock()
+					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
+		l.Release()
 		return nil, firstErr
 	}
 	return l, nil
@@ -154,47 +235,58 @@ func (l *Localizer) radiusAt(k int) float64 {
 // ErrNoSolution is returned when no grid cell matches the delays at all.
 var ErrNoSolution = errors.New("core: delays match no location in the search region")
 
+// cell is a grid cell with its delay-mismatch cost, used by the Locate
+// column scan.
+type cell struct {
+	j, k int
+	c    float64
+}
+
+// colMinPool recycles the per-Locate column-minimum scratch; fusion calls
+// Locate tens of thousands of times per solve and the scratch was its
+// dominant allocation.
+var colMinPool = sync.Pool{New: func() any { return new([]cell) }}
+
 // Locate returns up to two candidate locations (front/back) for the given
 // absolute binaural delays (seconds).
 func (l *Localizer) Locate(delayL, delayR float64) ([]Candidate, error) {
 	rs := l.opt.RadiusSteps
-	// Cost over the grid.
-	cost := func(j, k int) float64 {
-		i := j*rs + k
-		e1 := l.dl[i] - delayL
-		e2 := l.dr[i] - delayR
-		return e1*e1 + e2*e2
-	}
-	type cell struct {
-		j, k int
-		c    float64
-	}
 	// Collect each column's minimum, then keep the best few columns that
 	// are mutually separated by ≥25°. Keeping more than two matters for
 	// nearly front-back-symmetric heads, where radius-grid quantization
 	// can rank the true column below its mirror *and* a neighbour; the
 	// sub-cell refinement then sorts it out by exact residual.
 	minSepCells := int(math.Round(25 / l.opt.AngleStepDeg)) // 25 degrees
-	colMin := make([]cell, l.numAngles)
+	colMinP := colMinPool.Get().(*[]cell)
+	defer colMinPool.Put(colMinP)
+	if cap(*colMinP) < l.numAngles {
+		*colMinP = make([]cell, l.numAngles)
+	}
+	colMin := (*colMinP)[:l.numAngles]
 	for j := 0; j < l.numAngles; j++ {
+		dlRow := l.dl[j*rs : j*rs+rs]
+		drRow := l.dr[j*rs : j*rs+rs]
 		cj, ck := math.Inf(1), 0
 		for k := 0; k < rs; k++ {
-			if c := cost(j, k); c < cj {
+			e1 := dlRow[k] - delayL
+			e2 := drRow[k] - delayR
+			if c := e1*e1 + e2*e2; c < cj {
 				cj, ck = c, k
 			}
 		}
 		colMin[j] = cell{j: j, k: ck, c: cj}
 	}
 	const maxCands = 4
-	var picked []cell
-	for len(picked) < maxCands {
+	var picked [maxCands]cell
+	nPicked := 0
+	for nPicked < maxCands {
 		best := cell{j: -1, c: math.Inf(1)}
 		for _, cm := range colMin {
 			if cm.c >= best.c {
 				continue
 			}
 			ok := true
-			for _, p := range picked {
+			for _, p := range picked[:nPicked] {
 				if angularSep(p.j, cm.j, l.numAngles) < minSepCells {
 					ok = false
 					break
@@ -207,16 +299,24 @@ func (l *Localizer) Locate(delayL, delayR float64) ([]Candidate, error) {
 		if best.j < 0 {
 			break
 		}
-		picked = append(picked, best)
+		picked[nPicked] = best
+		nPicked++
 	}
-	if len(picked) == 0 {
+	if nPicked == 0 {
 		return nil, ErrNoSolution
 	}
-	out := make([]Candidate, 0, len(picked))
-	for _, p := range picked {
+	out := make([]Candidate, 0, nPicked)
+	for _, p := range picked[:nPicked] {
 		out = append(out, l.refine(p.j, p.k, delayL, delayR))
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Residual < out[b].Residual })
+	// Insertion sort ascending by residual: stable, so equal residuals
+	// keep their order exactly as sort.Slice's small-slice insertion sort
+	// did before.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Residual < out[j-1].Residual; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out, nil
 }
 
@@ -243,11 +343,23 @@ func (l *Localizer) refine(j, k int, delayL, delayR float64) Candidate {
 	rs := l.opt.RadiusSteps
 	best := Candidate{Residual: math.Inf(1)}
 	const jSpan, kSpan = 5, 3
+	// quadSlack pads the corner-bound pruning test. The bilinear
+	// interpolant is a convex combination of its four corners, so in exact
+	// arithmetic a quad whose corner delay ranges exclude the target by
+	// more than the current best residual cannot win the strict
+	// `< best.Residual` comparison below. Floating-point bilerp can stray
+	// outside the corner hull by a few ulps (~1e-18 at delay scale); the
+	// slack is nine orders of magnitude wider, so no quad the exhaustive
+	// scan would have accepted is ever skipped.
+	const quadSlack = 1e-9 * (1.0 / 343.0) // ~3e-12 s, dwarfs ulp error, far below any residual that matters
 	for dj := -jSpan; dj <= jSpan; dj++ {
 		j0 := ((j+dj)%l.numAngles + l.numAngles) % l.numAngles
 		for dk := -kSpan; dk <= kSpan; dk++ {
 			k0 := k + dk
 			if k0 < 0 || k0 >= rs-1 {
+				continue
+			}
+			if !math.IsInf(best.Residual, 1) && l.quadLowerBound(j0, k0, delayL, delayR) > best.Residual+quadSlack {
 				continue
 			}
 			if c := l.solveQuad(j0, k0, delayL, delayR); c.Residual < best.Residual {
@@ -256,6 +368,41 @@ func (l *Localizer) refine(j, k int, delayL, delayR float64) Candidate {
 		}
 	}
 	return best
+}
+
+// quadLowerBound returns a lower bound on the residual solveQuad can
+// report for the quad [j0, j0+1] x [k0, k0+1]: the RMS distance from the
+// target delays to the quad's corner-range box. Valid because the
+// bilinear interpolant stays inside the convex hull of its corners for
+// (u, v) in [0,1]² (which clamp01 enforces).
+func (l *Localizer) quadLowerBound(j0, k0 int, delayL, delayR float64) float64 {
+	rs := l.opt.RadiusSteps
+	j1 := (j0 + 1) % l.numAngles
+	i00, i10 := j0*rs+k0, j1*rs+k0
+	gl := rangeDist(delayL, l.dl[i00], l.dl[i10], l.dl[i00+1], l.dl[i10+1])
+	gr := rangeDist(delayR, l.dr[i00], l.dr[i10], l.dr[i00+1], l.dr[i10+1])
+	return math.Sqrt((gl*gl + gr*gr) / 2)
+}
+
+// rangeDist is the distance from x to the interval spanned by a, b, c, d
+// (0 when x is inside it).
+func rangeDist(x, a, b, c, d float64) float64 {
+	lo, hi := a, a
+	for _, v := range [3]float64{b, c, d} {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if x < lo {
+		return lo - x
+	}
+	if x > hi {
+		return hi - x
+	}
+	return 0
 }
 
 // solveQuad runs Newton iterations on the bilinear interpolant of the

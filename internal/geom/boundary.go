@@ -19,6 +19,12 @@ type Boundary struct {
 	// perim is the total perimeter.
 	cum   []float64
 	perim float64
+	// center is the vertex centroid (interior, by convexity) and boundR2
+	// the squared radius of the bounding circle around it: together they
+	// give an O(1) "definitely outside" test that lets the hot path skip
+	// the O(n) Contains scan for the common far-exterior query.
+	center  Vec
+	boundR2 float64
 }
 
 // NewBoundary builds a Boundary from CCW-ordered vertices. At least 3
@@ -34,6 +40,16 @@ func NewBoundary(verts []Vec) (*Boundary, error) {
 		b.cum[i] = b.cum[i-1] + verts[i].Dist(verts[i-1])
 	}
 	b.perim = b.cum[len(verts)-1] + verts[0].Dist(verts[len(verts)-1])
+	for _, v := range b.verts {
+		b.center = b.center.Add(v)
+	}
+	b.center = b.center.Scale(1 / float64(len(b.verts)))
+	for _, v := range b.verts {
+		d := v.Sub(b.center)
+		if r2 := d.Dot(d); r2 > b.boundR2 {
+			b.boundR2 = r2
+		}
+	}
 	return b, nil
 }
 
@@ -55,6 +71,17 @@ func (b *Boundary) NearestVertex(p Vec) int {
 		}
 	}
 	return best
+}
+
+// inside is Contains with the bounding-circle fast path: points beyond the
+// circumscribed circle are rejected in O(1), everything else falls through
+// to the exact scan. Decision-identical to Contains.
+func (b *Boundary) inside(p Vec) bool {
+	d := p.Sub(b.center)
+	if d.Dot(d) > b.boundR2 {
+		return false
+	}
+	return b.Contains(p)
 }
 
 // Contains reports whether p lies strictly inside the boundary.
@@ -98,10 +125,14 @@ func (b *Boundary) directionEntersInterior(i int, d Vec) bool {
 	return e1.Cross(d) > 0 && e2.Cross(d) > 0
 }
 
-// tangentVertices returns the indices of vertices that are tangent points of
-// the boundary as seen from the exterior point p: vertices whose two
-// neighbours lie on the same side of the line from p through the vertex.
-func (b *Boundary) tangentVertices(p Vec) []int {
+// tangentVerticesScan returns the indices of vertices that are tangent
+// points of the boundary as seen from the exterior point p: vertices whose
+// two neighbours lie on the same side of the line from p through the
+// vertex. This is the O(n) reference implementation; the hot paths use the
+// O(log n) tangentIndices and fall back here only on degenerate inputs
+// (exactly collinear configurations), and the property tests in
+// tangent_test.go hold the two implementations to agreement.
+func (b *Boundary) tangentVerticesScan(p Vec) []int {
 	n := len(b.verts)
 	var out []int
 	for i := 0; i < n; i++ {
@@ -137,7 +168,7 @@ type Path struct {
 // because the geodesic around a convex obstacle consists of a tangent
 // segment plus a boundary walk.
 func (b *Boundary) ShortestExteriorPath(p Vec, earIdx int) (Path, error) {
-	if b.Contains(p) {
+	if b.inside(p) {
 		return Path{}, ErrInsideBoundary
 	}
 	ear := b.verts[earIdx]
@@ -145,8 +176,43 @@ func (b *Boundary) ShortestExteriorPath(p Vec, earIdx int) (Path, error) {
 	if !b.directionEntersInterior(earIdx, d) {
 		return Path{Length: p.Dist(ear), Direct: true}, nil
 	}
+	if t1, t2, ok := b.tangentIndices(p); ok {
+		return b.diffractedPath(p, earIdx, t1, t2), nil
+	}
+	return b.shortestExteriorPathScan(p, earIdx), nil
+}
+
+// diffractedPath evaluates the creeping-wave candidates through the two
+// tangent vertices t1 < t2 and returns the shortest. The candidate order
+// (ascending tangent index, CCW before CW) and the strict-less comparison
+// replicate the reference scan exactly, so ties break identically.
+func (b *Boundary) diffractedPath(p Vec, earIdx, t1, t2 int) Path {
+	ear := b.verts[earIdx]
 	best := Path{Length: math.Inf(1)}
-	for _, ti := range b.tangentVertices(p) {
+	for _, ti := range [2]int{t1, t2} {
+		t := b.verts[ti]
+		seg := p.Dist(t)
+		for _, ccw := range [2]bool{true, false} {
+			arc := b.arc(ti, earIdx, ccw)
+			if l := seg + arc; l < best.Length {
+				best = Path{Length: l, TangentIndex: ti, ArcLength: arc}
+			}
+		}
+	}
+	if math.IsInf(best.Length, 1) {
+		// Degenerate (p on the boundary): fall back to direct distance.
+		return Path{Length: p.Dist(ear), Direct: true}
+	}
+	return best
+}
+
+// shortestExteriorPathScan is the O(n) reference diffraction solve, kept
+// for degenerate inputs and as the oracle for the property tests. It must
+// be called with p exterior and the direct segment already ruled out.
+func (b *Boundary) shortestExteriorPathScan(p Vec, earIdx int) Path {
+	ear := b.verts[earIdx]
+	best := Path{Length: math.Inf(1)}
+	for _, ti := range b.tangentVerticesScan(p) {
 		t := b.verts[ti]
 		seg := p.Dist(t)
 		for _, ccw := range []bool{true, false} {
@@ -158,9 +224,9 @@ func (b *Boundary) ShortestExteriorPath(p Vec, earIdx int) (Path, error) {
 	}
 	if math.IsInf(best.Length, 1) {
 		// Degenerate (p on the boundary): fall back to direct distance.
-		return Path{Length: p.Dist(ear), Direct: true}, nil
+		return Path{Length: p.Dist(ear), Direct: true}
 	}
-	return best, nil
+	return best
 }
 
 // FarFieldPath returns the extra path length (relative to a plane wavefront
@@ -176,8 +242,34 @@ func (b *Boundary) FarFieldPath(theta float64, earIdx int) (extra, arc float64) 
 		return -ear.Dot(u), 0
 	}
 	// Shadowed: the wave grazes a silhouette vertex (boundary tangent
-	// parallel to the propagation direction) then creeps to the ear.
+	// parallel to the propagation direction) then creeps to the ear. The
+	// silhouette vertices are the two extreme vertices perpendicular to u,
+	// found in O(log n); exactly-parallel edges fall back to the scan.
+	if s1, s2, ok := b.silhouetteIndices(u); ok {
+		bestExtra, bestArc := math.Inf(1), 0.0
+		for _, i := range [2]int{s1, s2} {
+			v := b.verts[i]
+			for _, ccw := range [2]bool{true, false} {
+				a := b.arc(i, earIdx, ccw)
+				e := -v.Dot(u) + a
+				if e < bestExtra {
+					bestExtra, bestArc = e, a
+				}
+			}
+		}
+		if !math.IsInf(bestExtra, 1) {
+			return bestExtra, bestArc
+		}
+	}
+	return b.farFieldPathScan(u, earIdx)
+}
+
+// farFieldPathScan is the O(n) reference silhouette solve, kept for
+// degenerate directions and as the oracle for the property tests. It must
+// be called with the ear already known to be shadowed.
+func (b *Boundary) farFieldPathScan(u Vec, earIdx int) (extra, arc float64) {
 	n := len(b.verts)
+	ear := b.verts[earIdx]
 	bestExtra, bestArc := math.Inf(1), 0.0
 	for i := 0; i < n; i++ {
 		v := b.verts[i]

@@ -1,0 +1,153 @@
+package geom
+
+import "errors"
+
+var errSweepOut = errors.New("geom: sweep output buffer too small")
+
+// sweepTangents tracks the tangent-vertex pair incrementally as the query
+// point moves CCW around the boundary: both tangent lines rotate with the
+// query, so both tangent vertices advance monotonically CCW. A full polar
+// ring of queries therefore costs O(ring + n) tangent work instead of
+// O(ring * n) (scan) or O(ring * log n) (per-query binary search).
+//
+// The two tangents are distinguished by which sign change of
+// h(i) = cross(v_i - p, v_{i+1} - p) they sit on: the "enter" tangent has
+// h(i-1) < 0 < h(i) (the visible chain begins), the "exit" tangent the
+// opposite. Both are the exact strict primitives of the reference scan
+// (s1*s2 > 0 with s1 = -h(i-1), s2 = h(i)), so a successful advance lands
+// on precisely the vertices the scan would report.
+type sweepTangents struct {
+	enter, exit int
+}
+
+// advanceTangent walks idx CCW (at most one full loop) until the strict
+// tangent condition of the requested kind holds at the new query point. ok
+// is false when no vertex satisfies it strictly — an exactly-degenerate
+// configuration the caller must route to the scan. The walk evaluates the
+// same cross-product primitive h(i) = cross(v_i - p, v_{i+1} - p) the
+// reference scan uses (one new vertex difference and one Cross per step).
+func (b *Boundary) advanceTangent(idx int, p Vec, enter bool) (int, bool) {
+	verts := b.verts
+	n := len(verts)
+	prev := idx - 1
+	if prev < 0 {
+		prev = n - 1
+	}
+	cur := verts[idx].Sub(p)
+	hPrev := verts[prev].Sub(p).Cross(cur)
+	for steps := 0; steps < n; steps++ {
+		next := idx + 1
+		if next == n {
+			next = 0
+		}
+		nxt := verts[next].Sub(p)
+		hCur := cur.Cross(nxt)
+		if enter {
+			if hPrev < 0 && hCur > 0 {
+				return idx, true
+			}
+		} else {
+			if hPrev > 0 && hCur < 0 {
+				return idx, true
+			}
+		}
+		idx = next
+		cur = nxt
+		hPrev = hCur
+	}
+	return idx, false
+}
+
+// path resolves one query point against the tracked tangent pair,
+// advancing the sweep state first. Shared by SweepRing and
+// SweepRingPoints.
+func (b *Boundary) sweepPath(st *sweepTangents, p Vec, earIdx int) (Path, error) {
+	if b.inside(p) {
+		return Path{}, ErrInsideBoundary
+	}
+	d := p.Sub(b.verts[earIdx])
+	if !b.directionEntersInterior(earIdx, d) {
+		return Path{Length: p.Dist(b.verts[earIdx]), Direct: true}, nil
+	}
+	var okE, okX bool
+	st.enter, okE = b.advanceTangent(st.enter, p, true)
+	st.exit, okX = b.advanceTangent(st.exit, p, false)
+	if !okE || !okX {
+		// Exactly-degenerate point (some cross product is zero): defer to
+		// the reference scan for this point; the next point re-syncs the
+		// incremental state by wrapping at most once.
+		return b.shortestExteriorPathScan(p, earIdx), nil
+	}
+	t1, t2 := st.enter, st.exit
+	if t2 < t1 {
+		t1, t2 = t2, t1
+	}
+	return b.diffractedPath(p, earIdx, t1, t2), nil
+}
+
+// SweepRing computes ShortestExteriorPath for every point
+// FromPolar(thetas[j], r) against boundary vertex earIdx, writing the
+// result into out[j]. Results are identical to per-point
+// ShortestExteriorPath calls — same floats, same tie-breaks — but the
+// tangent pair is advanced incrementally as theta sweeps, so the whole
+// ring costs O(len(thetas) + n) tangent work. thetas should be CCW
+// non-decreasing for the amortization to hold; correctness does not depend
+// on it. len(out) must be at least len(thetas).
+func (b *Boundary) SweepRing(thetas []float64, r float64, earIdx int, out []Path) error {
+	if len(out) < len(thetas) {
+		return errSweepOut
+	}
+	var st sweepTangents
+	for j, theta := range thetas {
+		p, err := b.sweepPath(&st, FromPolar(theta, r), earIdx)
+		if err != nil {
+			return err
+		}
+		out[j] = p
+	}
+	return nil
+}
+
+// SweepRingPoints is SweepRing over caller-precomputed query points:
+// out[j] receives the exterior shortest path from pts[j] to vertex earIdx.
+// Use it when the same angular ring is queried at several radii — the
+// trigonometry to place the points is then paid once instead of per
+// query. Points should advance CCW for the amortization to hold.
+func (b *Boundary) SweepRingPoints(pts []Vec, earIdx int, out []Path) error {
+	if len(out) < len(pts) {
+		return errSweepOut
+	}
+	var st sweepTangents
+	for j, pt := range pts {
+		p, err := b.sweepPath(&st, pt, earIdx)
+		if err != nil {
+			return err
+		}
+		out[j] = p
+	}
+	return nil
+}
+
+// SweepGrid computes ShortestExteriorPath over the full polar grid
+// thetas x radii against vertex earIdx: out[j*len(radii)+k] receives the
+// path for FromPolar(thetas[j], radii[k]). len(out) must be at least
+// len(thetas)*len(radii). Each radius ring is swept independently in
+// O(len(thetas) + n); ring is scratch of at least len(thetas) paths (nil
+// allocates).
+func (b *Boundary) SweepGrid(thetas, radii []float64, earIdx int, out, ring []Path) error {
+	if len(out) < len(thetas)*len(radii) {
+		return errSweepOut
+	}
+	if len(ring) < len(thetas) {
+		ring = make([]Path, len(thetas))
+	}
+	for k, r := range radii {
+		if err := b.SweepRing(thetas, r, earIdx, ring); err != nil {
+			return err
+		}
+		for j := range thetas {
+			out[j*len(radii)+k] = ring[j]
+		}
+	}
+	return nil
+}

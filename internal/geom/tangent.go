@@ -1,0 +1,172 @@
+// O(log n) tangent and silhouette queries on the convex boundary, plus the
+// angular-sweep batch API that amortizes tangent motion across a polar grid.
+//
+// Both binary searches exploit the same structure: walking the CCW vertex
+// loop, the signed "turn as seen from the query" sequence has exactly one
+// positive and one negative run, and the two run boundaries are the tangent
+// (resp. silhouette) vertices. Each search locates the two sign changes
+// with a disambiguating side predicate, then verifies the result with the
+// exact local condition the O(n) reference scan uses; any degeneracy
+// (exactly collinear query, exactly parallel edge) fails verification and
+// routes to the scan, so results are always identical to the reference.
+package geom
+
+// tangentIndices returns the two tangent vertex indices of the boundary as
+// seen from exterior point p, in ascending order, in O(log n). ok is false
+// when the configuration is degenerate (some cross product is exactly
+// zero); callers then fall back to the O(n) scan.
+func (b *Boundary) tangentIndices(p Vec) (t1, t2 int, ok bool) {
+	n := len(b.verts)
+	if n < 8 {
+		return 0, 0, false
+	}
+	// h(i) = cross(v_i - p, v_{i+1} - p): positive where the loop appears
+	// CCW from p (the far chain), negative where it appears CW (the near,
+	// visible chain).
+	h := func(i int) float64 {
+		v := b.verts[i%n]
+		w := b.verts[(i+1)%n]
+		return v.Sub(p).Cross(w.Sub(p))
+	}
+	h0 := h(0)
+	if h0 == 0 {
+		return 0, 0, false
+	}
+	// side(j) > 0 when vertex j appears strictly CCW of vertex 0 from p.
+	// Within vertex 0's own run the apparent angle is strictly monotone,
+	// so side disambiguates "same run as 0" from the wrapped tail run.
+	v0 := b.verts[0].Sub(p)
+	side := func(j int) float64 { return v0.Cross(b.verts[j].Sub(p)) }
+
+	// First sign change a: the smallest j whose h-sign differs from h(0),
+	// i.e. the first vertex of the opposite run. pred(j) is true exactly
+	// while j remains in vertex 0's run, which is a prefix of [1, n-1].
+	var pred func(int) bool
+	if h0 > 0 {
+		pred = func(j int) bool { return h(j) > 0 && side(j) > 0 }
+	} else {
+		pred = func(j int) bool { return h(j) < 0 && side(j) < 0 }
+	}
+	lo, hi := 0, n-1 // pred(0) true by definition, pred(n-1) false (tail run or opposite run)
+	if pred(n - 1) {
+		return 0, 0, false
+	}
+	for lo+1 < hi {
+		if mid := (lo + hi) / 2; pred(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a := hi
+
+	// Second sign change c: the first j in (a, n] where the sign returns
+	// to h(0)'s. h(n) == h(0) guarantees existence.
+	lo, hi = a, n
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if hm := h(mid); (h0 > 0) == (hm > 0) && hm != 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	c := hi % n
+
+	if !b.isTangentStrict(a, p) || !b.isTangentStrict(c, p) || a == c {
+		return 0, 0, false
+	}
+	if a < c {
+		return a, c, true
+	}
+	return c, a, true
+}
+
+// isTangentStrict verifies the reference scan's tangent condition at vertex
+// i with strict inequality: both neighbours strictly on the same side of
+// the line p -> v_i. Exact zeros are deliberately rejected so degenerate
+// configurations take the scan path.
+func (b *Boundary) isTangentStrict(i int, p Vec) bool {
+	n := len(b.verts)
+	v := b.verts[i]
+	d := v.Sub(p)
+	s1 := d.Cross(b.verts[(i-1+n)%n].Sub(p))
+	s2 := d.Cross(b.verts[(i+1)%n].Sub(p))
+	return s1*s2 > 0
+}
+
+// silhouetteIndices returns the two silhouette vertex indices for a plane
+// wave travelling along -u (the vertices whose supporting line is parallel
+// to u), in ascending order, in O(log n). ok is false on degenerate
+// directions (an edge exactly parallel to u).
+func (b *Boundary) silhouetteIndices(u Vec) (s1, s2 int, ok bool) {
+	n := len(b.verts)
+	if n < 8 {
+		return 0, 0, false
+	}
+	// g(i) = cross(u, e_i) = dot(perp(u), e_i): the edge loop's projection
+	// onto the direction perpendicular to u rises on one run and falls on
+	// the other; the run boundaries are the silhouette vertices.
+	g := func(i int) float64 {
+		v := b.verts[i%n]
+		w := b.verts[(i+1)%n]
+		return u.Cross(w.Sub(v))
+	}
+	g0 := g(0)
+	if g0 == 0 {
+		return 0, 0, false
+	}
+	// side(j): vertex j's perpendicular projection relative to vertex 0;
+	// strictly monotone along each run, so it disambiguates vertex 0's run
+	// from its wrapped tail.
+	v0 := b.verts[0]
+	side := func(j int) float64 { return u.Cross(b.verts[j].Sub(v0)) }
+
+	var pred func(int) bool
+	if g0 > 0 {
+		pred = func(j int) bool { return g(j) > 0 && side(j) > 0 }
+	} else {
+		pred = func(j int) bool { return g(j) < 0 && side(j) < 0 }
+	}
+	lo, hi := 0, n-1
+	if pred(n - 1) {
+		return 0, 0, false
+	}
+	for lo+1 < hi {
+		if mid := (lo + hi) / 2; pred(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a := hi
+
+	lo, hi = a, n
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if gm := g(mid); (g0 > 0) == (gm > 0) && gm != 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	c := hi % n
+
+	if !b.isSilhouetteStrict(a, u) || !b.isSilhouetteStrict(c, u) || a == c {
+		return 0, 0, false
+	}
+	if a < c {
+		return a, c, true
+	}
+	return c, a, true
+}
+
+// isSilhouetteStrict verifies the reference scan's silhouette condition at
+// vertex i with strict inequality.
+func (b *Boundary) isSilhouetteStrict(i int, u Vec) bool {
+	n := len(b.verts)
+	v := b.verts[i]
+	s1 := u.Cross(b.verts[(i-1+n)%n].Sub(v))
+	s2 := u.Cross(b.verts[(i+1)%n].Sub(v))
+	return s1*s2 > 0
+}

@@ -1,0 +1,78 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func benchBoundary(b *testing.B) *Boundary {
+	b.Helper()
+	verts := make([]Vec, 240)
+	for i := range verts {
+		theta := 2 * math.Pi * float64(i) / float64(len(verts))
+		verts[i] = Vec{X: 0.09 * math.Cos(theta), Y: 0.07 * math.Sin(theta)}
+	}
+	bnd, err := NewBoundary(verts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bnd
+}
+
+// BenchmarkTangentIndices times the O(log n) tangent search alone.
+func BenchmarkTangentIndices(b *testing.B) {
+	bnd := benchBoundary(b)
+	p := Vec{X: 0.31, Y: 0.22}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := bnd.tangentIndices(p); !ok {
+			b.Fatal("degenerate")
+		}
+	}
+}
+
+// BenchmarkTangentScan is the O(n) reference the binary search replaces.
+func BenchmarkTangentScan(b *testing.B) {
+	bnd := benchBoundary(b)
+	p := Vec{X: 0.31, Y: 0.22}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ts := bnd.tangentVerticesScan(p); len(ts) == 0 {
+			b.Fatal("no tangents")
+		}
+	}
+}
+
+// BenchmarkShortestExteriorPath times one full shadowed path query on the
+// default 240-vertex boundary.
+func BenchmarkShortestExteriorPath(b *testing.B) {
+	bnd := benchBoundary(b)
+	p := Vec{X: -0.31, Y: 0.22}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bnd.ShortestExteriorPath(p, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepRing times a full 240-angle ring through the incremental
+// sweep — the Localizer build's unit of work.
+func BenchmarkSweepRing(b *testing.B) {
+	bnd := benchBoundary(b)
+	thetas := make([]float64, 240)
+	for j := range thetas {
+		thetas[j] = 2 * math.Pi * float64(j) / float64(len(thetas))
+	}
+	out := make([]Path, len(thetas))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bnd.SweepRing(thetas, 0.35, 5, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ellipseBoundary builds a randomized convex boundary: an axis-lengths
+// (a, b) ellipse rotated by phi and centred at c, sampled at n vertices.
+// Ellipses are always strictly convex, so every instance is a valid
+// Boundary, and varying (a, b, phi, c, n) exercises asymmetric and
+// off-centre obstacles the head model never produces.
+func ellipseBoundary(t testing.TB, a, b, phi float64, c Vec, n int) *Boundary {
+	t.Helper()
+	verts := make([]Vec, n)
+	cos, sin := math.Cos(phi), math.Sin(phi)
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		x := a * math.Cos(theta)
+		y := b * math.Sin(theta)
+		verts[i] = Vec{X: c.X + x*cos - y*sin, Y: c.Y + x*sin + y*cos}
+	}
+	bnd, err := NewBoundary(verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bnd
+}
+
+// randomEllipse draws boundary parameters from rng. Vertex counts cover
+// odd, even, and prime sizes to shake out wrap-around index bugs.
+func randomEllipse(t testing.TB, rng *rand.Rand) *Boundary {
+	ns := []int{8, 9, 13, 36, 97, 120, 240}
+	return ellipseBoundary(t,
+		0.05+0.1*rng.Float64(),
+		0.05+0.1*rng.Float64(),
+		2*math.Pi*rng.Float64(),
+		Vec{X: 0.02 * (rng.Float64() - 0.5), Y: 0.02 * (rng.Float64() - 0.5)},
+		ns[rng.Intn(len(ns))])
+}
+
+// randomExterior draws a point outside b, from just past the boundary out
+// to the far field.
+func randomExterior(b *Boundary, rng *rand.Rand) Vec {
+	for {
+		theta := 2 * math.Pi * rng.Float64()
+		r := math.Sqrt(b.boundR2) * (1.001 + 4*rng.Float64())
+		p := b.center.Add(FromPolar(theta, r))
+		if !b.Contains(p) {
+			return p
+		}
+	}
+}
+
+// strictScanTangents filters the reference scan down to its strict
+// condition (s1*s2 > 0), which is what the binary search promises to find.
+func (b *Boundary) strictScanTangents(p Vec) []int {
+	var out []int
+	for _, i := range b.tangentVerticesScan(p) {
+		if b.isTangentStrict(i, p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TestTangentIndicesMatchScan drives the O(log n) tangent search against
+// the O(n) reference scan on randomized convex boundaries: whenever the
+// binary search reports ok it must return exactly the scan's strict
+// tangent pair.
+func TestTangentIndicesMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	okCount := 0
+	for trial := 0; trial < 300; trial++ {
+		b := randomEllipse(t, rng)
+		for q := 0; q < 20; q++ {
+			p := randomExterior(b, rng)
+			t1, t2, ok := b.tangentIndices(p)
+			if !ok {
+				continue // degenerate: scan path takes over, nothing to check
+			}
+			okCount++
+			want := b.strictScanTangents(p)
+			if len(want) != 2 || want[0] != t1 || want[1] != t2 {
+				t.Fatalf("boundary n=%d p=%v: binary search gave (%d,%d), scan strict tangents %v",
+					b.NumVertices(), p, t1, t2, want)
+			}
+		}
+	}
+	if okCount < 5000 {
+		t.Fatalf("binary search only succeeded %d times; fast path is not actually being exercised", okCount)
+	}
+}
+
+// TestTangentIndicesDegenerate aims queries at exactly-collinear
+// configurations — points on extended edge lines and on vertex rays, where
+// cross products can be exactly zero — and requires either a verified
+// agreement with the scan or a clean ok=false fallback. Either way the
+// public path result must be bit-identical to the reference scan.
+func TestTangentIndicesDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		b := randomEllipse(t, rng)
+		n := b.NumVertices()
+		for i := 0; i < n; i += 1 + n/17 {
+			v := b.Vertex(i)
+			w := b.Vertex((i + 1) % n)
+			for _, tt := range []float64{0.25, 1.0, 3.5} {
+				// On the extended edge line beyond w (exterior by convexity).
+				p := w.Add(w.Sub(v).Scale(tt))
+				if b.Contains(p) {
+					continue
+				}
+				checkPathAgainstScan(t, b, p)
+				// On the outward vertex ray through v (near-tangent from far away).
+				p = v.Add(v.Sub(b.center).Scale(tt))
+				if b.Contains(p) {
+					continue
+				}
+				checkPathAgainstScan(t, b, p)
+			}
+		}
+	}
+}
+
+// checkPathAgainstScan asserts ShortestExteriorPath (binary-search fast
+// path) is bit-identical to the reference scan for every ear vertex.
+func checkPathAgainstScan(t *testing.T, b *Boundary, p Vec) {
+	t.Helper()
+	n := b.NumVertices()
+	for _, earIdx := range []int{0, n / 3, n - 1} {
+		got, err := b.ShortestExteriorPath(p, earIdx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want Path
+		if !b.directionEntersInterior(earIdx, p.Sub(b.Vertex(earIdx))) {
+			want = Path{Length: p.Dist(b.Vertex(earIdx)), Direct: true}
+		} else {
+			want = b.shortestExteriorPathScan(p, earIdx)
+		}
+		if got != want {
+			t.Fatalf("ear %d p=%v: fast path %+v != scan %+v", earIdx, p, got, want)
+		}
+	}
+}
+
+// TestShortestExteriorPathMatchesScanRandom is the broad randomized
+// bit-equality sweep: fast path vs reference scan over many boundaries,
+// exterior points and ear vertices.
+func TestShortestExteriorPathMatchesScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 200; trial++ {
+		b := randomEllipse(t, rng)
+		for q := 0; q < 10; q++ {
+			checkPathAgainstScan(t, b, randomExterior(b, rng))
+		}
+	}
+}
+
+// TestSilhouetteIndicesMatchScan holds the O(log n) silhouette search to
+// the reference far-field scan: FarFieldPath must be bit-identical to
+// farFieldPathScan for shadowed ears across random directions, including
+// directions exactly parallel to an edge (forced degeneracy).
+func TestSilhouetteIndicesMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		b := randomEllipse(t, rng)
+		n := b.NumVertices()
+		thetas := make([]float64, 0, 40+3)
+		for q := 0; q < 40; q++ {
+			thetas = append(thetas, 2*math.Pi*rng.Float64())
+		}
+		// Degenerate directions: exactly along edge vectors.
+		for _, i := range []int{0, n / 2, n - 2} {
+			e := b.Vertex((i + 1) % n).Sub(b.Vertex(i))
+			thetas = append(thetas, e.PolarAngle())
+		}
+		for _, theta := range thetas {
+			u := FromPolar(theta, 1)
+			for _, earIdx := range []int{0, n / 4, n - 1} {
+				gotE, gotA := b.FarFieldPath(theta, earIdx)
+				var wantE, wantA float64
+				if !b.directionEntersInterior(earIdx, u) {
+					wantE, wantA = -b.Vertex(earIdx).Dot(u), 0
+				} else {
+					wantE, wantA = b.farFieldPathScan(u, earIdx)
+				}
+				if gotE != wantE || gotA != wantA {
+					t.Fatalf("theta=%v ear=%d: fast (%v,%v) != scan (%v,%v)",
+						theta, earIdx, gotE, gotA, wantE, wantA)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepRingMatchesPointQueries requires the batched ring sweep to be
+// bit-identical to independent per-point queries — the contract that lets
+// the Localizer build through SweepRing without disturbing the golden
+// output.
+func TestSweepRingMatchesPointQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	for trial := 0; trial < 60; trial++ {
+		b := randomEllipse(t, rng)
+		numAngles := 48 + rng.Intn(120)
+		thetas := make([]float64, numAngles)
+		for j := range thetas {
+			thetas[j] = 2 * math.Pi * float64(j) / float64(numAngles)
+		}
+		r := math.Sqrt(b.boundR2)*1.02 + 0.3*rng.Float64()
+		// Skip radii whose ring dips inside the (possibly off-centre) boundary.
+		ringOK := true
+		for _, theta := range thetas {
+			if b.inside(FromPolar(theta, r)) {
+				ringOK = false
+				break
+			}
+		}
+		if !ringOK {
+			continue
+		}
+		out := make([]Path, numAngles)
+		for _, earIdx := range []int{0, b.NumVertices() / 2} {
+			if err := b.SweepRing(thetas, r, earIdx, out); err != nil {
+				t.Fatal(err)
+			}
+			for j, theta := range thetas {
+				want, err := b.ShortestExteriorPath(FromPolar(theta, r), earIdx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out[j] != want {
+					t.Fatalf("ear %d theta=%v r=%v: sweep %+v != point query %+v",
+						earIdx, theta, r, out[j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepGridMatchesPointQueries checks the grid wrapper's strided
+// layout against per-point queries.
+func TestSweepGridMatchesPointQueries(t *testing.T) {
+	b := ellipseBoundary(t, 0.09, 0.07, 0.3, Vec{}, 120)
+	thetas := make([]float64, 60)
+	for j := range thetas {
+		thetas[j] = 2 * math.Pi * float64(j) / float64(len(thetas))
+	}
+	radii := []float64{0.12, 0.2, 0.35, 0.6}
+	out := make([]Path, len(thetas)*len(radii))
+	if err := b.SweepGrid(thetas, radii, 3, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	for j, theta := range thetas {
+		for k, r := range radii {
+			want, err := b.ShortestExteriorPath(FromPolar(theta, r), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[j*len(radii)+k] != want {
+				t.Fatalf("(%d,%d): grid %+v != point %+v", j, k, out[j*len(radii)+k], want)
+			}
+		}
+	}
+}
+
+// TestSweepRingErrors covers the buffer and interior-point error paths.
+func TestSweepRingErrors(t *testing.T) {
+	b := ellipseBoundary(t, 0.09, 0.07, 0, Vec{}, 24)
+	if err := b.SweepRing([]float64{0, 1}, 0.3, 0, make([]Path, 1)); err != errSweepOut {
+		t.Fatalf("short buffer: got %v", err)
+	}
+	if err := b.SweepRing([]float64{0}, 0.01, 0, make([]Path, 1)); err != ErrInsideBoundary {
+		t.Fatalf("interior ring: got %v", err)
+	}
+	if err := b.SweepGrid([]float64{0, 1}, []float64{0.3}, 0, make([]Path, 1), nil); err != errSweepOut {
+		t.Fatalf("short grid buffer: got %v", err)
+	}
+}
+
+// TestPathQueriesAllocationFree pins the fast paths at zero allocations
+// per query — the property the Localizer build relies on to cut the
+// per-Personalize allocation count.
+func TestPathQueriesAllocationFree(t *testing.T) {
+	b := ellipseBoundary(t, 0.09, 0.07, 0.2, Vec{}, 240)
+	p := Vec{X: 0.4, Y: 0.3}
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := b.ShortestExteriorPath(p, 5); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("ShortestExteriorPath allocates %v per query; want 0", avg)
+	}
+	thetas := make([]float64, 240)
+	for j := range thetas {
+		thetas[j] = 2 * math.Pi * float64(j) / 240
+	}
+	out := make([]Path, len(thetas))
+	if avg := testing.AllocsPerRun(20, func() {
+		if err := b.SweepRing(thetas, 0.35, 5, out); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("SweepRing allocates %v per ring; want 0", avg)
+	}
+}
