@@ -6,8 +6,9 @@
 // Usage:
 //
 //	uniqctl [-user N] [-seed N] [-quality good|droop|wild] [-out table.json] [-compare]
-//	uniqctl submit -server http://host:8080 [-user N] [-seed N] [-quality good|droop|wild] [-name ID]
-//	uniqctl get    -server http://host:8080 -name ID [-out profile.json]
+//	uniqctl submit  -server http://host:8080 [-user N] [-seed N] [-quality good|droop|wild] [-name ID]
+//	uniqctl get     -server http://host:8080 -name ID [-out profile.json]
+//	uniqctl metrics -server http://host:8080 [-json] [-grep substr]
 //
 // -compare additionally measures the user's ground-truth HRTF and the
 // global template and reports the personalization gain.
@@ -29,6 +30,9 @@ func main() {
 			return
 		case "get":
 			runGet(os.Args[2:])
+			return
+		case "metrics":
+			runMetrics(os.Args[2:])
 			return
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/service"
@@ -94,6 +95,51 @@ func runGet(args []string) {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// runMetrics scrapes a uniqd server's /debug/metrics page: the Prometheus
+// text form by default, or the flattened name -> value JSON with -json.
+func runMetrics(args []string) {
+	fs := flag.NewFlagSet("uniqctl metrics", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "uniqd base URL")
+	asJSON := fs.Bool("json", false, "print the flattened JSON form instead of the text exposition")
+	grep := fs.String("grep", "", "only print series whose name contains this substring")
+	fs.Parse(args)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := service.NewClient(*server)
+	if *asJSON {
+		m, err := c.MetricsJSON(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if *grep != "" {
+			for k := range m {
+				if !strings.Contains(k, *grep) {
+					delete(m, k)
+				}
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	page, err := c.Metrics(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if *grep != "" {
+		for _, line := range strings.Split(page, "\n") {
+			if strings.Contains(line, *grep) {
+				fmt.Println(line)
+			}
+		}
+		return
+	}
+	fmt.Print(page)
 }
 
 // parseQuality maps the CLI quality names to gesture qualities.

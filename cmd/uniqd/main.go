@@ -8,6 +8,7 @@
 //
 //	uniqd [-addr :8080] [-dir ./profiles] [-workers N] [-queue N]
 //	      [-pipeline-workers N] [-job-timeout 10m] [-cache N] [-pprof]
+//	      [-log-level info] [-log-format text]
 //
 // API (see DESIGN.md for the full table):
 //
@@ -17,7 +18,7 @@
 //	GET  /v1/profiles/{user}          fetch a stored profile
 //	POST /v1/profiles/{user}/aoa      angle-of-arrival query
 //	POST /v1/profiles/{user}/render   short binaural render
-//	GET  /debug/metrics               Prometheus text metrics
+//	GET  /debug/metrics               Prometheus text metrics (?format=json for flat JSON)
 //	GET  /debug/pprof/*               profiling (only with -pprof)
 //	GET  /healthz                     liveness
 //
@@ -40,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -54,7 +56,18 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain deadline")
 	cache := flag.Int("cache", 128, "profiles kept in the in-memory LRU")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("uniqd: %v", err)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		log.Fatalf("uniqd: unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logFormat)
 
 	svc, err := service.New(service.Config{
 		StoreDir:        *dir,
@@ -63,6 +76,7 @@ func main() {
 		PipelineWorkers: *pipelineWorkers,
 		QueueDepth:      *queue,
 		JobTimeout:      *jobTimeout,
+		Logger:          logger,
 	})
 	if err != nil {
 		log.Fatalf("uniqd: %v", err)

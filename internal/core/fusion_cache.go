@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/head"
 )
@@ -21,6 +22,21 @@ const (
 	// past it new builds are simply handed to the caller un-cached.
 	cacheMaxEntries = 512
 )
+
+// locCacheHits / locCacheMisses / locCacheOverflow accumulate Localizer
+// cache behaviour across every fusion solve in the process, exported for
+// the /debug/metrics page. A miss is a fresh delay-field build (the solve's
+// dominant cost); overflow counts builds handed back uncached because the
+// per-solve cap was full — persistent overflow means cacheMaxEntries is
+// undersized for the configured search.
+var locCacheHits, locCacheMisses, locCacheOverflow atomic.Uint64
+
+// LocalizerCacheStats reports cumulative fusion Localizer-cache hits,
+// misses (fresh builds) and overflow builds (returned uncached past the
+// per-solve cap). Safe for concurrent use.
+func LocalizerCacheStats() (hits, misses, overflow uint64) {
+	return locCacheHits.Load(), locCacheMisses.Load(), locCacheOverflow.Load()
+}
 
 type cacheKey [3]int64
 
@@ -59,10 +75,12 @@ func (c *localizerCache) get(p head.Params) (loc *Localizer, cached bool, err er
 	for _, e := range c.m[k] {
 		if e.params == p {
 			c.mu.Unlock()
+			locCacheHits.Add(1)
 			return e, true, nil
 		}
 	}
 	c.mu.Unlock()
+	locCacheMisses.Add(1)
 	loc, err = NewLocalizer(p, c.opt)
 	if err != nil {
 		return nil, false, err
@@ -77,6 +95,7 @@ func (c *localizerCache) get(p head.Params) (loc *Localizer, cached bool, err er
 		}
 	}
 	if c.n >= cacheMaxEntries {
+		locCacheOverflow.Add(1)
 		return loc, false, nil
 	}
 	c.m[k] = append(c.m[k], loc)

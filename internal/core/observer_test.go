@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// recordingObserver captures every Observer callback for inspection.
+type recordingObserver struct {
+	mu      sync.Mutex
+	done    map[string]int
+	seconds map[string]float64
+	errs    map[string]error
+	skipped int
+}
+
+func newRecordingObserver() *recordingObserver {
+	return &recordingObserver{
+		done:    make(map[string]int),
+		seconds: make(map[string]float64),
+		errs:    make(map[string]error),
+	}
+}
+
+func (r *recordingObserver) StageDone(stage string, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done[stage]++
+	r.seconds[stage] += d.Seconds()
+	if err != nil {
+		r.errs[stage] = err
+	}
+}
+
+func (r *recordingObserver) SkippedStops(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.skipped += n
+}
+
+// TestPersonalizeObserverSeesAllStages runs the same frozen session with
+// and without an observer attached: the observer must report every stage
+// exactly once with a plausible duration, and the solver output must be
+// bit-identical — instrumentation is passive.
+func TestPersonalizeObserverSeesAllStages(t *testing.T) {
+	v := sim.NewVolunteer(3, 9001)
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sessionInput(s)
+
+	plain, err := Personalize(in, coarseOptions(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newRecordingObserver()
+	opt := coarseOptions(-1)
+	opt.Observer = rec
+	observed, err := Personalize(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, stage := range []string{
+		StageChannelEstimation, StageSensorFusion, StageGestureCheck,
+		StageNearField, StageFarField,
+	} {
+		if rec.done[stage] != 1 {
+			t.Errorf("stage %s reported %d times, want 1", stage, rec.done[stage])
+		}
+		if rec.errs[stage] != nil {
+			t.Errorf("stage %s reported error %v on a clean solve", stage, rec.errs[stage])
+		}
+		if rec.seconds[stage] < 0 {
+			t.Errorf("stage %s has negative duration", stage)
+		}
+	}
+	if rec.seconds[StageSensorFusion] <= 0 {
+		t.Error("sensor fusion should take measurable time")
+	}
+	if rec.skipped != observed.SkippedStops {
+		t.Errorf("observer saw %d skipped stops, solve reported %d", rec.skipped, observed.SkippedStops)
+	}
+
+	// Bit-exactness: the observed solve must match the plain one.
+	for _, pair := range []struct {
+		name string
+		a, b any
+	}{
+		{"table", plain.Table, observed.Table},
+		{"headParams", plain.HeadParams, observed.HeadParams},
+		{"track", plain.TrackDeg, observed.TrackDeg},
+		{"radii", plain.Radii, observed.Radii},
+	} {
+		aj, err := json.Marshal(pair.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(pair.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aj, bj) {
+			t.Errorf("observer perturbed the solve: %s differs", pair.name)
+		}
+	}
+}
+
+// TestPersonalizeObserverReportsCancellation cancels the solve up front:
+// the first stage must still be reported, carrying the context error.
+func TestPersonalizeObserverReportsCancellation(t *testing.T) {
+	v := sim.NewVolunteer(3, 31)
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := newRecordingObserver()
+	opt := coarseOptions(-1)
+	opt.Observer = rec
+	if _, err := PersonalizeContext(ctx, sessionInput(s), opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled solve returned %v", err)
+	}
+	if rec.done[StageChannelEstimation] != 1 {
+		t.Fatalf("canceled solve reported channel estimation %d times, want 1",
+			rec.done[StageChannelEstimation])
+	}
+	if !errors.Is(rec.errs[StageChannelEstimation], context.Canceled) {
+		t.Errorf("observer saw error %v, want context.Canceled", rec.errs[StageChannelEstimation])
+	}
+	if rec.done[StageSensorFusion] != 0 {
+		t.Error("later stages should not be reported after cancellation")
+	}
+}
+
+// TestLocalizerCacheStatsAdvance pins the exported cache counters: a fusion
+// solve must register both fresh builds (misses) and revisit hits.
+func TestLocalizerCacheStatsAdvance(t *testing.T) {
+	v := sim.NewVolunteer(3, 9001)
+	s, err := sim.RunSession(v, sim.SessionConfig{NumStops: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0, _ := LocalizerCacheStats()
+	if _, err := Personalize(sessionInput(s), coarseOptions(-1)); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1, _ := LocalizerCacheStats()
+	if m1 <= m0 {
+		t.Errorf("misses did not advance: %d -> %d", m0, m1)
+	}
+	if h1 <= h0 {
+		t.Errorf("hits did not advance: %d -> %d (Nelder-Mead revisits should hit)", h0, h1)
+	}
+}

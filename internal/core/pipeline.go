@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/head"
@@ -64,7 +65,35 @@ type PipelineOptions struct {
 	// sequential. Stops are independent and results are re-assembled in
 	// sweep order, so the output is bit-identical at every worker count.
 	Workers int
+	// Observer, when non-nil, receives per-stage durations/outcomes and
+	// skipped-stop counts (obs.PipelineObserver satisfies it). Observation
+	// is passive — it must never change solver numerics — and its methods
+	// may be called concurrently when multiple solves share one observer.
+	Observer Observer
 }
+
+// Observer receives pipeline telemetry. Implementations must be safe for
+// concurrent use and cheap: StageDone runs on the solve path.
+type Observer interface {
+	// StageDone reports one pipeline stage's wall time and outcome (err is
+	// nil on success, the context error on cancellation).
+	StageDone(stage string, d time.Duration, err error)
+	// SkippedStops reports measurement stops dropped by channel estimation
+	// in one solve (not called when every stop was usable).
+	SkippedStops(n int)
+}
+
+// Pipeline stage names as reported to Observer.StageDone, in execution
+// order. StageChannelEstimation covers the per-stop fan-out and the
+// fusion-observation indexing; StageNearField covers near-field indexing
+// and interpolation (§4.2); StageFarField the §4.3 synthesis.
+const (
+	StageChannelEstimation = "channel_estimation"
+	StageSensorFusion      = "sensor_fusion"
+	StageGestureCheck      = "gesture_check"
+	StageNearField         = "nearfield_interpolation"
+	StageFarField          = "farfield_synthesis"
+)
 
 // Personalization is the pipeline's output: the §4.4 lookup table plus the
 // intermediate products applications and evaluations need.
@@ -145,6 +174,7 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	obsv := opt.Observer
 
 	// 1. Channel estimation per stop, fanned across a bounded worker pool:
 	// stops are independent, so they run concurrently and are re-assembled
@@ -178,10 +208,12 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 		ch  BinauralChannel
 		err error
 	}
+	estStart := stageClock(obsv)
 	results := make([]stopResult, len(in.Stops))
 	if workers == 1 {
 		for i, stop := range in.Stops {
 			if err := ctx.Err(); err != nil {
+				stageDone(obsv, StageChannelEstimation, estStart, err)
 				return nil, err
 			}
 			results[i].ch, results[i].err = est.Estimate(stop.Left, stop.Right)
@@ -205,6 +237,7 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 		}
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
+			stageDone(obsv, StageChannelEstimation, estStart, err)
 			return nil, err
 		}
 	}
@@ -231,9 +264,15 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 			AlphaRad:   geom.NormalizeAngle(imu.AngleAt(in.IMU, track, stop.Time)),
 		})
 	}
-	if len(obs) < 5 {
-		return nil, fmt.Errorf("core: only %d usable stops: %w", len(obs), ErrTooFewObservations)
+	if obsv != nil && skipped > 0 {
+		obsv.SkippedStops(skipped)
 	}
+	if len(obs) < 5 {
+		err := fmt.Errorf("core: only %d usable stops: %w", len(obs), ErrTooFewObservations)
+		stageDone(obsv, StageChannelEstimation, estStart, err)
+		return nil, err
+	}
+	stageDone(obsv, StageChannelEstimation, estStart, nil)
 	if opt.RingElevationDeg != 0 {
 		correctRingSlant(obs, opt.RingElevationDeg)
 		// The ring's effective head cross-section is the ellipsoid slice
@@ -251,16 +290,22 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 	}
 
 	// 2. Diffraction-aware sensor fusion.
+	fusionStart := stageClock(obsv)
 	fusion, err := FuseSensorsContext(ctx, obs, opt.Fusion)
+	stageDone(obsv, StageSensorFusion, fusionStart, err)
 	if err != nil {
 		return nil, err
 	}
 
 	// 3. Gesture auto-correction.
+	gestureStart := stageClock(obsv)
 	gesture := CheckGesture(fusion, opt.Gesture)
 	if !gesture.OK && !opt.SkipGestureCheck {
-		return nil, fmt.Errorf("%w: %s", ErrBadGesture, gesture.Reason)
+		err := fmt.Errorf("%w: %s", ErrBadGesture, gesture.Reason)
+		stageDone(obsv, StageGestureCheck, gestureStart, err)
+		return nil, err
 	}
+	stageDone(obsv, StageGestureCheck, gestureStart, nil)
 
 	// 4. Near-field interpolation.
 	if err := ctx.Err(); err != nil {
@@ -268,7 +313,9 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 	}
 	nfOpt := opt.NearField
 	nfOpt.ModelCorrection = true
+	nearStart := stageClock(obsv)
 	near, err := InterpolateNearField(channels, fusion.AnglesRad, fusion.Radii, fusion.Params, nfOpt)
+	stageDone(obsv, StageNearField, nearStart, err)
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +328,9 @@ func PersonalizeContext(ctx context.Context, in SessionInput, opt PipelineOption
 	for _, r := range fusion.Radii {
 		meanRadius += r / float64(len(fusion.Radii))
 	}
+	farStart := stageClock(obsv)
 	table, err := SynthesizeFarField(near, fusion.Params, NearFarOptions{Radius: meanRadius})
+	stageDone(obsv, StageFarField, farStart, err)
 	if err != nil {
 		return nil, err
 	}
@@ -347,4 +396,21 @@ func ringCrossSectionScale(elevDeg float64) float64 {
 
 func scaleParams(p head.Params, s float64) head.Params {
 	return head.Params{A: p.A * s, B: p.B * s, C: p.C * s}
+}
+
+// stageClock returns the stage start time, or zero when no observer is
+// attached so the unobserved solve path never reads the clock.
+func stageClock(o Observer) time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// stageDone reports a finished stage to the observer, if any.
+func stageDone(o Observer, stage string, start time.Time, err error) {
+	if o == nil {
+		return
+	}
+	o.StageDone(stage, time.Since(start), err)
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Plan holds everything precomputable about a DFT of one size: the twiddle
@@ -54,13 +55,28 @@ type Plan struct {
 // handful of probe/CIR/window lengths), so the registry is unbounded.
 var planRegistry sync.Map // map[int]*Plan
 
+// planHits / planMisses count registry lookups, exported for the
+// /debug/metrics page. A miss is a plan built from scratch (twiddle and
+// chirp-spectrum tables computed), the expensive path the cache exists to
+// avoid; a near-zero production hit rate means transform sizes are churning
+// and the cache is not earning its memory.
+var planHits, planMisses atomic.Uint64
+
+// PlanCacheStats reports cumulative plan-registry hits and misses. Safe
+// for concurrent use.
+func PlanCacheStats() (hits, misses uint64) {
+	return planHits.Load(), planMisses.Load()
+}
+
 // PlanFFT returns the cached transform plan for n-point DFTs, building it
 // on first use. n must be >= 1. The returned plan is shared: it is safe for
 // any number of goroutines to transform through it concurrently.
 func PlanFFT(n int) *Plan {
 	if p, ok := planRegistry.Load(n); ok {
+		planHits.Add(1)
 		return p.(*Plan)
 	}
+	planMisses.Add(1)
 	p := newPlan(n)
 	actual, _ := planRegistry.LoadOrStore(n, p)
 	return actual.(*Plan)

@@ -1,0 +1,16 @@
+// Package obs is the repo's observability spine: a slog-backed leveled
+// logger with per-request context attributes, and a metrics registry of
+// atomic counters, gauges and fixed-bucket latency histograms with
+// Prometheus text exposition.
+//
+// The package is deliberately dependency-free (standard library only) and
+// cheap on the hot path: every metric update is one or two atomic
+// operations, never a lock, so the personalization solve can be
+// instrumented without perturbing its timing profile. Locks appear only at
+// metric registration and at scrape time.
+//
+// Layering: obs sits below every other internal package. internal/core
+// defines the Observer interface its pipeline calls; obs.PipelineObserver
+// satisfies it structurally (same method set) without importing core, so
+// the solver packages stay free of service concerns.
+package obs

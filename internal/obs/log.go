@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the -log-level flag values to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return slog.LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a leveled slog.Logger writing to w. format selects the
+// handler: "json" emits one JSON object per record, anything else the
+// human-readable text form. Records carry any attributes attached to the
+// request context with WithLogAttrs (job and user IDs, typically).
+func NewLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(contextHandler{h})
+}
+
+// NopLogger returns a logger that discards everything — the default when a
+// component is constructed without one, so call sites never nil-check.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+type ctxAttrsKey struct{}
+
+// WithLogAttrs returns a context carrying extra log attributes. Every
+// record logged through an obs logger with this context includes them, so
+// one WithLogAttrs at the request boundary tags the whole call tree with
+// e.g. the job and user IDs.
+func WithLogAttrs(ctx context.Context, attrs ...slog.Attr) context.Context {
+	if len(attrs) == 0 {
+		return ctx
+	}
+	prev, _ := ctx.Value(ctxAttrsKey{}).([]slog.Attr)
+	merged := make([]slog.Attr, 0, len(prev)+len(attrs))
+	merged = append(merged, prev...)
+	merged = append(merged, attrs...)
+	return context.WithValue(ctx, ctxAttrsKey{}, merged)
+}
+
+// contextHandler injects WithLogAttrs attributes into each record.
+type contextHandler struct {
+	slog.Handler
+}
+
+func (h contextHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if attrs, _ := ctx.Value(ctxAttrsKey{}).([]slog.Attr); len(attrs) > 0 {
+		rec = rec.Clone()
+		rec.AddAttrs(attrs...)
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+func (h contextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return contextHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h contextHandler) WithGroup(name string) slog.Handler {
+	return contextHandler{h.Handler.WithGroup(name)}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("unknown level should error")
+	}
+}
+
+func TestLoggerLevelAndFormat(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(&b, slog.LevelWarn, "json")
+	log.Info("hidden")
+	log.Warn("visible", "k", 1)
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("info record leaked past warn level")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Fatalf("json format produced non-JSON %q: %v", out, err)
+	}
+	if rec["msg"] != "visible" || rec["k"] != float64(1) {
+		t.Errorf("unexpected record %v", rec)
+	}
+}
+
+func TestContextAttrsFlowThroughLogger(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(&b, slog.LevelDebug, "text")
+	ctx := WithLogAttrs(context.Background(),
+		slog.String("job", "deadbeef"), slog.String("user", "alice"))
+	ctx = WithLogAttrs(ctx, slog.String("stage", "fusion"))
+	log.InfoContext(ctx, "solving")
+	out := b.String()
+	for _, want := range []string{"job=deadbeef", "user=alice", "stage=fusion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("record %q missing %q", out, want)
+		}
+	}
+	// A context without attrs logs fine.
+	log.InfoContext(context.Background(), "plain")
+}
+
+func TestPipelineObserverRecords(t *testing.T) {
+	r := NewRegistry()
+	var b strings.Builder
+	o := NewPipelineObserver(r, NewLogger(&b, slog.LevelDebug, "text"))
+	o.StageDone("sensor_fusion", 250*time.Millisecond, nil)
+	o.StageDone("sensor_fusion", time.Second, context.Canceled)
+	o.StageDone("channel_estimation", time.Millisecond, errTest)
+	o.SkippedStops(2)
+	o.SkippedStops(0) // no-op
+
+	var page strings.Builder
+	r.WriteText(&page)
+	got := page.String()
+	for _, want := range []string{
+		`uniq_pipeline_stage_total{stage="sensor_fusion",outcome="ok"} 1`,
+		`uniq_pipeline_stage_total{stage="sensor_fusion",outcome="canceled"} 1`,
+		`uniq_pipeline_stage_total{stage="channel_estimation",outcome="error"} 1`,
+		`uniq_pipeline_stage_seconds_count{stage="sensor_fusion"} 2`,
+		`uniq_pipeline_skipped_stops_total 2`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q\n---\n%s", want, got)
+		}
+	}
+	if !strings.Contains(b.String(), "pipeline stage failed") {
+		t.Error("stage failure was not logged")
+	}
+}
+
+var errTest = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Total jobs.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(3.5)
+	r.GaugeFunc("busy", "Busy workers.", func() float64 { return 2 })
+	r.CounterFunc("plan_hits_total", "", func() uint64 { return 7 })
+
+	var b strings.Builder
+	r.WriteText(&b)
+	page := b.String()
+	for _, want := range []string{
+		"# HELP jobs_total Total jobs.",
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		"depth 3.5",
+		"# TYPE busy gauge",
+		"busy 2",
+		"plan_hits_total 7",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, page)
+		}
+	}
+	if got := r.Flatten()["jobs_total"]; got != 3 {
+		t.Errorf("Flatten jobs_total = %v, want 3", got)
+	}
+}
+
+func TestRegistryReturnsExistingMetric(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "")
+	b := r.Counter("c", "")
+	if a != b {
+		t.Error("same name should return the same counter")
+	}
+	va := r.CounterVec("v", "", "l")
+	vb := r.CounterVec("v", "", "l")
+	if va != vb {
+		t.Error("same name should return the same vec")
+	}
+}
+
+func TestVecExpositionDeterministicAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("requests_total", "Requests.", "endpoint", "code")
+	v.With("GET /v1/jobs/{id}", "200").Add(4)
+	v.With(`weird"ep\`, "500").Inc()
+
+	var b strings.Builder
+	r.WriteText(&b)
+	page := b.String()
+	if !strings.Contains(page, `requests_total{endpoint="GET /v1/jobs/{id}",code="200"} 4`) {
+		t.Errorf("labelled counter line missing:\n%s", page)
+	}
+	if !strings.Contains(page, `requests_total{endpoint="weird\"ep\\",code="500"} 1`) {
+		t.Errorf("escaping broken:\n%s", page)
+	}
+	// Deterministic: two renders are identical.
+	var b2 strings.Builder
+	r.WriteText(&b2)
+	if b.String() != b2.String() {
+		t.Error("exposition is not deterministic")
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("req_seconds", "Latency.", []float64{0.01, 0.1, 1}, "endpoint")
+	child := h.With("GET /x")
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		child.Observe(v)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	page := b.String()
+	for _, want := range []string{
+		`req_seconds_bucket{endpoint="GET /x",le="0.01"} 1`,
+		`req_seconds_bucket{endpoint="GET /x",le="0.1"} 2`,
+		`req_seconds_bucket{endpoint="GET /x",le="1"} 3`,
+		`req_seconds_bucket{endpoint="GET /x",le="+Inf"} 4`,
+		`req_seconds_count{endpoint="GET /x"} 4`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("missing %q\n---\n%s", want, page)
+		}
+	}
+	if got := child.Sum(); got != 5.555 {
+		t.Errorf("sum %v, want 5.555", got)
+	}
+}
+
+func TestGaugeVecWithCollectHook(t *testing.T) {
+	r := NewRegistry()
+	states := map[string]float64{"queued": 0, "running": 0}
+	jobs := r.GaugeVec("jobs", "Jobs by state.", "state")
+	r.OnCollect(func() {
+		for s, v := range states {
+			jobs.With(s).Set(v)
+		}
+	})
+	states["queued"] = 7
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `jobs{state="queued"} 7`) {
+		t.Errorf("collect hook did not refresh gauge:\n%s", b.String())
+	}
+}
+
+// TestMetricsConcurrency hammers every metric kind from many goroutines
+// while scraping; run under -race this is the registry's thread-safety
+// proof.
+func TestMetricsConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	v := r.CounterVec("v", "", "l")
+	h := r.HistogramVec("h", "", []float64{0.5}, "l")
+	g := r.Gauge("g", "")
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%3))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				v.With(lbl).Inc()
+				h.With(lbl).Observe(float64(i) / iters)
+				g.Set(float64(i))
+				if i%500 == 0 {
+					var b strings.Builder
+					r.WriteText(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Errorf("counter %d, want %d", c.Value(), workers*iters)
+	}
+	var total uint64
+	for _, lbl := range []string{"a", "b", "c"} {
+		total += v.With(lbl).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("vec total %d, want %d", total, workers*iters)
+	}
+}

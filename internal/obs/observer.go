@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"time"
+)
+
+// StageBuckets are the default histogram bounds (seconds) for pipeline
+// stage durations: channel estimation on one stop is sub-millisecond, a
+// full sensor-fusion solve can run minutes.
+var StageBuckets = []float64{
+	0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// PipelineObserver records per-stage pipeline durations and outcomes into a
+// registry, and optionally logs them. It satisfies core.Observer
+// structurally (obs does not import core), so it plugs straight into
+// core.PipelineOptions.Observer. All methods are safe for concurrent use
+// by any number of simultaneous solves.
+type PipelineObserver struct {
+	stageSeconds *HistogramVec
+	stageTotal   *CounterVec
+	skipped      *Counter
+	log          *slog.Logger
+}
+
+// NewPipelineObserver registers the pipeline metric families on reg and
+// returns an observer feeding them. logger may be nil (stage completions
+// are then only counted, not logged).
+func NewPipelineObserver(reg *Registry, logger *slog.Logger) *PipelineObserver {
+	if logger == nil {
+		logger = NopLogger()
+	}
+	return &PipelineObserver{
+		stageSeconds: reg.HistogramVec("uniq_pipeline_stage_seconds",
+			"Wall time of each personalization pipeline stage.",
+			StageBuckets, "stage"),
+		stageTotal: reg.CounterVec("uniq_pipeline_stage_total",
+			"Pipeline stage completions by outcome (ok, error, canceled).",
+			"stage", "outcome"),
+		skipped: reg.Counter("uniq_pipeline_skipped_stops_total",
+			"Measurement stops dropped by channel estimation across all solves."),
+		log: logger,
+	}
+}
+
+// StageDone records one completed pipeline stage: its wall time and whether
+// it succeeded, failed, or was canceled.
+func (o *PipelineObserver) StageDone(stage string, d time.Duration, err error) {
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "canceled"
+	default:
+		outcome = "error"
+	}
+	o.stageSeconds.With(stage).Observe(d.Seconds())
+	o.stageTotal.With(stage, outcome).Inc()
+	if err != nil {
+		o.log.Warn("pipeline stage failed", "stage", stage, "seconds", d.Seconds(), "err", err)
+		return
+	}
+	o.log.Debug("pipeline stage done", "stage", stage, "seconds", d.Seconds())
+}
+
+// SkippedStops accumulates stops dropped by channel estimation.
+func (o *PipelineObserver) SkippedStops(n int) {
+	if n <= 0 {
+		return
+	}
+	o.skipped.Add(uint64(n))
+	o.log.Warn("channel estimation skipped stops", "stops", n)
+}

@@ -196,6 +196,16 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(data), nil
 }
 
+// MetricsJSON fetches /debug/metrics?format=json: every registered series
+// flattened to one name{labels} -> value map.
+func (c *Client) MetricsJSON(ctx context.Context) (map[string]float64, error) {
+	var out map[string]float64
+	if err := c.do(ctx, http.MethodGet, "/debug/metrics?format=json", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Health pings /healthz.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)

@@ -150,6 +150,33 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Errorf("served AoA %.2f, direct %.2f", served.AngleDeg, direct.AngleDeg)
 	}
 
+	// The observer installed by New must have timed every stage of every
+	// real solve: the per-stage histograms and outcome counters are the
+	// tentpole deliverable, so pin them against the wire-visible job count.
+	flat, err := client.MetricsJSON(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{
+		core.StageChannelEstimation, core.StageSensorFusion,
+		core.StageGestureCheck, core.StageNearField, core.StageFarField,
+	} {
+		okKey := fmt.Sprintf("uniq_pipeline_stage_total{stage=%q,outcome=\"ok\"}", stage)
+		if got := flat[okKey]; got < users {
+			t.Errorf("%s = %v, want >= %d", okKey, got, users)
+		}
+		cntKey := fmt.Sprintf("uniq_pipeline_stage_seconds_count{stage=%q}", stage)
+		if got := flat[cntKey]; got < users {
+			t.Errorf("%s = %v, want >= %d", cntKey, got, users)
+		}
+	}
+	if got := flat["uniq_localizer_cache_hits_total"]; got <= 0 {
+		t.Errorf("localizer cache hits %v after %d fusion solves, want > 0", got, users)
+	}
+	if got := flat["uniq_dsp_plan_cache_hits_total"]; got <= 0 {
+		t.Errorf("dsp plan cache hits %v after %d solves, want > 0", got, users)
+	}
+
 	// Snapshot the served profiles, then restart on the same directory:
 	// profiles must still be served, unchanged, from disk.
 	before := make(map[string]*StoredProfile, users)

@@ -1,129 +1,114 @@
 package service
 
 import (
-	"fmt"
-	"io"
-	"sort"
 	"strconv"
-	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds. The spread
-// covers both microsecond reads (profile cache hits) and multi-second
-// solves observed through the submit/poll path.
+// latencyBuckets are the endpoint-histogram upper bounds in seconds. The
+// spread covers both microsecond reads (profile cache hits) and
+// multi-second solves observed through the submit/poll path.
 var latencyBuckets = []float64{
 	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// endpointStats accumulates one endpoint's counters and latency histogram.
-type endpointStats struct {
-	byCode map[int]uint64
-	bucket []uint64 // parallel to latencyBuckets, plus +Inf at the end
-	sum    float64
-	count  uint64
+// serviceMetrics wires the obs registry that backs /debug/metrics: HTTP
+// request counters and latency histograms fed by the middleware, plus
+// gauge/counter views over the pool, the store, and the process-wide
+// dsp-plan and fusion-Localizer caches. The pipeline stage histograms are
+// registered by the obs.PipelineObserver the service installs on
+// core.PipelineOptions.
+type serviceMetrics struct {
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
 }
 
-// Metrics records per-endpoint request counts and latency histograms. All
-// methods are safe for concurrent use.
-type Metrics struct {
-	mu        sync.Mutex
-	endpoints map[string]*endpointStats
+// newServiceMetrics builds the registry for one service instance.
+func newServiceMetrics(reg *obs.Registry, pool *Pool, store *Store) *serviceMetrics {
+	m := &serviceMetrics{
+		reg: reg,
+		requests: reg.CounterVec("uniqd_requests_total",
+			"HTTP requests by route pattern and status code.",
+			"endpoint", "code"),
+		latency: reg.HistogramVec("uniqd_request_seconds",
+			"HTTP request latency by route pattern.",
+			latencyBuckets, "endpoint"),
+	}
+
+	// Pool: queue and worker gauges, terminal-outcome counters, and the
+	// uniqd_jobs{state} family refreshed per scrape.
+	reg.GaugeFunc("uniqd_queue_depth", "Jobs accepted but not yet started.",
+		func() float64 { return float64(pool.QueueDepth()) })
+	reg.GaugeFunc("uniqd_queue_capacity", "Bound of the job queue.",
+		func() float64 { return float64(pool.QueueCapacity()) })
+	reg.GaugeFunc("uniqd_workers_busy", "Workers currently running a solve.",
+		func() float64 { return float64(pool.Busy()) })
+	reg.GaugeFunc("uniqd_workers_total", "Configured solve workers.",
+		func() float64 { return float64(pool.Workers()) })
+	reg.GaugeFunc("uniqd_job_records", "Job records retained for /v1/jobs lookups.",
+		func() float64 { return float64(pool.Retained()) })
+	reg.CounterFunc("uniqd_jobs_done_total", "Jobs finished successfully.",
+		func() uint64 { done, _, _ := pool.Finished(); return done })
+	reg.CounterFunc("uniqd_jobs_failed_total", "Jobs finished in failure (including timeouts).",
+		func() uint64 { _, failed, _ := pool.Finished(); return failed })
+	reg.CounterFunc("uniqd_jobs_canceled_total", "Jobs canceled by shutdown.",
+		func() uint64 { _, _, canceled := pool.Finished(); return canceled })
+	jobs := reg.GaugeVec("uniqd_jobs", "Jobs by lifecycle state.", "state")
+	reg.OnCollect(func() {
+		done, failed, canceled := pool.Finished()
+		jobs.With(string(JobQueued)).Set(float64(pool.QueueDepth()))
+		jobs.With(string(JobRunning)).Set(float64(pool.Busy()))
+		jobs.With(string(JobDone)).Set(float64(done))
+		jobs.With(string(JobFailed)).Set(float64(failed))
+		jobs.With(string(JobCanceled)).Set(float64(canceled))
+	})
+
+	// Store: persisted profiles, cache occupancy, and the hit/miss/
+	// not-found/eviction counters.
+	reg.GaugeFunc("uniqd_profiles_stored", "Profiles persisted on disk.",
+		func() float64 {
+			users, err := store.Users()
+			if err != nil {
+				return 0
+			}
+			return float64(len(users))
+		})
+	reg.GaugeFunc("uniqd_profile_cache_entries", "Decoded profiles held in memory.",
+		func() float64 { return float64(store.Cached()) })
+	reg.CounterFunc("uniqd_profile_cache_hits_total", "Profile reads served from the cache.",
+		func() uint64 { hits, _, _, _ := store.Stats(); return hits })
+	reg.CounterFunc("uniqd_profile_cache_misses_total",
+		"Profile reads that went to disk for a stored profile.",
+		func() uint64 { _, misses, _, _ := store.Stats(); return misses })
+	reg.CounterFunc("uniqd_profile_cache_notfound_total",
+		"Profile reads for users with no stored profile (not cache misses).",
+		func() uint64 { _, _, notFound, _ := store.Stats(); return notFound })
+	reg.CounterFunc("uniqd_profile_cache_evictions_total", "Profiles evicted from the LRU.",
+		func() uint64 { _, _, _, evictions := store.Stats(); return evictions })
+
+	// Process-wide solver caches (PRs 2–3): the dsp FFT plan registry and
+	// the fusion Localizer cache.
+	reg.CounterFunc("uniq_dsp_plan_cache_hits_total", "FFT plan registry hits.",
+		func() uint64 { hits, _ := dsp.PlanCacheStats(); return hits })
+	reg.CounterFunc("uniq_dsp_plan_cache_misses_total", "FFT plans built from scratch.",
+		func() uint64 { _, misses := dsp.PlanCacheStats(); return misses })
+	reg.CounterFunc("uniq_localizer_cache_hits_total", "Fusion Localizer cache hits.",
+		func() uint64 { hits, _, _ := core.LocalizerCacheStats(); return hits })
+	reg.CounterFunc("uniq_localizer_cache_misses_total", "Fusion delay fields built fresh.",
+		func() uint64 { _, misses, _ := core.LocalizerCacheStats(); return misses })
+	reg.CounterFunc("uniq_localizer_cache_overflow_total",
+		"Delay-field builds returned uncached past the per-solve cap.",
+		func() uint64 { _, _, overflow := core.LocalizerCacheStats(); return overflow })
+	return m
 }
 
-// NewMetrics returns an empty metrics registry.
-func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*endpointStats)}
-}
-
-// Observe records one request against an endpoint label (the route
+// Observe records one HTTP request against an endpoint label (the route
 // pattern, e.g. "POST /v1/sessions").
-func (m *Metrics) Observe(endpoint string, code int, seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st, ok := m.endpoints[endpoint]
-	if !ok {
-		st = &endpointStats{
-			byCode: make(map[int]uint64),
-			bucket: make([]uint64, len(latencyBuckets)+1),
-		}
-		m.endpoints[endpoint] = st
-	}
-	st.byCode[code]++
-	st.sum += seconds
-	st.count++
-	idx := len(latencyBuckets) // +Inf
-	for i, ub := range latencyBuckets {
-		if seconds <= ub {
-			idx = i
-			break
-		}
-	}
-	st.bucket[idx]++
-}
-
-// Gauge is one instantaneous value for the exposition page.
-type Gauge struct {
-	Name  string
-	Value float64
-}
-
-// WriteText renders the registry in Prometheus text format, followed by
-// the given gauges. Output ordering is deterministic (sorted labels) so
-// tests and diffs are stable.
-func (m *Metrics) WriteText(w io.Writer, gauges ...Gauge) {
-	m.mu.Lock()
-	type flat struct {
-		endpoint string
-		st       endpointStats
-		codes    []int
-	}
-	var eps []flat
-	for ep, st := range m.endpoints {
-		cp := endpointStats{
-			byCode: make(map[int]uint64, len(st.byCode)),
-			bucket: append([]uint64(nil), st.bucket...),
-			sum:    st.sum,
-			count:  st.count,
-		}
-		var codes []int
-		for c, n := range st.byCode {
-			cp.byCode[c] = n
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		eps = append(eps, flat{ep, cp, codes})
-	}
-	m.mu.Unlock()
-	sort.Slice(eps, func(i, j int) bool { return eps[i].endpoint < eps[j].endpoint })
-
-	fmt.Fprintln(w, "# TYPE uniqd_requests_total counter")
-	for _, e := range eps {
-		for _, code := range e.codes {
-			fmt.Fprintf(w, "uniqd_requests_total{endpoint=%q,code=\"%d\"} %d\n",
-				e.endpoint, code, e.st.byCode[code])
-		}
-	}
-	fmt.Fprintln(w, "# TYPE uniqd_request_seconds histogram")
-	for _, e := range eps {
-		cum := uint64(0)
-		for i, ub := range latencyBuckets {
-			cum += e.st.bucket[i]
-			fmt.Fprintf(w, "uniqd_request_seconds_bucket{endpoint=%q,le=%q} %d\n",
-				e.endpoint, formatBound(ub), cum)
-		}
-		cum += e.st.bucket[len(latencyBuckets)]
-		fmt.Fprintf(w, "uniqd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e.endpoint, cum)
-		fmt.Fprintf(w, "uniqd_request_seconds_sum{endpoint=%q} %g\n", e.endpoint, e.st.sum)
-		fmt.Fprintf(w, "uniqd_request_seconds_count{endpoint=%q} %d\n", e.endpoint, e.st.count)
-	}
-	for _, g := range gauges {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.Name, g.Name,
-			strconv.FormatFloat(g.Value, 'g', -1, 64))
-	}
-}
-
-// formatBound renders a bucket bound the way Prometheus expects (no
-// trailing zeros, no exponent for these magnitudes).
-func formatBound(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
+func (m *serviceMetrics) Observe(endpoint string, code int, seconds float64) {
+	m.requests.With(endpoint, strconv.Itoa(code)).Inc()
+	m.latency.With(endpoint).Observe(seconds)
 }

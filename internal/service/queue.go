@@ -6,11 +6,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // JobState is the lifecycle of a personalization job.
@@ -80,6 +82,9 @@ type PoolConfig struct {
 	Pipeline core.PipelineOptions
 	// Store receives completed profiles.
 	Store *Store
+	// Logger receives job-transition records (submitted, started, every
+	// terminal outcome); nil discards them.
+	Logger *slog.Logger
 
 	// run overrides the solver (tests); nil means core.PersonalizeContext.
 	run func(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error)
@@ -92,10 +97,16 @@ type PoolConfig struct {
 type Pool struct {
 	cfg  PoolConfig
 	jobs chan *job
+	log  *slog.Logger
 
-	mu       sync.Mutex
-	byID     map[string]*job
-	finished []string // FIFO of terminal job IDs, for record pruning
+	mu   sync.Mutex
+	byID map[string]*job
+	// finished[finHead:] is the FIFO of terminal job IDs awaiting pruning.
+	// The consumed head slots are zeroed and periodically compacted away, so
+	// a long-lived daemon's memory stays flat (a plain finished[1:] reslice
+	// would pin every consumed string in the backing array forever).
+	finished []string
+	finHead  int
 	closed   bool
 
 	busy     atomic.Int64
@@ -126,10 +137,14 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if cfg.run == nil {
 		cfg.run = core.PersonalizeContext
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	p := &Pool{
 		cfg:      cfg,
 		jobs:     make(chan *job, cfg.QueueDepth),
+		log:      cfg.Logger,
 		byID:     make(map[string]*job),
 		baseCtx:  ctx,
 		baseStop: stop,
@@ -152,6 +167,13 @@ func (p *Pool) QueueCapacity() int { return cap(p.jobs) }
 
 // Busy returns the number of workers currently running a solve.
 func (p *Pool) Busy() int { return int(p.busy.Load()) }
+
+// Retained returns the number of job records Job() can still resolve.
+func (p *Pool) Retained() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.byID)
+}
 
 // Finished returns the tallies of terminal jobs by outcome.
 func (p *Pool) Finished() (done, failed, canceled uint64) {
@@ -195,9 +217,12 @@ func (p *Pool) Submit(user string, in core.SessionInput) (JobStatus, error) {
 		p.byID[j.id] = j
 		st := j.statusLocked()
 		p.mu.Unlock()
+		p.log.Info("job queued", "job", j.id, "user", j.user,
+			"queueDepth", len(p.jobs), "stops", len(in.Stops))
 		return st, nil
 	default:
 		p.mu.Unlock()
+		p.log.Warn("job rejected, queue full", "user", user, "queueDepth", cap(p.jobs))
 		return JobStatus{}, ErrQueueFull
 	}
 }
@@ -246,7 +271,10 @@ func (p *Pool) runJob(j *job) {
 	p.mu.Lock()
 	j.state = JobRunning
 	j.started = time.Now()
+	queuedFor := j.started.Sub(j.submitted)
 	p.mu.Unlock()
+	p.log.Info("job started", "job", j.id, "user", j.user,
+		"queuedSeconds", queuedFor.Seconds())
 
 	ctx := p.baseCtx
 	cancel := context.CancelFunc(func() {})
@@ -282,7 +310,6 @@ func profileFrom(j *job, res *core.Personalization) *StoredProfile {
 
 func (p *Pool) finish(j *job, err error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	j.finished = time.Now()
 	j.input = core.SessionInput{} // a session is megabytes; drop it now
 	switch {
@@ -302,10 +329,37 @@ func (p *Pool) finish(j *job, err error) {
 		j.err = err.Error()
 		p.byState[1].Add(1)
 	}
-	p.finished = append(p.finished, j.id)
-	for len(p.finished) > retainedJobs {
-		delete(p.byID, p.finished[0])
-		p.finished = p.finished[1:]
+	state, jobErr := j.state, j.err
+	ranFor := j.finished.Sub(j.started)
+	p.pruneFinishedLocked(j.id)
+	p.mu.Unlock()
+
+	if state == JobDone {
+		p.log.Info("job finished", "job", j.id, "user", j.user,
+			"state", string(state), "seconds", ranFor.Seconds())
+	} else {
+		p.log.Warn("job finished", "job", j.id, "user", j.user,
+			"state", string(state), "seconds", ranFor.Seconds(), "err", jobErr)
+	}
+}
+
+// pruneFinishedLocked appends id to the terminal FIFO and forgets records
+// past retainedJobs. The FIFO lives in finished[finHead:]; consumed head
+// slots are zeroed (so the pruned strings can be collected) and the slice
+// is compacted once the dead prefix reaches retainedJobs, keeping the
+// backing array bounded at ~2x the retention cap. A plain finished[1:]
+// reslice would instead grow the backing array without bound and pin every
+// pruned ID string alive for the life of the daemon.
+func (p *Pool) pruneFinishedLocked(id string) {
+	p.finished = append(p.finished, id)
+	for len(p.finished)-p.finHead > retainedJobs {
+		delete(p.byID, p.finished[p.finHead])
+		p.finished[p.finHead] = ""
+		p.finHead++
+	}
+	if p.finHead >= retainedJobs {
+		p.finished = append(p.finished[:0], p.finished[p.finHead:]...)
+		p.finHead = 0
 	}
 }
 

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/render"
 )
 
@@ -33,6 +35,9 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (default 64 MiB — a measurement
 	// session is a few MB of JSON).
 	MaxBodyBytes int64
+	// Logger receives the service's structured records (job transitions,
+	// pipeline stage outcomes); nil discards them.
+	Logger *slog.Logger
 
 	// run overrides the solver (tests).
 	run func(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error)
@@ -47,7 +52,8 @@ type Service struct {
 	cfg     Config
 	store   *Store
 	pool    *Pool
-	metrics *Metrics
+	metrics *serviceMetrics
+	log     *slog.Logger
 	handler http.Handler
 }
 
@@ -56,8 +62,19 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	if cfg.PipelineWorkers != 0 {
 		cfg.Pipeline.Workers = cfg.PipelineWorkers
+	}
+	// One registry per service instance: the HTTP middleware, the pool/store
+	// views and the pipeline stage histograms all land in it, and
+	// /debug/metrics scrapes it. The pipeline observer is installed before
+	// the pool is built because PoolConfig copies PipelineOptions by value.
+	reg := obs.NewRegistry()
+	if cfg.Pipeline.Observer == nil {
+		cfg.Pipeline.Observer = obs.NewPipelineObserver(reg, cfg.Logger)
 	}
 	store, err := OpenStore(cfg.StoreDir, cfg.CacheSize)
 	if err != nil {
@@ -69,12 +86,19 @@ func New(cfg Config) (*Service, error) {
 		JobTimeout: cfg.JobTimeout,
 		Pipeline:   cfg.Pipeline,
 		Store:      store,
+		Logger:     cfg.Logger,
 		run:        cfg.run,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{cfg: cfg, store: store, pool: pool, metrics: NewMetrics()}
+	s := &Service{
+		cfg:     cfg,
+		store:   store,
+		pool:    pool,
+		metrics: newServiceMetrics(reg, pool, store),
+		log:     cfg.Logger,
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleSubmit)
@@ -370,27 +394,14 @@ func (s *Service) handleRender(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	done, failed, canceled := s.pool.Finished()
-	hits, misses, evictions := s.store.Stats()
-	stored := 0
-	if users, err := s.store.Users(); err == nil {
-		stored = len(users)
+	if r.URL.Query().Get("format") == "json" {
+		// The pre-registry JSON shape: one flat name -> value object. Kept
+		// for scripts that scraped the old hand-rolled endpoint.
+		writeJSON(w, http.StatusOK, s.metrics.reg.Flatten())
+		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WriteText(w,
-		Gauge{"uniqd_queue_depth", float64(s.pool.QueueDepth())},
-		Gauge{"uniqd_queue_capacity", float64(s.pool.QueueCapacity())},
-		Gauge{"uniqd_workers_busy", float64(s.pool.Busy())},
-		Gauge{"uniqd_workers_total", float64(s.pool.Workers())},
-		Gauge{"uniqd_jobs_done_total", float64(done)},
-		Gauge{"uniqd_jobs_failed_total", float64(failed)},
-		Gauge{"uniqd_jobs_canceled_total", float64(canceled)},
-		Gauge{"uniqd_profiles_stored", float64(stored)},
-		Gauge{"uniqd_profile_cache_entries", float64(s.store.Cached())},
-		Gauge{"uniqd_profile_cache_hits_total", float64(hits)},
-		Gauge{"uniqd_profile_cache_misses_total", float64(misses)},
-		Gauge{"uniqd_profile_cache_evictions_total", float64(evictions)},
-	)
+	s.metrics.reg.WriteText(w)
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {

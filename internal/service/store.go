@@ -72,7 +72,7 @@ type Store struct {
 	byKey map[string]*list.Element // user -> element; value is *StoredProfile
 	order *list.List               // front = most recently used
 
-	hits, misses, evictions atomic.Uint64
+	hits, misses, notFound, evictions atomic.Uint64
 }
 
 // OpenStore opens (creating if needed) a profile store rooted at dir.
@@ -88,12 +88,31 @@ func OpenStore(dir string, cacheCap int) (*Store, error) {
 	if cacheCap <= 0 {
 		cacheCap = 128
 	}
+	sweepStaging(dir)
 	return &Store{
 		dir:   dir,
 		cap:   cacheCap,
 		byKey: make(map[string]*list.Element),
 		order: list.New(),
 	}, nil
+}
+
+// sweepStaging removes staging files abandoned by a crash between
+// CreateTemp and Rename. They match the Put temp pattern — a "."-prefixed
+// name containing ".tmp-" — which Users() already hides, but without the
+// sweep they would accumulate on disk forever. Best-effort: a racing
+// removal or permission error just leaves the file for the next open.
+func sweepStaging(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
 }
 
 // Dir returns the store's root directory.
@@ -157,15 +176,19 @@ func (s *Store) Get(user string) (*StoredProfile, error) {
 		return p, nil
 	}
 	s.mu.Unlock()
-	s.misses.Add(1)
 
 	data, err := os.ReadFile(s.path(user))
 	if errors.Is(err, os.ErrNotExist) {
+		// Not a cache miss: there is no profile for the cache to have held.
+		// Counting these as misses made the hit rate look arbitrarily bad
+		// under probes for unknown users.
+		s.notFound.Add(1)
 		return nil, fmt.Errorf("%w: %q", ErrProfileNotFound, user)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("service: read profile: %w", err)
 	}
+	s.misses.Add(1)
 	var p StoredProfile
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("service: decode profile %q: %w", user, err)
@@ -227,7 +250,9 @@ func (s *Store) Cached() int {
 	return s.order.Len()
 }
 
-// Stats reports cache hit/miss/eviction counters (for /debug/metrics).
-func (s *Store) Stats() (hits, misses, evictions uint64) {
-	return s.hits.Load(), s.misses.Load(), s.evictions.Load()
+// Stats reports the cache counters (for /debug/metrics): hits served from
+// memory, misses that went to disk for a stored profile, not-found reads
+// for users with no profile at all, and LRU evictions.
+func (s *Store) Stats() (hits, misses, notFound, evictions uint64) {
+	return s.hits.Load(), s.misses.Load(), s.notFound.Load(), s.evictions.Load()
 }

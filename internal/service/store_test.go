@@ -168,7 +168,7 @@ func TestStoreLRUEviction(t *testing.T) {
 	if got := s.Cached(); got != 2 {
 		t.Fatalf("cache holds %d entries, want 2", got)
 	}
-	_, _, evictions := s.Stats()
+	_, _, _, evictions := s.Stats()
 	if evictions != 2 {
 		t.Fatalf("eviction counter %d, want 2", evictions)
 	}
