@@ -14,8 +14,8 @@ import (
 const guardRegressionThreshold = 1.20
 
 // TestBenchRegressionGuard replays the committed bench.json kernels for
-// the FFT plans and the sensor-fusion solve and fails on a >20% ns/op
-// regression. Opt-in (it costs benchmark time):
+// the FFT plans, the streaming engine and the sensor-fusion solve, and
+// fails on a >20% ns/op regression. Opt-in (it costs benchmark time):
 //
 //	BENCH_GUARD=1 go test -run TestBenchRegressionGuard .
 //
@@ -39,7 +39,8 @@ func TestBenchRegressionGuard(t *testing.T) {
 	}
 	guarded := 0
 	for _, rec := range sum.Benchmarks {
-		if !strings.HasPrefix(rec.Name, "fft/planned/") && rec.Name != "fuseSensors" {
+		if !strings.HasPrefix(rec.Name, "fft/planned/") &&
+			!strings.HasPrefix(rec.Name, "stream/") && rec.Name != "fuseSensors" {
 			continue
 		}
 		if rec.NsPerOp <= 0 {

@@ -10,11 +10,14 @@ import (
 	"testing"
 	"time"
 
+	"math/rand"
+
 	"repro/internal/core"
 	"repro/internal/dsp"
 	"repro/internal/geom"
 	"repro/internal/head"
 	"repro/internal/sim"
+	"repro/internal/stream"
 )
 
 // seedFuseSensorsNsPerOp is BenchmarkFuseSensors on the code before the
@@ -120,6 +123,65 @@ func measureKernel(name string) (testing.BenchmarkResult, bool) {
 				}
 			}
 		}), true
+	case name == "stream/convolver":
+		// Steady-state streaming render: one hop in, one hop out per op
+		// (mirrors the internal/stream BenchmarkConvolver workload).
+		tab, err := sim.MeasureGroundTruthFar(sim.NewVolunteer(1, 3), 48000, 10)
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		c, err := stream.NewConvolver(tab, stream.ConvolverOptions{})
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		c.SetAngle(60)
+		hop := c.BlockSize() / 2
+		in := make([]float64, hop)
+		for i := range in {
+			in[i] = math.Sin(float64(i) * 0.013)
+		}
+		outL := make([]float64, hop)
+		outR := make([]float64, hop)
+		for i := 0; i < 8; i++ {
+			c.Push(in)
+			c.Read(outL, outR)
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(hop * 8))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Push(in)
+				c.Read(outL, outR)
+			}
+		}), true
+	case name == "stream/aoa-tracker":
+		// One estimation hop: half a window of stereo input in, one eq. 11
+		// estimate out (mirrors the internal/stream BenchmarkAoATracker).
+		tab, err := sim.MeasureGroundTruthFar(sim.NewVolunteer(1, 3), 48000, 10)
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		tr, err := stream.NewAoATracker(tab, stream.TrackerOptions{})
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		h, err := tab.FarAt(40)
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		src := dsp.WhiteNoise(tr.Window(), rand.New(rand.NewSource(4)))
+		l, r := h.Render(src)
+		l, r = l[:tr.Window()], r[:tr.Window()]
+		tr.Push(l, r) // prime a full window so every push completes a hop
+		hop := tr.Hop()
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ev := tr.Push(l[:hop], r[:hop]); len(ev) == 0 {
+					b.Fatal("hop produced no estimate")
+				}
+			}
+		}), true
 	case name == "fuseSensors":
 		obs, err := fuseBenchObservations()
 		if err != nil {
@@ -201,6 +263,8 @@ func TestEmitBenchJSON(t *testing.T) {
 		"fft/planned/real-pow2-16384",
 		"geom/tangent/path-query-240",
 		"localizer/build",
+		"stream/convolver",
+		"stream/aoa-tracker",
 		"fuseSensors",
 	} {
 		r, ok := measureKernel(name)

@@ -8,7 +8,10 @@
 //	uniqctl [-user N] [-seed N] [-quality good|droop|wild] [-out table.json] [-compare]
 //	uniqctl submit  -server http://host:8080 [-user N] [-seed N] [-quality good|droop|wild] [-name ID]
 //	uniqctl get     -server http://host:8080 -name ID [-out profile.json]
+//	uniqctl stream  -server http://host:8080 -name ID -in in.wav [-out out.wav]
+//	                [-source deg] [-yaw-rate deg/s] [-frame ms] [-aoa]
 //	uniqctl metrics -server http://host:8080 [-json] [-grep substr]
+//	uniqctl -version
 //
 // -compare additionally measures the user's ground-truth HRTF and the
 // global template and reports the personalization gain.
@@ -19,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/uniq"
 )
 
@@ -30,6 +34,9 @@ func main() {
 			return
 		case "get":
 			runGet(os.Args[2:])
+			return
+		case "stream":
+			runStream(os.Args[2:])
 			return
 		case "metrics":
 			runMetrics(os.Args[2:])
@@ -45,7 +52,13 @@ func main() {
 	renderDeg := flag.Float64("render", -1, "also render a demo sound from this angle (degrees)")
 	wavOut := flag.String("wav", "uniq-demo.wav", "output file for -render")
 	spherical := flag.Bool("spherical", false, "measure on three elevation rings (3D extension)")
+	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("uniqctl", buildinfo.Version())
+		return
+	}
 
 	q, ok := parseQuality(*quality)
 	if !ok {

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/wav"
+)
+
+// runStream drives a WAV file through a live streaming session on a uniqd
+// server. The default mode renders: mono audio (stereo inputs are mixed
+// down) goes up in real-sized frames with optional head-yaw motion, and
+// the personalized binaural result comes back frame by frame into -out.
+// With -aoa the input must be a stereo earbud recording; the server's
+// angle estimates are printed as they arrive.
+func runStream(args []string) {
+	fs := flag.NewFlagSet("uniqctl stream", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "uniqd base URL")
+	name := fs.String("name", "", "profile owner id on the server (required)")
+	in := fs.String("in", "", "input WAV file (required)")
+	out := fs.String("out", "uniq-stream.wav", "output WAV file (render mode)")
+	source := fs.Float64("source", 90, "world-frame source bearing, degrees")
+	yawRate := fs.Float64("yaw-rate", 0, "head yaw rate, degrees/second (render mode)")
+	frameMS := fs.Float64("frame", 20, "frame size, milliseconds")
+	aoa := fs.Bool("aoa", false, "run angle-of-arrival tracking instead of rendering")
+	timeout := fs.Duration("timeout", 5*time.Minute, "give up after this long")
+	fs.Parse(args)
+	if *name == "" || *in == "" {
+		fmt.Fprintln(os.Stderr, "uniqctl stream: -name and -in are required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	chans, sr, err := wav.Decode(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	frame := int(*frameMS / 1000 * float64(sr))
+	if frame < 1 {
+		frame = 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := service.NewClient(*server)
+	if *aoa {
+		streamAoA(ctx, c, *name, chans, sr, frame)
+		return
+	}
+	streamRender(ctx, c, *name, chans, sr, frame, *source, *yawRate, *out)
+}
+
+func streamRender(ctx context.Context, c *service.Client, name string,
+	chans [][]float64, sr, frame int, source, yawRate float64, out string) {
+	mono := chans[0]
+	if len(chans) > 1 {
+		mono = make([]float64, len(chans[0]))
+		for i := range mono {
+			mono[i] = (chans[0][i] + chans[1][i]) / 2
+		}
+	}
+	st, err := c.StreamRender(ctx, name, source)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	fmt.Printf("streaming %d samples (%.1f s at %d Hz) from %.0f°",
+		len(mono), float64(len(mono))/float64(sr), sr, source)
+	if yawRate != 0 {
+		fmt.Printf(", head turning at %.0f°/s", yawRate)
+	}
+	fmt.Println("...")
+
+	// Receive concurrently with sending: the server emits output as soon
+	// as each block is ready, and the two directions backpressure each
+	// other through TCP.
+	var left, right []float64
+	recvDone := make(chan error, 1)
+	go func() {
+		for {
+			l, r, err := st.Recv()
+			if err == io.EOF {
+				recvDone <- nil
+				return
+			}
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			left = append(left, l...)
+			right = append(right, r...)
+		}
+	}()
+	frames := 0
+	for off := 0; off < len(mono); off += frame {
+		if yawRate != 0 {
+			if err := st.SendPose(yawRate * float64(off) / float64(sr)); err != nil {
+				fatal(err)
+			}
+		}
+		end := min(off+frame, len(mono))
+		if err := st.SendAudio(mono[off:end]); err != nil {
+			fatal(err)
+		}
+		frames++
+	}
+	if err := st.CloseSend(); err != nil {
+		fatal(err)
+	}
+	if err := <-recvDone; err != nil {
+		fatal(err)
+	}
+	of, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer of.Close()
+	if err := wav.EncodeStereo(of, left, right, sr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sent %d frames, received %d binaural samples; wrote %s\n",
+		frames, len(left), out)
+}
+
+func streamAoA(ctx context.Context, c *service.Client, name string,
+	chans [][]float64, sr, frame int) {
+	if len(chans) < 2 {
+		fmt.Fprintln(os.Stderr, "uniqctl stream: -aoa needs a stereo input WAV")
+		os.Exit(2)
+	}
+	l, r := chans[0], chans[1]
+	st, err := c.StreamAoA(ctx, name, service.AoAStreamOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	fmt.Printf("tracking %d stereo samples (%.1f s at %d Hz)...\n",
+		len(l), float64(len(l))/float64(sr), sr)
+	// Print events as they arrive, concurrently with sending.
+	events := 0
+	recvDone := make(chan error, 1)
+	go func() {
+		for {
+			ev, err := st.Recv()
+			if err == io.EOF {
+				recvDone <- nil
+				return
+			}
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			events++
+			fmt.Printf("t=%6.3fs  angle %6.1f°  (raw %6.1f°, score %.4f)\n",
+				ev.TimeSec, ev.AngleDeg, ev.RawDeg, ev.Score)
+		}
+	}()
+	for off := 0; off < len(l); off += frame {
+		end := min(off+frame, len(l))
+		if err := st.SendStereo(l[off:end], r[off:end]); err != nil {
+			fatal(err)
+		}
+	}
+	if err := st.CloseSend(); err != nil {
+		fatal(err)
+	}
+	if err := <-recvDone; err != nil {
+		fatal(err)
+	}
+	if events == 0 {
+		fmt.Println("no angle events (input shorter than one analysis window?)")
+	}
+}

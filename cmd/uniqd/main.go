@@ -8,7 +8,7 @@
 //
 //	uniqd [-addr :8080] [-dir ./profiles] [-workers N] [-queue N]
 //	      [-pipeline-workers N] [-job-timeout 10m] [-cache N] [-pprof]
-//	      [-log-level info] [-log-format text]
+//	      [-log-level info] [-log-format text] [-version]
 //
 // API (see DESIGN.md for the full table):
 //
@@ -18,6 +18,8 @@
 //	GET  /v1/profiles/{user}          fetch a stored profile
 //	POST /v1/profiles/{user}/aoa      angle-of-arrival query
 //	POST /v1/profiles/{user}/render   short binaural render
+//	POST /v1/stream/render/{user}     live binaural render (framed full-duplex stream)
+//	POST /v1/stream/aoa/{user}        live angle-of-arrival tracking (frames in, NDJSON out)
 //	GET  /debug/metrics               Prometheus text metrics (?format=json for flat JSON)
 //	GET  /debug/pprof/*               profiling (only with -pprof)
 //	GET  /healthz                     liveness
@@ -41,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -58,7 +61,13 @@ func main() {
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("uniqd", buildinfo.Version())
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -85,8 +94,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("uniqd: %v", err)
 	}
-	log.Printf("uniqd: store %s holds %d profile(s); %d worker(s), queue %d",
-		*dir, len(users), *workers, *queue)
+	log.Printf("uniqd %s: store %s holds %d profile(s); %d worker(s), queue %d",
+		buildinfo.Version(), *dir, len(users), *workers, *queue)
 
 	handler := svc.Handler()
 	if *enablePprof {

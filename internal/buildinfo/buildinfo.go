@@ -1,0 +1,45 @@
+// Package buildinfo reports the binary's version from the build metadata
+// the Go toolchain embeds, so the daemon and CLI can answer -version
+// without a hand-maintained constant or linker flags.
+package buildinfo
+
+import "runtime/debug"
+
+// Version returns a human-readable version: the main module version when
+// the binary was built from a tagged module, otherwise "devel", with the
+// VCS revision (and a +dirty marker) appended when the build was stamped.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	return fromBuildInfo(bi)
+}
+
+func fromBuildInfo(bi *debug.BuildInfo) string {
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		v += " (" + rev + dirty + ")"
+	}
+	if bi.GoVersion != "" {
+		v += " " + bi.GoVersion
+	}
+	return v
+}

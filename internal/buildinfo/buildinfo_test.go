@@ -1,0 +1,30 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() must never be empty")
+	}
+}
+
+func TestFromBuildInfo(t *testing.T) {
+	bi := &debug.BuildInfo{GoVersion: "go1.24"}
+	bi.Main.Version = "(devel)"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	got := fromBuildInfo(bi)
+	want := "devel (0123456789ab+dirty) go1.24"
+	if got != want {
+		t.Errorf("fromBuildInfo = %q, want %q", got, want)
+	}
+	if v := fromBuildInfo(&debug.BuildInfo{}); !strings.HasPrefix(v, "devel") {
+		t.Errorf("empty build info should report devel, got %q", v)
+	}
+}

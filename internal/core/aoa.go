@@ -67,13 +67,14 @@ func EstimateAoAKnown(left, right, src []float64, table *hrtf.Table, opt AoAOpti
 	}
 	t0 := (li - ri) / sr // measured relative first-tap delay (s)
 
+	itds := table.FarITDs() // cached once per table
 	best := AoAEstimate{Score: math.Inf(1)}
 	for i := 0; i < table.NumAngles(); i++ {
 		h := table.Far[i]
 		if h.Empty() {
 			continue
 		}
-		tTheta := h.ITD()
+		tTheta := itds[i]
 		cL, _ := dsp.NormXCorrPeak(cl, h.Left)
 		cR, _ := dsp.NormXCorrPeak(cr, h.Right)
 		score := opt.Lambda*math.Abs(t0-tTheta) + (1 - cL) + (1 - cR)
@@ -112,11 +113,9 @@ func EstimateAoAUnknown(left, right []float64, table *hrtf.Table, opt AoAOptions
 		peaks = strongestPeaks(peaks, opt.MaxCandidates)
 	}
 
-	// Table ITD per angle, used to invert delays into candidate angles.
-	itds := make([]float64, table.NumAngles())
-	for i := range itds {
-		itds[i] = table.Far[i].ITD()
-	}
+	// Table ITD per angle (cached once per table), used to invert delays
+	// into candidate angles.
+	itds := table.FarITDs()
 
 	var candidates []int
 	for _, p := range peaks {
@@ -127,13 +126,30 @@ func EstimateAoAUnknown(left, right []float64, table *hrtf.Table, opt AoAOptions
 		return AoAEstimate{}, ErrEmptyTable
 	}
 
+	// Eq. 11 scoring through the table's cached HRIR spectra: the two ear
+	// recordings are transformed once, then each candidate costs only two
+	// spectrum products and inverse transforms instead of four full
+	// convolutions.
+	n := dsp.NextPow2(max(len(left), len(right)) + table.MaxFarIRLen())
+	spec, specErr := table.FarSpectra(n)
+	var flSpec, frSpec []complex128
+	if specErr == nil {
+		flSpec = dsp.FFTReal(dsp.ZeroPad(left, n))
+		frSpec = dsp.FFTReal(dsp.ZeroPad(right, n))
+	}
 	best := AoAEstimate{Score: math.Inf(1)}
 	for _, idx := range candidates {
 		h := table.Far[idx]
 		if h.Empty() {
 			continue
 		}
-		score := eq11Mismatch(left, right, h)
+		var score float64
+		if specErr == nil && spec.Left[idx] != nil && spec.Right[idx] != nil {
+			score = eq11MismatchSpec(flSpec, frSpec, spec.Right[idx], spec.Left[idx],
+				len(left)+len(h.Right)-1, len(right)+len(h.Left)-1)
+		} else {
+			score = eq11Mismatch(left, right, h)
+		}
 		if score < best.Score {
 			best = AoAEstimate{AngleDeg: table.Angle(idx), Score: score}
 		}
@@ -202,7 +218,8 @@ func anglesForITD(itds []float64, dt float64) []int {
 }
 
 // eq11Mismatch scores how badly L×HRTF_R(θ) differs from R×HRTF_L(θ),
-// normalized so the score is comparable across angles.
+// normalized so the score is comparable across angles. Fallback path for
+// entries with a missing ear; the hot path is eq11MismatchSpec.
 func eq11Mismatch(left, right []float64, h hrtf.HRIR) float64 {
 	a := dsp.Convolve(left, h.Right)
 	b := dsp.Convolve(right, h.Left)
@@ -210,6 +227,30 @@ func eq11Mismatch(left, right []float64, h hrtf.HRIR) float64 {
 	// overall gain difference.
 	c, _ := dsp.NormXCorrPeak(a, b)
 	return 1 - c
+}
+
+// eq11MismatchSpec is eq11Mismatch with every operand already in the
+// frequency domain: flSpec/frSpec are the recordings' spectra, hrSpec and
+// hlSpec the candidate HRIRs' cached spectra (all at one FFT size), and
+// lenA/lenB the linear-convolution lengths to keep of L×HRTF_R and
+// R×HRTF_L.
+func eq11MismatchSpec(flSpec, frSpec, hrSpec, hlSpec []complex128, lenA, lenB int) float64 {
+	a := convFromSpec(flSpec, hrSpec, lenA)
+	b := convFromSpec(frSpec, hlSpec, lenB)
+	c, _ := dsp.NormXCorrPeak(a, b)
+	return 1 - c
+}
+
+// convFromSpec multiplies two same-size spectra and returns the first
+// outLen samples of the inverse transform (the linear convolution, when
+// the transform size is large enough).
+func convFromSpec(x, h []complex128, outLen int) []float64 {
+	prod := make([]complex128, len(x))
+	for i := range x {
+		prod[i] = x[i] * h[i]
+	}
+	td := dsp.IFFTReal(prod)
+	return td[:outLen]
 }
 
 // FrontBack classifies an angle in [0,180] as front (<90) or back (>90).

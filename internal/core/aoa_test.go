@@ -130,6 +130,36 @@ func TestAoAFrontBackDisambiguation(t *testing.T) {
 	}
 }
 
+// TestAoAFrontBackDeterministic synthesizes clean stereo straight through
+// the personalized templates (no room, no noise, no pipeline error): with
+// zero model mismatch the eq. 11 check must resolve front/back exactly,
+// and land on the true angle. Unlike the statistical sweep above, this
+// runs in -short mode and is fully deterministic.
+func TestAoAFrontBackDeterministic(t *testing.T) {
+	tab, err := sim.MeasureGroundTruthFar(sim.NewVolunteer(5, 3), 48000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dsp.WhiteNoise(4800, rand.New(rand.NewSource(42)))
+	for _, deg := range []float64{30, 60, 120, 150} {
+		h, err := tab.FarAt(deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, r := h.Render(src)
+		est, err := EstimateAoAUnknown(l, r, tab, AoAOptions{})
+		if err != nil {
+			t.Fatalf("%g deg: %v", deg, err)
+		}
+		if FrontBack(est.AngleDeg) != FrontBack(deg) {
+			t.Errorf("%g deg: front/back flipped (estimated %g)", deg, est.AngleDeg)
+		}
+		if math.Abs(est.AngleDeg-deg) > tab.AngleStep {
+			t.Errorf("%g deg: estimated %g, want within one table step", deg, est.AngleDeg)
+		}
+	}
+}
+
 func TestFrontBackHelper(t *testing.T) {
 	if !FrontBack(45) || FrontBack(135) {
 		t.Error("FrontBack classification wrong")

@@ -118,6 +118,13 @@ func AlignTo(x []float64, targetIdx float64) []float64 {
 
 // Table is the §4.4 application interface: for each angle θ the exported
 // personalization carries near-field and far-field HRIR pairs.
+//
+// Tables lazily cache derived data (per-angle far-field FFT spectra via
+// FarSpectra, ITDs via FarITDs) so repeated renders and AoA queries stop
+// re-transforming identical impulse responses. The cache assumes entries
+// are immutable once first read: callers that mutate Near/Far afterwards
+// must call InvalidateCaches. Because the cache embeds a mutex, a built
+// Table must be shared by pointer, never copied by value.
 type Table struct {
 	// SampleRate in Hz, shared by every entry.
 	SampleRate float64 `json:"sampleRate"`
@@ -129,6 +136,9 @@ type Table struct {
 	// one field was estimated.
 	Near []HRIR `json:"near"`
 	Far  []HRIR `json:"far"`
+
+	// cache holds the lazily built spectra/ITD tables; see FarSpectra.
+	cache tableCache
 }
 
 // ErrAngleOutOfRange is returned for lookups outside the table's span.

@@ -1,0 +1,141 @@
+package hrtf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dsp"
+)
+
+// Spectra holds the frequency-domain far-field HRIRs of a table at one FFT
+// size: Left[i] / Right[i] are the full complex spectra of the zero-padded
+// entry-i impulse responses (nil for empty entries). Spectra values are
+// immutable once built and shared between every caller that asks the table
+// for the same size — callers must not modify them.
+type Spectra struct {
+	// Size is the FFT length every spectrum was computed at.
+	Size int
+	// IRLen is the longest far-field impulse response in the table, i.e.
+	// the tail length a convolution through these spectra appends.
+	IRLen int
+	// Left and Right are the per-angle spectra.
+	Left  [][]complex128
+	Right [][]complex128
+}
+
+// tableCache is the lazily built, mutex-guarded derived data attached to a
+// Table: per-angle far-field FFT spectra keyed by transform size, and the
+// per-angle far-field ITDs. See Table.InvalidateCaches for the mutation
+// contract.
+type tableCache struct {
+	mu      sync.Mutex
+	spectra map[int]*Spectra
+	itds    []float64
+	irLen   int
+	irLenOK bool
+}
+
+// MaxFarIRLen returns the longest far-field impulse response in the table
+// (0 for an empty table). The value is cached after the first call.
+func (t *Table) MaxFarIRLen() int {
+	t.cache.mu.Lock()
+	defer t.cache.mu.Unlock()
+	return t.maxFarIRLenLocked()
+}
+
+func (t *Table) maxFarIRLenLocked() int {
+	if !t.cache.irLenOK {
+		n := 0
+		for i := range t.Far {
+			if l := len(t.Far[i].Left); l > n {
+				n = l
+			}
+			if l := len(t.Far[i].Right); l > n {
+				n = l
+			}
+		}
+		t.cache.irLen = n
+		t.cache.irLenOK = true
+	}
+	return t.cache.irLen
+}
+
+// FarSpectra returns the cached per-angle far-field HRIR spectra at the
+// given FFT size, building them on first use (one forward transform per ear
+// per angle, through the dsp plan cache). fftSize must be at least the
+// table's longest far-field impulse response. The result is shared and
+// read-only; see InvalidateCaches for the mutation contract.
+func (t *Table) FarSpectra(fftSize int) (*Spectra, error) {
+	if t.NumAngles() == 0 {
+		return nil, errors.New("hrtf: FarSpectra on an empty table")
+	}
+	t.cache.mu.Lock()
+	defer t.cache.mu.Unlock()
+	if irLen := t.maxFarIRLenLocked(); fftSize < irLen {
+		return nil, fmt.Errorf("hrtf: FFT size %d shorter than the longest far-field IR (%d)", fftSize, irLen)
+	}
+	if s, ok := t.cache.spectra[fftSize]; ok {
+		return s, nil
+	}
+	s := &Spectra{
+		Size:  fftSize,
+		IRLen: t.cache.irLen,
+		Left:  make([][]complex128, len(t.Far)),
+		Right: make([][]complex128, len(t.Far)),
+	}
+	plan := dsp.PlanFFT(fftSize)
+	padded := make([]float64, fftSize)
+	transform := func(ir []float64) []complex128 {
+		if len(ir) == 0 {
+			return nil
+		}
+		copy(padded, ir)
+		for i := len(ir); i < fftSize; i++ {
+			padded[i] = 0
+		}
+		spec := make([]complex128, fftSize)
+		plan.ForwardReal(spec, padded)
+		return spec
+	}
+	for i := range t.Far {
+		s.Left[i] = transform(t.Far[i].Left)
+		s.Right[i] = transform(t.Far[i].Right)
+	}
+	if t.cache.spectra == nil {
+		t.cache.spectra = make(map[int]*Spectra)
+	}
+	t.cache.spectra[fftSize] = s
+	return s, nil
+}
+
+// FarITDs returns the per-angle far-field interaural time differences
+// (HRIR.ITD of every Far entry), cached after the first call. The returned
+// slice is shared and read-only; see InvalidateCaches for the mutation
+// contract.
+func (t *Table) FarITDs() []float64 {
+	t.cache.mu.Lock()
+	defer t.cache.mu.Unlock()
+	if t.cache.itds == nil {
+		itds := make([]float64, len(t.Far))
+		for i := range t.Far {
+			itds[i] = t.Far[i].ITD()
+		}
+		t.cache.itds = itds
+	}
+	return t.cache.itds
+}
+
+// InvalidateCaches discards the lazily built derived data (FarSpectra,
+// FarITDs, MaxFarIRLen). Callers that mutate Near/Far entries after any of
+// those accessors has run must call this, or stale spectra/ITDs will keep
+// being served; tables treated as immutable after construction (the normal
+// case — the pipeline builds a table once and every reader only looks it
+// up) never need to.
+func (t *Table) InvalidateCaches() {
+	t.cache.mu.Lock()
+	defer t.cache.mu.Unlock()
+	t.cache.spectra = nil
+	t.cache.itds = nil
+	t.cache.irLenOK = false
+}

@@ -1,0 +1,137 @@
+package hrtf
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// spectraTestTable builds a tiny table with distinct per-angle far IRs.
+func spectraTestTable() *Table {
+	t := NewTable(48000, 0, 90, 3)
+	for i := 0; i < 3; i++ {
+		l := make([]float64, 8+4*i)
+		r := make([]float64, 6+4*i)
+		l[i] = 1
+		l[i+3] = 0.25
+		r[i+1] = 0.8
+		t.Far[i] = HRIR{Left: l, Right: r, SampleRate: 48000}
+	}
+	return t
+}
+
+func TestFarSpectraMatchesDirectFFT(t *testing.T) {
+	tab := spectraTestTable()
+	const n = 64
+	s, err := tab.FarSpectra(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size != n {
+		t.Fatalf("size %d, want %d", s.Size, n)
+	}
+	if want := tab.MaxFarIRLen(); s.IRLen != want {
+		t.Fatalf("IRLen %d, want %d", s.IRLen, want)
+	}
+	for i := 0; i < tab.NumAngles(); i++ {
+		want := dsp.FFTReal(dsp.ZeroPad(tab.Far[i].Left, n))
+		got := s.Left[i]
+		if len(got) != n {
+			t.Fatalf("angle %d: spectrum length %d", i, len(got))
+		}
+		for k := range want {
+			if cmplx.Abs(want[k]-got[k]) > 1e-12 {
+				t.Fatalf("angle %d bin %d: %v vs %v", i, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFarSpectraCachedAndShared(t *testing.T) {
+	tab := spectraTestTable()
+	a, err := tab.FarSpectra(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tab.FarSpectra(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same-size FarSpectra calls should return the shared cached value")
+	}
+	c, err := tab.FarSpectra(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a || c.Size != 128 {
+		t.Error("different sizes must cache separately")
+	}
+}
+
+func TestFarSpectraErrors(t *testing.T) {
+	empty := NewTable(48000, 0, 1, 0)
+	if _, err := empty.FarSpectra(64); err == nil {
+		t.Error("empty table should refuse FarSpectra")
+	}
+	tab := spectraTestTable()
+	if _, err := tab.FarSpectra(tab.MaxFarIRLen() - 1); err == nil {
+		t.Error("FFT size shorter than the longest IR should be rejected")
+	}
+}
+
+func TestFarITDsCachedAndInvalidated(t *testing.T) {
+	tab := spectraTestTable()
+	itds := tab.FarITDs()
+	if len(itds) != tab.NumAngles() {
+		t.Fatalf("got %d ITDs", len(itds))
+	}
+	for i := range itds {
+		if want := tab.Far[i].ITD(); math.Abs(itds[i]-want) > 1e-12 {
+			t.Errorf("angle %d: cached ITD %g, want %g", i, itds[i], want)
+		}
+	}
+	// Mutate an entry: the stale cache must keep being served until the
+	// caller invalidates (the documented contract).
+	shifted := make([]float64, 32)
+	shifted[9] = 1
+	tab.Far[0].Left = shifted
+	if &tab.FarITDs()[0] != &itds[0] {
+		t.Error("mutation without InvalidateCaches should still serve the cached slice")
+	}
+	tab.InvalidateCaches()
+	fresh := tab.FarITDs()
+	if math.Abs(fresh[0]-tab.Far[0].ITD()) > 1e-12 {
+		t.Error("InvalidateCaches did not rebuild the ITD cache")
+	}
+	if tab.MaxFarIRLen() != 32 {
+		t.Errorf("MaxFarIRLen after invalidation = %d, want 32", tab.MaxFarIRLen())
+	}
+}
+
+func TestFarSpectraConcurrent(t *testing.T) {
+	tab := spectraTestTable()
+	var wg sync.WaitGroup
+	out := make([]*Spectra, 16)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := tab.FarSpectra(64)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[0] {
+			t.Fatal("concurrent FarSpectra callers should all see one shared build")
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/hrtf"
 	"repro/internal/room"
+	"repro/internal/stream"
 )
 
 // Renderer renders binaural audio from an angle-indexed HRTF table.
@@ -33,6 +34,12 @@ var ErrNoTable = errors.New("render: renderer needs a populated table")
 // angleAt maps a time in seconds (from the start of the signal) to the
 // source's polar angle in degrees; angles are clamped/mirrored into the
 // table's span. The output has the length of the input plus the HRIR tail.
+//
+// The whole-buffer path is a thin wrapper over the streaming engine
+// (stream.Convolver): the signal is pushed through in one go with angleAt
+// sampled at each block center, so batch and live renders share one kernel
+// — 50%-overlap Bartlett blocks whose windows sum to one, so a static
+// source renders exactly as a single convolution — and cannot drift apart.
 func (r *Renderer) RenderMoving(mono []float64, angleAt func(t float64) float64) (left, right []float64, err error) {
 	if r.Table == nil || r.Table.NumAngles() == 0 {
 		return nil, nil, ErrNoTable
@@ -40,80 +47,23 @@ func (r *Renderer) RenderMoving(mono []float64, angleAt func(t float64) float64)
 	if len(mono) == 0 {
 		return nil, nil, nil
 	}
-	sr := r.Table.SampleRate
-	block := r.BlockSize
-	if block <= 0 {
-		block = int(0.02 * sr)
-	}
-	if block < 16 {
-		block = 16
-	}
-	irLen := 0
-	for i := 0; i < r.Table.NumAngles(); i++ {
-		if l := len(r.Table.Far[i].Left); l > irLen {
-			irLen = l
-		}
-	}
-	if irLen == 0 {
+	c, err := stream.NewConvolver(r.Table, stream.ConvolverOptions{
+		BlockSize: r.BlockSize,
+		// One push must accept the whole signal: batch rendering has no
+		// backpressure.
+		MaxPending: len(mono) + 1,
+	})
+	if err != nil {
 		return nil, nil, ErrNoTable
 	}
-	outLen := len(mono) + irLen
+	c.SetAngleFunc(angleAt)
+	c.Push(mono)
+	c.Flush()
+	outLen := len(mono) + c.TailLen()
 	left = make([]float64, outLen)
 	right = make([]float64, outLen)
-	// 50%-overlap blocks with a triangular (Bartlett) window: windows sum
-	// to one, so a static source renders exactly as a single convolution.
-	// The first block starts half a block early so the opening samples
-	// get full window coverage.
-	hop := block / 2
-	win := bartlett(block)
-	for start := -hop; start < len(mono); start += hop {
-		seg := make([]float64, block)
-		nonzero := false
-		for i := 0; i < block; i++ {
-			j := start + i
-			if j >= 0 && j < len(mono) && mono[j] != 0 {
-				seg[i] = mono[j] * win[i]
-				nonzero = true
-			}
-		}
-		if !nonzero {
-			continue
-		}
-		tCenter := (float64(start) + float64(block)/2) / sr
-		angle := mirrorIntoSpan(angleAt(tCenter), r.Table)
-		h, err := r.Table.FarAt(angle)
-		if err != nil || h.Empty() {
-			continue
-		}
-		mixInto(left, dsp.Convolve(seg, h.Left), start)
-		mixInto(right, dsp.Convolve(seg, h.Right), start)
-	}
+	c.Read(left, right)
 	return left, right, nil
-}
-
-// bartlett returns a triangular window whose 50%-overlapped copies sum to
-// unity.
-func bartlett(n int) []float64 {
-	w := make([]float64, n)
-	half := float64(n) / 2
-	for i := range w {
-		x := float64(i)
-		if x < half {
-			w[i] = x / half
-		} else {
-			w[i] = 2 - x/half
-		}
-	}
-	return w
-}
-
-func mixInto(dst, src []float64, offset int) {
-	for i, v := range src {
-		j := offset + i
-		if j >= 0 && j < len(dst) {
-			dst[j] += v
-		}
-	}
 }
 
 // mirrorIntoSpan folds an arbitrary angle into the table's tabulated span

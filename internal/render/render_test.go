@@ -106,10 +106,25 @@ func TestRenderMovingErrors(t *testing.T) {
 
 func TestMirrorIntoSpan(t *testing.T) {
 	tab := testTable(t)
-	cases := map[float64]float64{10: 10, 180: 180, 190: 170, 350: 10, -30: 30, 370: 10}
+	cases := map[float64]float64{
+		// Interior and mirrored angles.
+		10: 10, 190: 170, 350: 10, -30: 30, 370: 10,
+		// Span edges, exactly: 0 and 180 must map to themselves, as must
+		// their full-turn aliases.
+		0: 0, 180: 180, 360: 0, -360: 0, 540: 180, -180: 180,
+		// Just past an edge: mirrors back inside, never out of span.
+		180.5: 179.5, -0.5: 0.5, 359.5: 0.5,
+	}
 	for in, want := range cases {
 		if got := mirrorIntoSpan(in, tab); math.Abs(got-want) > 1e-9 {
 			t.Errorf("mirror(%g) = %g, want %g", in, got, want)
+		}
+	}
+	// Angles outside a narrower table's span clamp to its edges.
+	narrow := hrtf.NewTable(48000, 20, 10, 5) // spans [20, 60]
+	for in, want := range map[float64]float64{5: 20, 20: 20, 60: 60, 170: 60, 355: 20} {
+		if got := mirrorIntoSpan(in, narrow); math.Abs(got-want) > 1e-9 {
+			t.Errorf("narrow mirror(%g) = %g, want %g", in, got, want)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dsp"
@@ -25,6 +26,23 @@ type serviceMetrics struct {
 	reg      *obs.Registry
 	requests *obs.CounterVec
 	latency  *obs.HistogramVec
+
+	// Streaming endpoints (/v1/stream/*): per-frame counters and
+	// processing-latency histograms, drop accounting, and live session
+	// counts (atomics mirrored into a gauge family per scrape, like the
+	// uniqd_jobs states).
+	streamFrames    *obs.CounterVec
+	streamLatency   *obs.HistogramVec
+	streamOverruns  *obs.Counter
+	streamUnderruns *obs.Counter
+	renderSessions  atomic.Int64
+	aoaSessions     atomic.Int64
+}
+
+// streamLatencyBuckets cover per-frame processing times: a render hop is
+// tens of microseconds, an AoA window estimate tens of milliseconds.
+var streamLatencyBuckets = []float64{
+	1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5,
 }
 
 // newServiceMetrics builds the registry for one service instance.
@@ -37,7 +55,23 @@ func newServiceMetrics(reg *obs.Registry, pool *Pool, store *Store) *serviceMetr
 		latency: reg.HistogramVec("uniqd_request_seconds",
 			"HTTP request latency by route pattern.",
 			latencyBuckets, "endpoint"),
+		streamFrames: reg.CounterVec("uniqd_stream_frames_total",
+			"Streaming frames by session kind and direction (out events for aoa).",
+			"kind", "dir"),
+		streamLatency: reg.HistogramVec("uniqd_stream_frame_seconds",
+			"Per-input-frame processing latency by session kind.",
+			streamLatencyBuckets, "kind"),
+		streamOverruns: reg.Counter("uniqd_stream_overrun_samples_total",
+			"Input samples dropped by streaming sessions (bounded pending buffers)."),
+		streamUnderruns: reg.Counter("uniqd_stream_underrun_samples_total",
+			"Output samples short-read before sessions drained."),
 	}
+	streamActive := reg.GaugeVec("uniqd_stream_active_sessions",
+		"Live streaming sessions by kind.", "kind")
+	reg.OnCollect(func() {
+		streamActive.With("render").Set(float64(m.renderSessions.Load()))
+		streamActive.With("aoa").Set(float64(m.aoaSessions.Load()))
+	})
 
 	// Pool: queue and worker gauges, terminal-outcome counters, and the
 	// uniqd_jobs{state} family refreshed per scrape.
@@ -111,4 +145,38 @@ func newServiceMetrics(reg *obs.Registry, pool *Pool, store *Store) *serviceMetr
 func (m *serviceMetrics) Observe(endpoint string, code int, seconds float64) {
 	m.requests.With(endpoint, strconv.Itoa(code)).Inc()
 	m.latency.With(endpoint).Observe(seconds)
+}
+
+// streamStart marks a streaming session of the given kind live; the
+// returned func marks it finished.
+func (m *serviceMetrics) streamStart(kind string) func() {
+	n := &m.renderSessions
+	if kind == "aoa" {
+		n = &m.aoaSessions
+	}
+	n.Add(1)
+	return func() { n.Add(-1) }
+}
+
+// countStreamFrame counts one frame (or AoA event) in the given direction.
+func (m *serviceMetrics) countStreamFrame(kind, dir string) {
+	m.streamFrames.With(kind, dir).Inc()
+}
+
+// observeStreamFrame counts one processed input frame and records its
+// processing latency.
+func (m *serviceMetrics) observeStreamFrame(kind string, seconds float64) {
+	m.streamFrames.With(kind, "in").Inc()
+	m.streamLatency.With(kind).Observe(seconds)
+}
+
+// addStreamDrops folds a finished session's overrun/underrun sample counts
+// into the totals.
+func (m *serviceMetrics) addStreamDrops(overruns, underruns uint64) {
+	if overruns > 0 {
+		m.streamOverruns.Add(overruns)
+	}
+	if underruns > 0 {
+		m.streamUnderruns.Add(underruns)
+	}
 }

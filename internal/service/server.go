@@ -107,6 +107,8 @@ func New(cfg Config) (*Service, error) {
 	mux.HandleFunc("GET /v1/profiles/{user}", s.handleProfile)
 	mux.HandleFunc("POST /v1/profiles/{user}/aoa", s.handleAoA)
 	mux.HandleFunc("POST /v1/profiles/{user}/render", s.handleRender)
+	mux.HandleFunc("POST /v1/stream/render/{user}", s.handleStreamRender)
+	mux.HandleFunc("POST /v1/stream/aoa/{user}", s.handleStreamAoA)
 	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.handler = s.instrument(mux)
@@ -139,6 +141,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush/EnableFullDuplex, which the streaming handlers depend on.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument wraps the router with request counting and latency
 // histograms, labelled by route pattern so path wildcards don't explode

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/stream"
+)
+
+// openStream issues a streaming POST whose request body is an io.Pipe: the
+// response (headers) arrives as soon as the server accepts the session,
+// before any audio is sent, so the caller can run its send and receive
+// loops concurrently. Non-2xx responses are decoded into *APIError.
+func (c *Client) openStream(ctx context.Context, path string) (*io.PipeWriter, *http.Response, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, pr)
+	if err != nil {
+		pw.Close()
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae apiError
+		msg := ""
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ae); err == nil {
+			msg = ae.Error
+		}
+		resp.Body.Close()
+		pw.Close()
+		return nil, nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return pw, resp, nil
+}
+
+// RenderStream is a live binaural render session. Sends and receives are
+// coupled through the server's buffers: a caller that sends much more than
+// it receives will eventually block on TCP backpressure, so drive the two
+// directions from separate goroutines (or interleave them).
+type RenderStream struct {
+	pw      *io.PipeWriter
+	resp    *http.Response
+	sendBuf []byte
+	recvBuf []byte
+}
+
+// StreamRender opens a render session against user's stored profile, with
+// the world-frame source bearing in degrees.
+func (c *Client) StreamRender(ctx context.Context, user string, sourceDeg float64) (*RenderStream, error) {
+	path := "/v1/stream/render/" + url.PathEscape(user) +
+		"?source=" + url.QueryEscape(strconv.FormatFloat(sourceDeg, 'g', -1, 64))
+	pw, resp, err := c.openStream(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return &RenderStream{pw: pw, resp: resp}, nil
+}
+
+// SampleRate reports the profile's sample rate as announced by the server.
+func (s *RenderStream) SampleRate() (float64, error) {
+	return strconv.ParseFloat(s.resp.Header.Get("Uniq-Sample-Rate"), 64)
+}
+
+// SendAudio ships one mono audio frame (encoded float32 on the wire).
+func (s *RenderStream) SendAudio(mono []float64) error {
+	s.sendBuf = appendF32LE(s.sendBuf[:0], mono)
+	return writeFrame(s.pw, frameAudio, s.sendBuf)
+}
+
+// SendPose updates the head yaw (degrees) for all audio sent after it.
+func (s *RenderStream) SendPose(yawDeg float64) error {
+	return writeFrame(s.pw, framePose, encodeF64BE(yawDeg))
+}
+
+// CloseSend ends the input stream; the server then flushes the
+// convolution tail, so keep calling Recv until io.EOF.
+func (s *RenderStream) CloseSend() error { return s.pw.Close() }
+
+// Recv returns the next stereo output frame. io.EOF marks the end of the
+// stream (after CloseSend and the tail). The returned slices are owned by
+// the caller.
+func (s *RenderStream) Recv() (left, right []float64, err error) {
+	for {
+		typ, payload, err := readFrame(s.resp.Body, s.recvBuf)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.recvBuf = payload
+		if typ != frameAudio {
+			continue
+		}
+		return decodeF32LEStereo(nil, nil, payload)
+	}
+}
+
+// Close tears the session down (abandoning any unread output).
+func (s *RenderStream) Close() error {
+	s.pw.Close()
+	return s.resp.Body.Close()
+}
+
+// AoAStream is a live angle-of-arrival tracking session: stereo audio in,
+// stream.AngleEvent values out. The same backpressure coupling as
+// RenderStream applies, though events are small enough that sequential
+// send-then-drain use is usually fine.
+type AoAStream struct {
+	pw      *io.PipeWriter
+	resp    *http.Response
+	dec     *json.Decoder
+	sendBuf []byte
+}
+
+// AoAStreamOptions tune the server-side tracker; zero values take the
+// tracker defaults.
+type AoAStreamOptions struct {
+	// Window and Hop are in samples.
+	Window, Hop int
+}
+
+// StreamAoA opens an AoA tracking session against user's stored profile.
+func (c *Client) StreamAoA(ctx context.Context, user string, opt AoAStreamOptions) (*AoAStream, error) {
+	path := "/v1/stream/aoa/" + url.PathEscape(user)
+	q := url.Values{}
+	if opt.Window > 0 {
+		q.Set("window", strconv.Itoa(opt.Window))
+	}
+	if opt.Hop > 0 {
+		q.Set("hop", strconv.Itoa(opt.Hop))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	pw, resp, err := c.openStream(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return &AoAStream{pw: pw, resp: resp, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// SendStereo ships one interleaved stereo frame; the channels must be the
+// same length.
+func (s *AoAStream) SendStereo(left, right []float64) error {
+	if len(left) != len(right) {
+		return fmt.Errorf("service: stereo channels differ in length: %d vs %d", len(left), len(right))
+	}
+	s.sendBuf = appendF32LEStereo(s.sendBuf[:0], left, right)
+	return writeFrame(s.pw, frameAudio, s.sendBuf)
+}
+
+// CloseSend ends the input stream; Recv returns io.EOF once the server has
+// emitted every remaining event.
+func (s *AoAStream) CloseSend() error { return s.pw.Close() }
+
+// Recv returns the next angle event; io.EOF at end of stream.
+func (s *AoAStream) Recv() (stream.AngleEvent, error) {
+	var ev stream.AngleEvent
+	err := s.dec.Decode(&ev)
+	return ev, err
+}
+
+// Close tears the session down.
+func (s *AoAStream) Close() error {
+	s.pw.Close()
+	return s.resp.Body.Close()
+}

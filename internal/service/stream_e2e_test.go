@@ -1,0 +1,220 @@
+package service
+
+import (
+	"context"
+	"io"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dsp"
+	"repro/internal/sim"
+)
+
+// newStreamTestServer seeds a profile straight into the store (no solve)
+// and serves it, so the streaming endpoints run against ground-truth
+// tables in milliseconds.
+func newStreamTestServer(t *testing.T) (*Service, *Client) {
+	t.Helper()
+	svc, err := New(Config{StoreDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := sim.MeasureGroundTruthFar(sim.NewVolunteer(1, 3), 48000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Store().Put(&StoredProfile{User: "vol1", Table: tab}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return svc, NewClient(ts.URL)
+}
+
+// quantizeF32 rounds samples to float32 precision, matching what the
+// binary wire format will deliver to the server.
+func quantizeF32(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(float32(v))
+	}
+	return out
+}
+
+func TestStreamRenderEndpointMatchesBatch(t *testing.T) {
+	_, client := newStreamTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Quantize the input up front: both paths then render the identical
+	// signal, and only the response encoding differs (float32 frames vs
+	// float64 JSON).
+	mono := quantizeF32(dsp.WhiteNoise(9600, rand.New(rand.NewSource(7))))
+
+	// Batch reference at 60°.
+	batch, err := client.Render(ctx, "vol1", RenderRequest{Mono: mono, AngleDeg: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming: source at 75° world frame, head yawed 15° — the session
+	// renders at the same relative 60°, exercising the pose frame type.
+	st, err := client.StreamRender(ctx, "vol1", 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if sr, err := st.SampleRate(); err != nil || sr != 48000 {
+		t.Fatalf("announced sample rate %v (err %v), want 48000", sr, err)
+	}
+
+	var gotL, gotR []float64
+	recvDone := make(chan error, 1)
+	go func() {
+		for {
+			l, r, err := st.Recv()
+			if err == io.EOF {
+				recvDone <- nil
+				return
+			}
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			gotL = append(gotL, l...)
+			gotR = append(gotR, r...)
+		}
+	}()
+	if err := st.SendPose(15); err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 1024
+	for off := 0; off < len(mono); off += chunk {
+		end := min(off+chunk, len(mono))
+		if err := st.SendAudio(mono[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if len(gotL) != len(batch.Left) || len(gotR) != len(batch.Right) {
+		t.Fatalf("stream lengths %d/%d, batch %d/%d",
+			len(gotL), len(gotR), len(batch.Left), len(batch.Right))
+	}
+	maxDiff := 0.0
+	for i := range gotL {
+		maxDiff = math.Max(maxDiff, math.Abs(gotL[i]-batch.Left[i]))
+		maxDiff = math.Max(maxDiff, math.Abs(gotR[i]-batch.Right[i]))
+	}
+	// The engines are bit-identical; the float32 response encoding is the
+	// only difference.
+	if maxDiff > 1e-5 {
+		t.Errorf("stream vs batch render max diff %g, want < 1e-5", maxDiff)
+	}
+}
+
+func TestStreamAoAEndpointTracksStaticSource(t *testing.T) {
+	svc, client := newStreamTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	tab, err := svc.Store().Get("vol1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deg = 40.0
+	h, err := tab.Table.FarAt(deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dsp.WhiteNoise(4800, rand.New(rand.NewSource(11)))
+	l, r := h.Render(src)
+	l, r = quantizeF32(l[:len(src)]), quantizeF32(r[:len(src)])
+
+	st, err := client.StreamAoA(ctx, "vol1", AoAStreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const chunk = 1600
+	for off := 0; off < len(l); off += chunk {
+		end := min(off+chunk, len(l))
+		if err := st.SendStereo(l[off:end], r[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	for {
+		ev, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		events++
+		if math.Abs(ev.AngleDeg-deg) > 2*tab.Table.AngleStep {
+			t.Errorf("event %d: angle %g, want near %g", events, ev.AngleDeg, deg)
+		}
+		if ev.TimeSec <= 0 {
+			t.Errorf("event %d: non-positive timestamp %g", events, ev.TimeSec)
+		}
+	}
+	if events == 0 {
+		t.Fatal("no angle events for a full-second stream")
+	}
+
+	// Both endpoints have run by now (test order within the package does
+	// not matter for these keys: this test alone produces aoa series, and
+	// render/aoa metrics are asserted independently).
+	m, err := client.MetricsJSON(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[`uniqd_stream_frames_total{kind="aoa",dir="in"}`] == 0 {
+		t.Error("aoa input frames not counted")
+	}
+	if m[`uniqd_stream_frames_total{kind="aoa",dir="out"}`] == 0 {
+		t.Error("aoa events not counted")
+	}
+	if m[`uniqd_stream_active_sessions{kind="aoa"}`] != 0 {
+		t.Error("aoa session still counted live after close")
+	}
+	if m[`uniqd_stream_overrun_samples_total`] != 0 || m[`uniqd_stream_underrun_samples_total`] != 0 {
+		t.Errorf("drops on a clean stream: overruns %g, underruns %g",
+			m[`uniqd_stream_overrun_samples_total`], m[`uniqd_stream_underrun_samples_total`])
+	}
+}
+
+func TestStreamEndpointsRejectUnknownUser(t *testing.T) {
+	_, client := newStreamTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := client.StreamRender(ctx, "nobody", 90); !isStatus(err, 404) {
+		t.Errorf("StreamRender unknown user: %v, want 404", err)
+	}
+	if _, err := client.StreamAoA(ctx, "nobody", AoAStreamOptions{}); !isStatus(err, 404) {
+		t.Errorf("StreamAoA unknown user: %v, want 404", err)
+	}
+}
+
+func isStatus(err error, code int) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == code
+}

@@ -1,0 +1,79 @@
+package stream_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/hrtf"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+func benchTable(b *testing.B) *hrtf.Table {
+	b.Helper()
+	tableOnce.Do(func() {
+		tableVal, tableErr = sim.MeasureGroundTruthFar(sim.NewVolunteer(1, 3), 48000, 10)
+	})
+	if tableErr != nil {
+		b.Fatal(tableErr)
+	}
+	return tableVal
+}
+
+// BenchmarkConvolver measures the steady-state streaming hot path: one hop
+// of input in, one hop of binaural output out (i.e. one block per op).
+func BenchmarkConvolver(b *testing.B) {
+	tab := benchTable(b)
+	c, err := stream.NewConvolver(tab, stream.ConvolverOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.SetAngle(60)
+	hop := c.BlockSize() / 2
+	in := make([]float64, hop)
+	for i := range in {
+		in[i] = math.Sin(float64(i) * 0.013)
+	}
+	outL := make([]float64, hop)
+	outR := make([]float64, hop)
+	for i := 0; i < 8; i++ {
+		c.Push(in)
+		c.Read(outL, outR)
+	}
+	b.SetBytes(int64(hop * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Push(in)
+		c.Read(outL, outR)
+	}
+}
+
+// BenchmarkAoATracker measures one estimation hop: half a window of stereo
+// input in, one eq. 11 estimate out.
+func BenchmarkAoATracker(b *testing.B) {
+	tab := benchTable(b)
+	tr, err := stream.NewAoATracker(tab, stream.TrackerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := tab.FarAt(40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := dsp.WhiteNoise(tr.Window(), rand.New(rand.NewSource(4)))
+	l, r := h.Render(src)
+	l, r = l[:tr.Window()], r[:tr.Window()]
+	// Prime one full window so every benchmark push completes a hop.
+	tr.Push(l, r)
+	hop := tr.Hop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev := tr.Push(l[:hop], r[:hop]); len(ev) == 0 {
+			b.Fatal("hop produced no estimate")
+		}
+	}
+}

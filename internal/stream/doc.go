@@ -1,0 +1,23 @@
+// Package stream is the real-time serving engine for personalized HRTFs:
+// chunk-at-a-time binaural rendering and angle-of-arrival tracking with
+// bounded latency and bounded memory, the workloads the paper's payoff
+// applications (§2, §8 — spatial audio for a moving head, HRTF-aware AoA)
+// actually run.
+//
+// Three layers:
+//
+//   - Convolver: block overlap-save convolution against per-angle far-field
+//     HRIR spectra precomputed once per hrtf.Table (through the dsp plan
+//     cache), with click-free Bartlett crossfades on angle and profile
+//     switches. The steady-state hot path performs no allocations.
+//   - AoATracker: sliding-window relative-channel cross-correlation plus
+//     eq. 11 matching over incoming stereo frames, with hysteresis and
+//     exponential smoothing, emitting one angle estimate per hop.
+//   - Session: owns the ring buffers, head-pose state and backpressure
+//     (bounded pending input, explicit overrun/underrun accounting) and is
+//     safe for concurrent producers/consumers.
+//
+// The batch renderer (render.RenderMoving) is re-expressed on top of
+// Convolver, so the streaming and whole-buffer paths share one kernel and
+// cannot drift.
+package stream
