@@ -11,6 +11,7 @@
 //	uniqctl stream  -server http://host:8080 -name ID -in in.wav [-out out.wav]
 //	                [-source deg] [-yaw-rate deg/s] [-frame ms] [-aoa]
 //	uniqctl metrics -server http://host:8080 [-json] [-grep substr]
+//	uniqctl nodes   -server http://host:8080 [-json]
 //	uniqctl -version
 //
 // -compare additionally measures the user's ground-truth HRTF and the
@@ -40,6 +41,9 @@ func main() {
 			return
 		case "metrics":
 			runMetrics(os.Args[2:])
+			return
+		case "nodes":
+			runNodes(os.Args[2:])
 			return
 		}
 	}

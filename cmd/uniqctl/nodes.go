@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// runNodes fetches a uniqgw gateway's cluster view and prints the fleet:
+// ring membership plus each node's breaker state and last probed health.
+func runNodes(args []string) {
+	fs := flag.NewFlagSet("uniqctl nodes", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "uniqgw base URL")
+	asJSON := fs.Bool("json", false, "print the raw cluster view as JSON")
+	timeout := fs.Duration("timeout", 10*time.Second, "give up after this long")
+	fs.Parse(args)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	view, err := cluster.FetchNodes(ctx, *server)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(view); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("ring: %d node(s), %d vnodes each\n", len(view.Ring.Nodes), view.Ring.VNodesPerNode)
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "NODE\tSTATE\tURL\tQUEUE\tWORKERS\tSTREAMS\tVERSION\tLAST PROBE\tLAST ERROR")
+	for _, n := range view.Nodes {
+		probe := "never"
+		if n.LastProbeUnixMS > 0 {
+			probe = time.Since(time.UnixMilli(n.LastProbeUnixMS)).Round(time.Millisecond).String() + " ago"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d/%d\t%d/%d\t%d\t%s\t%s\t%s\n",
+			n.Name, n.State, n.BaseURL,
+			n.Health.QueueDepth, n.Health.QueueCapacity,
+			n.Health.WorkersBusy, n.Health.WorkersTotal,
+			n.Health.ActiveStreamSessions,
+			n.Health.Version, probe, n.LastErr)
+	}
+	w.Flush()
+}

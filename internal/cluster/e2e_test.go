@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hrtf"
+	"repro/internal/imu"
+	"repro/internal/service"
+)
+
+// e2eTable builds a small impulse-train lookup table good enough for the
+// render/AoA streaming paths.
+func e2eTable(n int) *hrtf.Table {
+	step := 180.0 / float64(n-1)
+	tab := hrtf.NewTable(48000, 0, step, n)
+	for i := 0; i < n; i++ {
+		theta := tab.Angle(i) * math.Pi / 180
+		dl := 20 - 8*math.Cos(theta)
+		dr := 20 + 8*math.Cos(theta)
+		mk := func(d float64) []float64 {
+			h := make([]float64, 64)
+			h[int(math.Round(d))] = 1
+			return h
+		}
+		tab.Near[i] = hrtf.HRIR{Left: mk(dl), Right: mk(dr), SampleRate: 48000}
+		tab.Far[i] = hrtf.HRIR{Left: mk(dl), Right: mk(dr), SampleRate: 48000}
+	}
+	return tab
+}
+
+// e2eSession is a structurally valid session; the stub solvers never look
+// inside it.
+func e2eSession() core.SessionInput {
+	return core.SessionInput{
+		Probe:      []float64{1, 0, 0, 0},
+		SampleRate: 48000,
+		Stops:      []core.StopRecording{{Left: []float64{1, 2}, Right: []float64{3, 4}}},
+		IMU:        []imu.Sample{{T: 0, RateZ: 0}},
+	}
+}
+
+// startUniqd boots one real uniqd service (HTTP handler, store, queue,
+// workers) with the given solver stub.
+func startUniqd(t *testing.T, solver func(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error), workers, queue int) (*service.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := service.New(service.Config{
+		StoreDir:   t.TempDir(),
+		Workers:    workers,
+		QueueDepth: queue,
+		JobTimeout: time.Minute,
+		Solver:     solver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return svc, ts
+}
+
+func instantSolver(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error) {
+	return &core.Personalization{Table: e2eTable(9)}, nil
+}
+
+// TestClusterE2E drives a 3-node fleet through the gateway: deterministic
+// routing, job polling, streams, then a node kill mid-traffic with zero
+// errors on surviving-node keys.
+func TestClusterE2E(t *testing.T) {
+	type backend struct {
+		svc *service.Service
+		ts  *httptest.Server
+	}
+	names := []string{"n1", "n2", "n3"}
+	backends := map[string]*backend{}
+	specs := make([]NodeSpec, len(names))
+	for i, name := range names {
+		svc, ts := startUniqd(t, instantSolver, 2, 16)
+		backends[name] = &backend{svc: svc, ts: ts}
+		specs[i] = NodeSpec{Name: name, BaseURL: ts.URL}
+	}
+	gw, err := NewGateway(GatewayConfig{
+		Nodes:         specs,
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		EjectAfter:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	front := httptest.NewServer(gw.Handler())
+	t.Cleanup(front.Close)
+	gwc := service.NewClient(front.URL)
+	ctx := t.Context()
+
+	// --- deterministic routing: every submit lands on its ring owner ---
+	users := make([]string, 12)
+	ownerOf := map[string]string{}
+	for i := range users {
+		users[i] = "vol-" + string(rune('a'+i))
+		ownerOf[users[i]] = gw.Registry().Ring().Owner(users[i])
+	}
+	for _, u := range users {
+		ack, err := gwc.SubmitJob(ctx, u, e2eSession())
+		if err != nil {
+			t.Fatalf("submit %s: %v", u, err)
+		}
+		node := ack.JobID[strings.LastIndex(ack.JobID, "@")+1:]
+		if node != ownerOf[u] {
+			t.Fatalf("user %s accepted by %s, ring owner is %s", u, node, ownerOf[u])
+		}
+		if _, err := gwc.WaitDone(ctx, ack.JobID, 10*time.Millisecond); err != nil {
+			t.Fatalf("wait %s: %v", u, err)
+		}
+	}
+
+	// Cross-check with each node's own obs counters: accepted sessions per
+	// node must equal the number of users the ring assigns it.
+	wantPerNode := map[string]float64{}
+	for _, u := range users {
+		wantPerNode[ownerOf[u]]++
+	}
+	for name, b := range backends {
+		nc := service.NewClient(b.ts.URL)
+		flat, err := nc.MetricsJSON(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := flat[`uniqd_requests_total{endpoint="POST /v1/sessions",code="202"}`]
+		if got != wantPerNode[name] {
+			t.Fatalf("node %s accepted %v sessions, ring assigns %v", name, got, wantPerNode[name])
+		}
+		// And the profiles are physically on the owning node's store.
+		stored, err := b.svc.Store().Users()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stored) != int(wantPerNode[name]) {
+			t.Fatalf("node %s stores %d profiles, want %v", name, len(stored), wantPerNode[name])
+		}
+	}
+
+	// --- profile reads route to the owner ---
+	for _, u := range users {
+		p, err := gwc.Profile(ctx, u)
+		if err != nil {
+			t.Fatalf("read %s: %v", u, err)
+		}
+		if p.User != u {
+			t.Fatalf("read %s returned profile for %s", u, p.User)
+		}
+	}
+
+	// --- full-duplex streams relay through the gateway ---
+	rs, err := gwc.StreamRender(ctx, users[0], 45)
+	if err != nil {
+		t.Fatalf("open render stream: %v", err)
+	}
+	if sr, err := rs.SampleRate(); err != nil || sr != 48000 {
+		t.Fatalf("relayed sample rate = %v (%v), want 48000", sr, err)
+	}
+	mono := make([]float64, 256)
+	mono[0] = 1
+	for i := 0; i < 3; i++ {
+		if err := rs.SendAudio(mono); err != nil {
+			t.Fatalf("send frame %d: %v", i, err)
+		}
+	}
+	if err := rs.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	var outSamples int
+	for {
+		l, r, err := rs.Recv()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if len(l) != len(r) {
+			t.Fatalf("stereo frame mismatch: %d vs %d", len(l), len(r))
+		}
+		outSamples += len(l)
+	}
+	rs.Close()
+	if outSamples < len(mono)*3 {
+		t.Fatalf("render stream returned %d samples, want >= %d", outSamples, len(mono)*3)
+	}
+
+	as, err := gwc.StreamAoA(ctx, users[1], service.AoAStreamOptions{})
+	if err != nil {
+		t.Fatalf("open aoa stream: %v", err)
+	}
+	if err := as.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty aoa stream recv = %v, want EOF", err)
+	}
+	as.Close()
+
+	// --- kill a node mid-traffic ---
+	dead := ownerOf[users[0]] // guaranteed to own at least one key
+	backends[dead].ts.Close()
+	dn, _ := gw.Registry().Node(dead)
+	deadline := time.Now().Add(3 * time.Second)
+	for dn.State() != NodeEjected && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if dn.State() != NodeEjected {
+		t.Fatalf("node %s not ejected after kill", dead)
+	}
+
+	// Zero errors on surviving-node keys: reads and submits must be
+	// untouched by the dead node.
+	for _, u := range users {
+		if ownerOf[u] == dead {
+			continue
+		}
+		if _, err := gwc.Profile(ctx, u); err != nil {
+			t.Fatalf("surviving key %s read failed after node kill: %v", u, err)
+		}
+		ack, err := gwc.SubmitJob(ctx, u, e2eSession())
+		if err != nil {
+			t.Fatalf("surviving key %s submit failed after node kill: %v", u, err)
+		}
+		if !strings.HasSuffix(ack.JobID, "@"+ownerOf[u]) {
+			t.Fatalf("surviving key %s rerouted to %s", u, ack.JobID)
+		}
+	}
+
+	// Dead-node keys reroute: submits land on the first live successor and
+	// subsequent reads fall back to it.
+	for _, u := range users {
+		if ownerOf[u] != dead {
+			continue
+		}
+		ack, err := gwc.SubmitJob(ctx, u, e2eSession())
+		if err != nil {
+			t.Fatalf("dead key %s submit did not reroute: %v", u, err)
+		}
+		newNode := ack.JobID[strings.LastIndex(ack.JobID, "@")+1:]
+		if newNode == dead {
+			t.Fatalf("dead key %s still routed to the dead node", u)
+		}
+		if _, err := gwc.WaitDone(ctx, ack.JobID, 10*time.Millisecond); err != nil {
+			t.Fatalf("rerouted job for %s: %v", u, err)
+		}
+		p, err := gwc.Profile(ctx, u)
+		if err != nil {
+			t.Fatalf("dead key %s read did not fall back: %v", u, err)
+		}
+		if p.User != u {
+			t.Fatalf("fallback read for %s returned %s", u, p.User)
+		}
+	}
+}
+
+// TestClusterBackpressureE2E saturates a real uniqd queue behind the
+// gateway and asserts the 503 + Retry-After reaches the external caller
+// unchanged — the gateway must propagate backpressure, never absorb it.
+func TestClusterBackpressureE2E(t *testing.T) {
+	gate := make(chan struct{})
+	blocked := func(ctx context.Context, _ core.SessionInput, _ core.PipelineOptions) (*core.Personalization, error) {
+		select {
+		case <-gate:
+			return &core.Personalization{Table: e2eTable(9)}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	_, ts := startUniqd(t, blocked, 1, 1) // 1 worker + queue depth 1
+
+	gw, err := NewGateway(GatewayConfig{
+		Nodes:         []NodeSpec{{Name: "solo", BaseURL: ts.URL}},
+		ProbeInterval: 50 * time.Millisecond,
+		EjectAfter:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	front := httptest.NewServer(gw.Handler())
+	t.Cleanup(front.Close)
+	gwc := service.NewClient(front.URL)
+	ctx := t.Context()
+
+	// First job occupies the worker (blocked on the gate)...
+	ack1, err := gwc.SubmitJob(ctx, "u1", e2eSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := gwc.Job(ctx, ack1.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == service.JobRunning {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// ...the second fills the queue...
+	if _, err := gwc.SubmitJob(ctx, "u2", e2eSession()); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the third must bounce with the backend's own 503.
+	_, err = gwc.SubmitJob(ctx, "u3", e2eSession())
+	var ae *service.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("saturated submit error = %v, want *APIError", err)
+	}
+	if ae.StatusCode != 503 || ae.Code != service.CodeQueueFull {
+		t.Fatalf("saturated submit = %d/%s, want 503/queue_full", ae.StatusCode, ae.Code)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatal("Retry-After did not survive the gateway")
+	}
+
+	close(gate)
+	if _, err := gwc.WaitDone(ctx, ack1.JobID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}

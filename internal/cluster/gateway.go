@@ -1,0 +1,510 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// GatewayConfig assembles a Gateway.
+type GatewayConfig struct {
+	// Nodes are the backend uniqd nodes (at least one).
+	Nodes []NodeSpec
+	// VNodes is the virtual-node count per backend (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval / ProbeTimeout / EjectAfter tune the health prober
+	// (see RegistryConfig).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	EjectAfter    int
+	// ReadFallback is how many ring successors a profile read tries after
+	// the owner fails — a dead primary degrades to a (possibly stale)
+	// successor copy instead of an error (default 1, negative disables).
+	ReadFallback int
+	// MaxBodyBytes bounds request bodies on unary routes (default 64 MiB).
+	MaxBodyBytes int64
+	// HTTPClient overrides the backend client (probes and unary
+	// forwarding); nil uses http.DefaultClient.
+	HTTPClient *http.Client
+	// Logger receives routing and node-state records; nil discards them.
+	Logger *slog.Logger
+}
+
+// Gateway fronts N uniqd nodes: it owns the ring, the node registry and
+// the forwarding handler. Jobs it acknowledges carry node-qualified IDs
+// ("<jobid>@<node>") so polls route back to the accepting node.
+type Gateway struct {
+	cfg     GatewayConfig
+	reg     *Registry
+	metrics *gatewayMetrics
+	log     *slog.Logger
+	handler http.Handler
+}
+
+// NewGateway validates the fleet, starts the health prober and builds the
+// HTTP handler. Call Close on shutdown.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: gateway needs at least one backend node")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.ReadFallback == 0 {
+		cfg.ReadFallback = 1
+	}
+	if cfg.ReadFallback < 0 {
+		cfg.ReadFallback = 0
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	reg, err := NewRegistry(RegistryConfig{
+		ProbeInterval: cfg.ProbeInterval,
+		ProbeTimeout:  cfg.ProbeTimeout,
+		EjectAfter:    cfg.EjectAfter,
+		HTTPClient:    cfg.HTTPClient,
+		Logger:        cfg.Logger,
+	}, NewRing(cfg.VNodes), cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		reg:     reg,
+		metrics: newGatewayMetrics(obs.NewRegistry(), reg),
+		log:     cfg.Logger,
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", g.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJob)
+	mux.HandleFunc("GET /v1/profiles", g.handleList)
+	mux.HandleFunc("GET /v1/profiles/{user}", g.handleProfile)
+	mux.HandleFunc("POST /v1/profiles/{user}/aoa", g.handleAoA)
+	mux.HandleFunc("POST /v1/profiles/{user}/render", g.handleRender)
+	mux.HandleFunc("POST /v1/stream/render/{user}", g.handleStream)
+	mux.HandleFunc("POST /v1/stream/aoa/{user}", g.handleStream)
+	mux.HandleFunc("GET /v1/cluster/nodes", g.handleNodes)
+	mux.HandleFunc("GET /debug/metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		gwError(w, http.StatusNotFound, service.CodeNoRoute, "no route for %s %s", r.Method, r.URL.Path)
+	})
+	g.handler = g.instrument(mux)
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.handler }
+
+// Registry exposes the node registry (uniqctl nodes, tests).
+func (g *Gateway) Registry() *Registry { return g.reg }
+
+// Close stops the health prober.
+func (g *Gateway) Close() { g.reg.Close() }
+
+// --- shared helpers ---
+
+// gwStatusRecorder captures the front-door status for metrics; Unwrap lets
+// the streaming relay reach Flush/EnableFullDuplex.
+type gwStatusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *gwStatusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *gwStatusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+func (g *Gateway) instrument(next *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &gwStatusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		g.metrics.observeRequest(route, rec.code)
+	})
+}
+
+// gwJSON / gwError mirror uniqd's uniform response shape so a caller sees
+// the same wire contract through the gateway as against a single node.
+func gwJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type gwErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+func gwError(w http.ResponseWriter, code int, errCode, format string, args ...any) {
+	gwJSON(w, code, gwErrorBody{Error: fmt.Sprintf(format, args...), Code: errCode})
+}
+
+// writeUpstream propagates a forwarding failure: an *APIError travels
+// through unchanged — status, code, message and Retry-After — so backend
+// backpressure (503 queue-full) reaches the external caller exactly as
+// the node emitted it; transport failures become 502.
+func writeUpstream(w http.ResponseWriter, err error) {
+	var ae *service.APIError
+	if errors.As(err, &ae) {
+		if ae.RetryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(ae.RetryAfter.Seconds())))
+		}
+		code := ae.Code
+		if code == "" {
+			code = "upstream_error"
+		}
+		gwError(w, ae.StatusCode, code, "%s", ae.Message)
+		return
+	}
+	gwError(w, http.StatusBadGateway, "node_unreachable", "backend unreachable: %v", err)
+}
+
+// report classifies one exchange for the breaker and metrics: any HTTP
+// response — success or error — proves the node alive; only transport
+// failures count against it.
+func (g *Gateway) report(n *Node, route string, took time.Duration, err error) {
+	outcome := outcomeOK
+	var ae *service.APIError
+	switch {
+	case err == nil:
+		g.reg.ReportSuccess(n)
+	case errors.As(err, &ae):
+		g.reg.ReportSuccess(n)
+		if ae.StatusCode >= 500 {
+			outcome = outcomeUpstream5xx
+		} else {
+			outcome = outcomeUpstream4xx
+		}
+	default:
+		g.reg.ReportFailure(n, err)
+		outcome = outcomeTransport
+	}
+	g.metrics.observeRoute(n.Name, route, outcome, took)
+}
+
+// forward runs fn against key's candidate nodes in ring order. Transport
+// errors advance to the next candidate (the node may just be gone); an
+// HTTP-level response, error or not, is authoritative and stops the walk.
+func (g *Gateway) forward(route, key string, max int, fn func(n *Node) error) (*Node, error) {
+	nodes := g.reg.Pick(key, max)
+	if len(nodes) == 0 {
+		return nil, errNoNodes
+	}
+	var err error
+	for _, n := range nodes {
+		start := time.Now()
+		err = fn(n)
+		g.report(n, route, time.Since(start), err)
+		var ae *service.APIError
+		if err == nil || errors.As(err, &ae) {
+			return n, err
+		}
+	}
+	return nil, err
+}
+
+var errNoNodes = errors.New("cluster: no available node for key")
+
+// writeForwardErr maps a forward() failure onto the front door.
+func writeForwardErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, errNoNodes) {
+		w.Header().Set("Retry-After", "1")
+		gwError(w, http.StatusServiceUnavailable, "no_nodes", "no available backend node")
+		return
+	}
+	writeUpstream(w, err)
+}
+
+// decodeBody mirrors uniqd's bounded JSON decode.
+func (g *Gateway) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			gwError(w, http.StatusRequestEntityTooLarge, service.CodeTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		} else {
+			gwError(w, http.StatusBadRequest, service.CodeBadJSON, "bad JSON body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// --- user-keyed unary routes ---
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.SubmitRequest
+	if !g.decodeBody(w, r, &req) {
+		return
+	}
+	var resp service.SubmitResponse
+	// Transport-level failover is safe for submits: a node that never
+	// answered never accepted the job, so trying the successor cannot
+	// double-run a session.
+	node, err := g.forward(r.Pattern, req.User, g.reg.Len(), func(n *Node) error {
+		var ferr error
+		resp, ferr = n.Client().SubmitJob(r.Context(), req.User, req.Input)
+		return ferr
+	})
+	if err != nil {
+		writeForwardErr(w, err)
+		return
+	}
+	// Qualify the job ID with the accepting node so polls route back to it
+	// without a global job table.
+	resp.JobID = resp.JobID + "@" + node.Name
+	resp.StatusURL = "/v1/jobs/" + resp.JobID
+	gwJSON(w, http.StatusAccepted, resp)
+}
+
+func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	at := strings.LastIndex(id, "@")
+	if at <= 0 || at == len(id)-1 {
+		gwError(w, http.StatusNotFound, service.CodeJobNotFound,
+			"job id %q is not node-qualified (want <jobid>@<node>)", id)
+		return
+	}
+	bare, nodeName := id[:at], id[at+1:]
+	n, ok := g.reg.Node(nodeName)
+	if !ok {
+		gwError(w, http.StatusNotFound, service.CodeJobNotFound, "unknown node %q in job id", nodeName)
+		return
+	}
+	start := time.Now()
+	st, err := n.Client().Job(r.Context(), bare)
+	g.report(n, r.Pattern, time.Since(start), err)
+	if err != nil {
+		writeUpstream(w, err)
+		return
+	}
+	st.ID = id // keep the node-qualified form callers poll with
+	gwJSON(w, http.StatusOK, st)
+}
+
+func (g *Gateway) handleProfile(w http.ResponseWriter, r *http.Request) {
+	user := r.PathValue("user")
+	nodes := g.reg.Pick(user, 1+g.cfg.ReadFallback)
+	if len(nodes) == 0 {
+		writeForwardErr(w, errNoNodes)
+		return
+	}
+	var lastErr error
+	for i, n := range nodes {
+		start := time.Now()
+		p, err := n.Client().Profile(r.Context(), user)
+		g.report(n, r.Pattern, time.Since(start), err)
+		if err == nil {
+			w.Header().Set("Uniq-Served-By", n.Name)
+			if i > 0 {
+				// A successor answered: after a failover or rebalance this
+				// may be a stale copy — say so rather than hide it.
+				w.Header().Set("Uniq-Fallback", "true")
+				g.metrics.fallback.Inc()
+			}
+			gwJSON(w, http.StatusOK, p)
+			return
+		}
+		var ae *service.APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusBadRequest {
+			// Bad user IDs are bad everywhere; don't walk the ring.
+			writeUpstream(w, err)
+			return
+		}
+		// Not-found and 5xx both fall through to the successors: the owner
+		// may have just taken over an arc it never stored, while the
+		// previous owner still holds the profile.
+		lastErr = err
+	}
+	writeUpstream(w, lastErr)
+}
+
+func (g *Gateway) handleAoA(w http.ResponseWriter, r *http.Request) {
+	user := r.PathValue("user")
+	var req service.AoARequest
+	if !g.decodeBody(w, r, &req) {
+		return
+	}
+	var resp service.AoAResponse
+	_, err := g.forward(r.Pattern, user, 1+g.cfg.ReadFallback, func(n *Node) error {
+		var ferr error
+		resp, ferr = n.Client().AoA(r.Context(), user, req)
+		return ferr
+	})
+	if err != nil {
+		writeForwardErr(w, err)
+		return
+	}
+	gwJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleRender(w http.ResponseWriter, r *http.Request) {
+	user := r.PathValue("user")
+	var req service.RenderRequest
+	if !g.decodeBody(w, r, &req) {
+		return
+	}
+	var resp service.RenderResponse
+	_, err := g.forward(r.Pattern, user, 1+g.cfg.ReadFallback, func(n *Node) error {
+		var ferr error
+		resp, ferr = n.Client().Render(r.Context(), user, req)
+		return ferr
+	})
+	if err != nil {
+		writeForwardErr(w, err)
+		return
+	}
+	gwJSON(w, http.StatusOK, resp)
+}
+
+// --- fan-out list ---
+
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	nodes := g.reg.Healthy()
+	if len(nodes) == 0 {
+		writeForwardErr(w, errNoNodes)
+		return
+	}
+	type part struct {
+		users []string
+		err   error
+	}
+	parts := make([]part, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			start := time.Now()
+			users, err := n.Client().Users(r.Context())
+			g.report(n, r.Pattern, time.Since(start), err)
+			parts[i] = part{users: users, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+	merged := make([]string, 0, 64)
+	seen := make(map[string]struct{}, 64)
+	failed := 0
+	for _, p := range parts {
+		if p.err != nil {
+			failed++
+			continue
+		}
+		for _, u := range p.users {
+			if _, dup := seen[u]; !dup {
+				seen[u] = struct{}{}
+				merged = append(merged, u)
+			}
+		}
+	}
+	if failed == len(nodes) {
+		writeUpstream(w, parts[0].err)
+		return
+	}
+	// Ejected nodes are excluded from the fan-out upfront; their keys are
+	// just as absent from the merge as those of a node that failed mid
+	// fan-out, so both degrade to a partial list rather than erroring the
+	// whole fleet view. The header lets callers distinguish partial from
+	// complete.
+	if ejected := g.reg.Ring().Len() - len(nodes); failed > 0 || ejected > 0 {
+		w.Header().Set("Uniq-Partial", "true")
+		g.metrics.fanParts.Inc()
+	}
+	slices.Sort(merged)
+	gwJSON(w, http.StatusOK, map[string][]string{"users": merged})
+}
+
+// --- cluster introspection ---
+
+func (g *Gateway) handleNodes(w http.ResponseWriter, r *http.Request) {
+	gwJSON(w, http.StatusOK, map[string]any{
+		"ring":  map[string]any{"nodes": g.reg.Ring().Nodes(), "vnodesPerNode": g.ringVNodes()},
+		"nodes": g.reg.Snapshot(),
+	})
+}
+
+func (g *Gateway) ringVNodes() int {
+	if g.cfg.VNodes > 0 {
+		return g.cfg.VNodes
+	}
+	return DefaultVNodes
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		gwJSON(w, http.StatusOK, g.metrics.reg.Flatten())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g.metrics.reg.WriteText(w)
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	counts := g.reg.CountByState()
+	available := counts[NodeHealthy] + counts[NodeProbation]
+	body := map[string]any{
+		"status":    "ok",
+		"nodes":     g.reg.Len(),
+		"available": available,
+		"version":   buildinfo.Version(),
+	}
+	if available == 0 {
+		body["status"] = "degraded"
+		w.Header().Set("Retry-After", "1")
+		gwJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	gwJSON(w, http.StatusOK, body)
+}
+
+// NodesView is the body of GET /v1/cluster/nodes.
+type NodesView struct {
+	Ring struct {
+		Nodes         []string `json:"nodes"`
+		VNodesPerNode int      `json:"vnodesPerNode"`
+	} `json:"ring"`
+	Nodes []NodeInfo `json:"nodes"`
+}
+
+// FetchNodes retrieves a gateway's cluster view (uniqctl nodes).
+func FetchNodes(ctx context.Context, gatewayURL string) (NodesView, error) {
+	var out NodesView
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(gatewayURL, "/")+"/v1/cluster/nodes", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("cluster: gateway returned %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("cluster: decode nodes view: %w", err)
+	}
+	return out, nil
+}

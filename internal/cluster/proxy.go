@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+// streamRelayHeaders are the backend response headers a stream relay
+// forwards to the caller before the first output byte.
+var streamRelayHeaders = []string{"Content-Type", "Uniq-Sample-Rate", "Retry-After"}
+
+// handleStream relays a full-duplex chunked stream (/v1/stream/render/...,
+// /v1/stream/aoa/...) to the key owner. Unlike the unary routes there is
+// no transport-level failover: the caller's request body is consumed as it
+// forwards, so a mid-dial retry could replay a partial stream. The caller
+// reconnects instead — by then the prober has moved the key.
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	user := r.PathValue("user")
+	nodes := g.reg.Pick(user, 1)
+	if len(nodes) == 0 {
+		writeForwardErr(w, errNoNodes)
+		return
+	}
+	n := nodes[0]
+	start := time.Now()
+	outcome := g.relayStream(w, r, n)
+	g.metrics.observeRoute(n.Name, r.Pattern, outcome, time.Since(start))
+}
+
+// relayStream pipes one streaming exchange through to node n and returns
+// the routing outcome for metrics. Breaker accounting happens inline: a
+// response — any status — proves the node alive; a dial/transport failure
+// counts against it.
+func (g *Gateway) relayStream(w http.ResponseWriter, r *http.Request, n *Node) string {
+	out, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		n.BaseURL+r.URL.Path+queryOf(r), r.Body)
+	if err != nil {
+		gwError(w, http.StatusInternalServerError, service.CodeInternal, "build upstream request: %v", err)
+		return outcomeTransport
+	}
+	out.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	// The backend replies (headers) before the stream body completes; the
+	// transport must not wait for request EOF. Chunked both ways.
+	out.ContentLength = -1
+
+	client := g.cfg.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(out)
+	if err != nil {
+		g.reg.ReportFailure(n, err)
+		gwError(w, http.StatusBadGateway, "node_unreachable", "backend unreachable: %v", err)
+		return outcomeTransport
+	}
+	defer resp.Body.Close()
+	g.reg.ReportSuccess(n)
+
+	for _, h := range streamRelayHeaders {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("Uniq-Served-By", n.Name)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		// Pre-stream rejection (no profile, draining, bad params): the
+		// backend's JSON error body passes through with its status.
+		w.Header().Set("Connection", "close")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, io.LimitReader(resp.Body, 1<<20))
+		if resp.StatusCode >= 500 {
+			return outcomeUpstream5xx
+		}
+		return outcomeUpstream4xx
+	}
+
+	rc := http.NewResponseController(w)
+	// Full duplex: keep reading the caller's request body while writing the
+	// backend's response — the stream protocol interleaves both directions.
+	if err := rc.EnableFullDuplex(); err != nil {
+		w.Header().Set("Connection", "close")
+		gwError(w, http.StatusInternalServerError, service.CodeInternal, "full-duplex relay unsupported: %v", err)
+		return outcomeTransport
+	}
+	w.WriteHeader(resp.StatusCode)
+	_ = rc.Flush()
+
+	// Flush per read so low-rate sessions (one AoA event at a time) see
+	// output promptly instead of when a buffer fills.
+	buf := make([]byte, 32<<10)
+	for {
+		nr, rerr := resp.Body.Read(buf)
+		if nr > 0 {
+			if _, werr := w.Write(buf[:nr]); werr != nil {
+				return outcomeOK // caller went away; backend side already accounted
+			}
+			_ = rc.Flush()
+		}
+		if rerr != nil {
+			if !errors.Is(rerr, io.EOF) {
+				// Mid-stream backend death: too late for a status change, the
+				// truncated chunked body is the signal the caller sees.
+				g.reg.ReportFailure(n, rerr)
+				return outcomeTransport
+			}
+			return outcomeOK
+		}
+	}
+}
+
+func queryOf(r *http.Request) string {
+	if r.URL.RawQuery == "" {
+		return ""
+	}
+	return "?" + r.URL.RawQuery
+}

@@ -1,0 +1,347 @@
+package cluster
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// NodeState is a backend's circuit-breaker state.
+type NodeState string
+
+// Node lifecycle: healthy nodes take traffic; ejected nodes take none
+// until a probe succeeds; probation nodes take traffic again but are
+// re-ejected by a single failure.
+const (
+	NodeHealthy   NodeState = "healthy"
+	NodeProbation NodeState = "probation"
+	NodeEjected   NodeState = "ejected"
+)
+
+// NodeSpec names one backend at construction time.
+type NodeSpec struct {
+	// Name is the ring identity — it, not the URL, determines key
+	// ownership, so a node can move hosts without reshuffling the ring.
+	Name string `json:"name"`
+	// BaseURL is the node's uniqd HTTP endpoint.
+	BaseURL string `json:"baseUrl"`
+}
+
+// Node is one registered backend: its typed client plus live health and
+// breaker state.
+type Node struct {
+	Name    string
+	BaseURL string
+	client  *service.Client
+
+	mu          sync.Mutex
+	state       NodeState
+	consecFails int
+	lastErr     string
+	lastProbe   time.Time
+	health      service.HealthStatus
+}
+
+// Client returns the node's typed uniqd client (shared; safe concurrently).
+func (n *Node) Client() *service.Client { return n.client }
+
+// State returns the node's breaker state.
+func (n *Node) State() NodeState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// Available reports whether the node may take traffic.
+func (n *Node) Available() bool { return n.State() != NodeEjected }
+
+// NodeInfo is the wire snapshot of one node (GET /v1/cluster/nodes).
+type NodeInfo struct {
+	Name            string               `json:"name"`
+	BaseURL         string               `json:"baseUrl"`
+	State           NodeState            `json:"state"`
+	ConsecFails     int                  `json:"consecFails,omitempty"`
+	LastErr         string               `json:"lastErr,omitempty"`
+	LastProbeUnixMS int64                `json:"lastProbeUnixMs,omitempty"`
+	Health          service.HealthStatus `json:"health"`
+}
+
+// RegistryConfig tunes probing and ejection.
+type RegistryConfig struct {
+	// ProbeInterval is the health-probe period (default 2 s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 1 s).
+	ProbeTimeout time.Duration
+	// EjectAfter is the consecutive-failure count (probe or forwarding)
+	// that ejects a node (default 3).
+	EjectAfter int
+	// HTTPClient overrides the probe/forwarding client (tests).
+	HTTPClient *http.Client
+	// Logger receives node state transitions; nil discards them.
+	Logger *slog.Logger
+}
+
+// Registry tracks the fleet: ring membership, per-node breaker state, and
+// the probe loop that ejects dead nodes and re-admits recovered ones.
+type Registry struct {
+	cfg  RegistryConfig
+	ring *Ring
+	log  *slog.Logger
+
+	mu    sync.RWMutex
+	nodes map[string]*Node
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRegistry builds a registry over the given backends and starts the
+// probe loop. Call Close to stop it.
+func NewRegistry(cfg RegistryConfig, ring *Ring, specs []NodeSpec) (*Registry, error) {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = 3
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	r := &Registry{
+		cfg:   cfg,
+		ring:  ring,
+		log:   cfg.Logger,
+		nodes: make(map[string]*Node, len(specs)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, spec := range specs {
+		if err := r.add(spec); err != nil {
+			return nil, err
+		}
+	}
+	go r.probeLoop()
+	return r, nil
+}
+
+// add registers a node and its ring points. New nodes start healthy — the
+// first probe round corrects that within one interval, and starting
+// ejected would black-hole the whole keyspace on boot.
+func (r *Registry) add(spec NodeSpec) error {
+	if err := r.ring.Add(spec.Name); err != nil {
+		return err
+	}
+	c := service.NewClient(spec.BaseURL)
+	c.HTTPClient = r.cfg.HTTPClient
+	r.mu.Lock()
+	r.nodes[spec.Name] = &Node{
+		Name:    spec.Name,
+		BaseURL: spec.BaseURL,
+		client:  c,
+		state:   NodeHealthy,
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// Close stops the probe loop.
+func (r *Registry) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// Ring exposes the registry's hash ring.
+func (r *Registry) Ring() *Ring { return r.ring }
+
+// Node returns a registered node by name.
+func (r *Registry) Node(name string) (*Node, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, ok := r.nodes[name]
+	return n, ok
+}
+
+// Len returns the number of registered nodes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Pick returns up to max candidate nodes for key: the ring owner first,
+// then its successors, ejected nodes skipped. An empty result means no
+// node can take the key right now.
+func (r *Registry) Pick(key string, max int) []*Node {
+	names := r.ring.Owners(key, r.ring.Len())
+	out := make([]*Node, 0, min(max, len(names)))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range names {
+		if len(out) >= max {
+			break
+		}
+		if n, ok := r.nodes[name]; ok && n.Available() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Healthy returns every node currently taking traffic (fan-out reads).
+func (r *Registry) Healthy() []*Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n.Available() {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot returns the wire view of every node, sorted by name.
+func (r *Registry) Snapshot() []NodeInfo {
+	r.mu.RLock()
+	nodes := make([]*Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.RUnlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	out := make([]NodeInfo, len(nodes))
+	for i, n := range nodes {
+		n.mu.Lock()
+		out[i] = NodeInfo{
+			Name:        n.Name,
+			BaseURL:     n.BaseURL,
+			State:       n.state,
+			ConsecFails: n.consecFails,
+			LastErr:     n.lastErr,
+			Health:      n.health,
+		}
+		if !n.lastProbe.IsZero() {
+			out[i].LastProbeUnixMS = n.lastProbe.UnixMilli()
+		}
+		n.mu.Unlock()
+	}
+	return out
+}
+
+// CountByState tallies nodes per breaker state (metrics).
+func (r *Registry) CountByState() map[NodeState]int {
+	out := map[NodeState]int{NodeHealthy: 0, NodeProbation: 0, NodeEjected: 0}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, n := range r.nodes {
+		out[n.State()]++
+	}
+	return out
+}
+
+// ReportSuccess records a successful exchange with the node (forwarding or
+// probe): failures reset, probation graduates back to healthy.
+func (r *Registry) ReportSuccess(n *Node) {
+	n.mu.Lock()
+	n.consecFails = 0
+	n.lastErr = ""
+	from := n.state
+	n.state = NodeHealthy
+	n.mu.Unlock()
+	if from != NodeHealthy {
+		r.log.Info("node recovered", "node", n.Name, "from", string(from))
+	}
+}
+
+// ReportFailure records a failed exchange. EjectAfter consecutive failures
+// eject the node; any failure in probation re-ejects it immediately.
+func (r *Registry) ReportFailure(n *Node, err error) {
+	n.mu.Lock()
+	n.consecFails++
+	if err != nil {
+		n.lastErr = err.Error()
+	}
+	from := n.state
+	if n.state == NodeProbation || n.consecFails >= r.cfg.EjectAfter {
+		n.state = NodeEjected
+	}
+	to := n.state
+	fails, lastErr := n.consecFails, n.lastErr
+	n.mu.Unlock()
+	if from != NodeEjected && to == NodeEjected {
+		r.log.Warn("node ejected", "node", n.Name, "consecFails", fails, "err", lastErr)
+	}
+}
+
+// probeLoop probes every node each interval. A successful probe of an
+// ejected node re-admits it into probation (traffic flows again, but one
+// failure re-ejects); a successful probation probe graduates it.
+func (r *Registry) probeLoop() {
+	defer close(r.done)
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	r.probeAll() // first verdict immediately, not one interval late
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+func (r *Registry) probeAll() {
+	r.mu.RLock()
+	nodes := make([]*Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			r.probe(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+func (r *Registry) probe(n *Node) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+	defer cancel()
+	st, err := n.client.HealthInfo(ctx)
+	n.mu.Lock()
+	n.lastProbe = time.Now()
+	n.health = st
+	state := n.state
+	n.mu.Unlock()
+	if err != nil {
+		// A draining node answers 503: alive, but shedding — treat it like
+		// any other failure so its keyspace reroutes after EjectAfter.
+		r.ReportFailure(n, err)
+		return
+	}
+	if state == NodeEjected {
+		n.mu.Lock()
+		n.state = NodeProbation
+		n.consecFails = 0
+		n.mu.Unlock()
+		r.log.Info("node on probation after successful probe", "node", n.Name)
+		return
+	}
+	r.ReportSuccess(n)
+}

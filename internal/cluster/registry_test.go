@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// healthToggle is a backend stub whose /healthz can be flipped between
+// healthy, draining and dead-socket from the test.
+type healthToggle struct {
+	ts   *httptest.Server
+	mode atomic.Int32 // 0 healthy, 1 draining, 2 hang-up
+}
+
+const (
+	modeHealthy = iota
+	modeDraining
+	modeHangup
+)
+
+func newHealthToggle(t *testing.T) *healthToggle {
+	h := &healthToggle{}
+	h.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch h.mode.Load() {
+		case modeDraining:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"status":"draining"}`)
+		case modeHangup:
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("test server not hijackable")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+		default:
+			fmt.Fprint(w, `{"status":"ok"}`)
+		}
+	}))
+	t.Cleanup(h.ts.Close)
+	return h
+}
+
+func newTestRegistry(t *testing.T, specs []NodeSpec, ejectAfter int) *Registry {
+	reg, err := NewRegistry(RegistryConfig{
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		EjectAfter:    ejectAfter,
+	}, NewRing(32), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reg.Close)
+	return reg
+}
+
+// waitState polls until the node reaches want (within ~25 probe rounds).
+func waitState(t *testing.T, n *Node, want NodeState) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.State() == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("node %s stuck in %s, want %s", n.Name, n.State(), want)
+}
+
+// TestRegistryEjectAndReadmit walks a node through the full breaker cycle:
+// healthy -> ejected after EjectAfter failed probes -> probation once a
+// probe succeeds -> healthy after the next success.
+func TestRegistryEjectAndReadmit(t *testing.T) {
+	backend := newHealthToggle(t)
+	reg := newTestRegistry(t, []NodeSpec{{Name: "a", BaseURL: backend.ts.URL}}, 3)
+	n, _ := reg.Node("a")
+
+	waitState(t, n, NodeHealthy)
+	if got := reg.CountByState()[NodeHealthy]; got != 1 {
+		t.Fatalf("healthy count = %d, want 1", got)
+	}
+
+	backend.mode.Store(modeHangup)
+	waitState(t, n, NodeEjected)
+	if picked := reg.Pick("user-1", 3); len(picked) != 0 {
+		t.Fatalf("ejected node still picked: %v", picked)
+	}
+
+	backend.mode.Store(modeHealthy)
+	// One good probe re-admits to probation, the next graduates to healthy;
+	// both may land within one waitState poll, so just require healthy.
+	waitState(t, n, NodeHealthy)
+	if picked := reg.Pick("user-1", 3); len(picked) != 1 {
+		t.Fatalf("recovered node not picked: %v", picked)
+	}
+}
+
+// TestRegistryProbationReEject: a single failure in probation re-ejects
+// immediately, without burning EjectAfter failures again.
+func TestRegistryProbationReEject(t *testing.T) {
+	reg := newTestRegistry(t, []NodeSpec{{Name: "a", BaseURL: "http://127.0.0.1:0"}}, 3)
+	n, _ := reg.Node("a")
+
+	// Drive the breaker by hand — no probe traffic needed for this property.
+	n.mu.Lock()
+	n.state = NodeProbation
+	n.consecFails = 0
+	n.mu.Unlock()
+
+	reg.ReportFailure(n, errors.New("boom"))
+	if got := n.State(); got != NodeEjected {
+		t.Fatalf("state after probation failure = %s, want ejected", got)
+	}
+}
+
+// TestRegistryDrainingCountsAsFailure: a 503-draining backend is alive but
+// shedding; its keyspace must reroute like a dead node's.
+func TestRegistryDrainingCountsAsFailure(t *testing.T) {
+	backend := newHealthToggle(t)
+	backend.mode.Store(modeDraining)
+	reg := newTestRegistry(t, []NodeSpec{{Name: "a", BaseURL: backend.ts.URL}}, 2)
+	n, _ := reg.Node("a")
+	waitState(t, n, NodeEjected)
+}
+
+// TestRegistryForwardingFailuresEject: ReportFailure from the data path
+// (not just probes) trips the breaker.
+func TestRegistryForwardingFailuresEject(t *testing.T) {
+	backend := newHealthToggle(t)
+	reg := newTestRegistry(t, []NodeSpec{{Name: "a", BaseURL: backend.ts.URL}}, 3)
+	n, _ := reg.Node("a")
+	waitState(t, n, NodeHealthy)
+
+	for i := 0; i < 3; i++ {
+		reg.ReportFailure(n, errors.New("dial tcp: connection refused"))
+	}
+	if got := n.State(); got != NodeEjected {
+		t.Fatalf("state after 3 forwarding failures = %s, want ejected", got)
+	}
+	// And a success resets the streak.
+	reg.ReportSuccess(n)
+	if got := n.State(); got != NodeHealthy {
+		t.Fatalf("state after success = %s, want healthy", got)
+	}
+	info := reg.Snapshot()
+	if len(info) != 1 || info[0].ConsecFails != 0 || info[0].LastErr != "" {
+		t.Fatalf("snapshot not reset after success: %+v", info)
+	}
+}
+
+// TestRegistryPickSkipsEjected: Pick returns ring order with ejected nodes
+// filtered, so the first element is always the best live candidate.
+func TestRegistryPickSkipsEjected(t *testing.T) {
+	b1, b2, b3 := newHealthToggle(t), newHealthToggle(t), newHealthToggle(t)
+	reg := newTestRegistry(t, []NodeSpec{
+		{Name: "a", BaseURL: b1.ts.URL},
+		{Name: "b", BaseURL: b2.ts.URL},
+		{Name: "c", BaseURL: b3.ts.URL},
+	}, 2)
+
+	all := reg.Pick("user-42", 3)
+	if len(all) != 3 {
+		t.Fatalf("pick over healthy fleet = %d nodes, want 3", len(all))
+	}
+	owner := all[0]
+
+	// Kill the owner; within a probe interval Pick must route around it
+	// while keeping the surviving order.
+	for _, b := range []*healthToggle{b1, b2, b3} {
+		if b.ts.URL == owner.BaseURL {
+			b.mode.Store(modeHangup)
+		}
+	}
+	waitState(t, owner, NodeEjected)
+	after := reg.Pick("user-42", 3)
+	if len(after) != 2 {
+		t.Fatalf("pick after ejection = %d nodes, want 2", len(after))
+	}
+	if after[0].Name != all[1].Name || after[1].Name != all[2].Name {
+		t.Fatalf("successor order changed: before %v/%v, after %v/%v",
+			all[1].Name, all[2].Name, after[0].Name, after[1].Name)
+	}
+}

@@ -147,6 +147,12 @@ func (m *serviceMetrics) Observe(endpoint string, code int, seconds float64) {
 	m.latency.With(endpoint).Observe(seconds)
 }
 
+// activeStreams returns the number of live streaming sessions of any kind
+// (the healthz load signal).
+func (m *serviceMetrics) activeStreams() int {
+	return int(m.renderSessions.Load() + m.aoaSessions.Load())
+}
+
 // streamStart marks a streaming session of the given kind live; the
 // returned func marks it finished.
 func (m *serviceMetrics) streamStart(kind string) func() {

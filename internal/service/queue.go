@@ -168,6 +168,14 @@ func (p *Pool) QueueCapacity() int { return cap(p.jobs) }
 // Busy returns the number of workers currently running a solve.
 func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
+// Closed reports whether Shutdown has begun: the pool is draining and
+// accepts no new work (healthz turns 503 so load balancers stop routing).
+func (p *Pool) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
 // Retained returns the number of job records Job() can still resolve.
 func (p *Pool) Retained() int {
 	p.mu.Lock()

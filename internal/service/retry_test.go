@@ -1,0 +1,188 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer answers 503 (with Retry-After) to the first fail requests on
+// every path, then behaves.
+func flakyServer(t *testing.T, fail int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= int64(fail) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"try later","code":"queue_full"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"users":["alice"]}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// TestRetryPolicyRecovers: with retries enabled, transient 503s are
+// absorbed and the call succeeds once the server recovers.
+func TestRetryPolicyRecovers(t *testing.T) {
+	ts, calls := flakyServer(t, 2, "")
+	c := NewClient(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+	users, err := c.Users(context.Background())
+	if err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if len(users) != 1 || users[0] != "alice" {
+		t.Fatalf("users = %v", users)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+}
+
+// TestRetryPolicyDisabledByDefault: the zero policy keeps the old
+// one-shot behavior.
+func TestRetryPolicyDisabledByDefault(t *testing.T) {
+	ts, calls := flakyServer(t, 1, "")
+	c := NewClient(ts.URL)
+
+	_, err := c.Users(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if ae.Code != CodeQueueFull {
+		t.Fatalf("code = %q, want queue_full", ae.Code)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1", got)
+	}
+}
+
+// TestRetryPolicyExhausted: MaxAttempts bounds the total tries and the
+// last server error surfaces.
+func TestRetryPolicyExhausted(t *testing.T) {
+	ts, calls := flakyServer(t, 100, "")
+	c := NewClient(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+
+	_, err := c.Users(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the final 503", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want MaxAttempts=3", got)
+	}
+}
+
+// TestRetryPolicyHonorsRetryAfter: a numeric Retry-After replaces the
+// backoff schedule (capped by MaxDelay).
+func TestRetryPolicyHonorsRetryAfter(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Second}
+	if got := p.wait(1, 2*time.Second); got != 2*time.Second {
+		t.Fatalf("wait with Retry-After 2s = %v", got)
+	}
+	if got := p.wait(1, time.Minute); got != 10*time.Second {
+		t.Fatalf("Retry-After must be capped by MaxDelay, got %v", got)
+	}
+	// Without Retry-After: exponential doubling from BaseDelay, capped.
+	if got := p.wait(1, 0); got != time.Millisecond {
+		t.Fatalf("wait(1) = %v, want base", got)
+	}
+	if got := p.wait(3, 0); got != 4*time.Millisecond {
+		t.Fatalf("wait(3) = %v, want 4*base", got)
+	}
+	if got := p.wait(60, 0); got != 10*time.Second {
+		t.Fatalf("overflowed shift must cap at MaxDelay, got %v", got)
+	}
+
+	// End to end: a server asking for 0s via header still gets retried.
+	ts, calls := flakyServer(t, 1, "0")
+	c := NewClient(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}
+	if _, err := c.Users(context.Background()); err != nil {
+		t.Fatalf("retry with Retry-After: 0 failed: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// TestRetryPolicyNoRetryOn4xx: only 503s and transport errors are
+// transient; a 404 must surface immediately.
+func TestRetryPolicyNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"nope","code":"profile_not_found"}`)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+
+	_, err := c.Profile(context.Background(), "ghost")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried: server saw %d calls", calls.Load())
+	}
+}
+
+// TestRetryPolicyContextCancel: a canceled context stops the retry loop
+// mid-backoff instead of sleeping it out.
+func TestRetryPolicyContextCancel(t *testing.T) {
+	ts, _ := flakyServer(t, 100, "")
+	c := NewClient(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Users(ctx)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("cancel did not cut the backoff short (took %v)", took)
+	}
+}
+
+// TestRetryPolicyTransportFailure: connection-refused errors retry too —
+// the flaky window here is the server being down entirely.
+func TestRetryPolicyTransportFailure(t *testing.T) {
+	// Reserve an address, then close it so dials fail fast.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	c := NewClient(dead.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+
+	start := time.Now()
+	_, err := c.Users(context.Background())
+	if err == nil {
+		t.Fatal("dialing a closed server should fail")
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("transport failure decoded as APIError: %v", err)
+	}
+	if took := time.Since(start); took < time.Millisecond {
+		t.Fatalf("no backoff happened between transport retries (%v)", took)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/render"
@@ -39,7 +40,14 @@ type Config struct {
 	// pipeline stage outcomes); nil discards them.
 	Logger *slog.Logger
 
-	// run overrides the solver (tests).
+	// Solver overrides the personalization solver; nil means the real
+	// pipeline (core.PersonalizeContext). Cluster and load-harness tests
+	// use it to stand up real uniqd nodes with deterministic, instant (or
+	// deliberately blocked) solves.
+	Solver func(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error)
+
+	// run overrides the solver (in-package tests); Solver wins when both
+	// are set.
 	run func(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error)
 }
 
@@ -67,6 +75,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.PipelineWorkers != 0 {
 		cfg.Pipeline.Workers = cfg.PipelineWorkers
+	}
+	if cfg.Solver != nil {
+		cfg.run = cfg.Solver
 	}
 	// One registry per service instance: the HTTP middleware, the pool/store
 	// views and the pipeline stage histograms all land in it, and
@@ -111,6 +122,12 @@ func New(cfg Config) (*Service, error) {
 	mux.HandleFunc("POST /v1/stream/aoa/{user}", s.handleStreamAoA)
 	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Catch-all so unmatched routes answer in the same JSON error shape
+	// (Content-Type and code included) as every other error path, instead
+	// of the mux's text/plain 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpErrorCode(w, http.StatusNotFound, CodeNoRoute, "no route for %s %s", r.Method, r.URL.Path)
+	})
 	s.handler = s.instrument(mux)
 	return s, nil
 }
@@ -212,9 +229,47 @@ type RenderResponse struct {
 	SampleRate float64   `json:"sampleRate"`
 }
 
-// apiError is the uniform error body.
+// apiError is the uniform error body: a human-readable message plus a
+// stable machine-readable code, so clients (and the gateway's forwarding
+// path) can branch on the cause without parsing English.
 type apiError struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Machine-readable error codes carried in apiError.Code.
+const (
+	CodeBadJSON         = "bad_json"
+	CodeTooLarge        = "too_large"
+	CodeBadRequest      = "bad_request"
+	CodeBadUser         = "bad_user"
+	CodeInvalidSession  = "invalid_session"
+	CodeQueueFull       = "queue_full"
+	CodeDraining        = "draining"
+	CodeJobNotFound     = "job_not_found"
+	CodeProfileNotFound = "profile_not_found"
+	CodeUnprocessable   = "unprocessable"
+	CodeNoRoute         = "no_route"
+	CodeInternal        = "internal"
+)
+
+// defaultErrCode maps a status to a generic code for call sites without a
+// more specific cause.
+func defaultErrCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
+	case http.StatusUnprocessableEntity:
+		return CodeUnprocessable
+	case http.StatusNotFound:
+		return CodeNoRoute
+	case http.StatusServiceUnavailable:
+		return CodeDraining
+	default:
+		return CodeInternal
+	}
 }
 
 // --- helpers ---
@@ -227,7 +282,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+	httpErrorCode(w, code, defaultErrCode(code), format, args...)
+}
+
+func httpErrorCode(w http.ResponseWriter, code int, errCode, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...), Code: errCode})
 }
 
 // decodeBody decodes a JSON request body under the configured size limit,
@@ -237,9 +296,9 @@ func (s *Service) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool
 	if err := json.NewDecoder(body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			httpErrorCode(w, http.StatusRequestEntityTooLarge, CodeTooLarge, "body exceeds %d bytes", tooBig.Limit)
 		} else {
-			httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			httpErrorCode(w, http.StatusBadRequest, CodeBadJSON, "bad JSON body: %v", err)
 		}
 		return false
 	}
@@ -252,10 +311,10 @@ func (s *Service) profileFor(w http.ResponseWriter, user string) *StoredProfile 
 	p, err := s.store.Get(user)
 	switch {
 	case errors.Is(err, ErrBadUser):
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpErrorCode(w, http.StatusBadRequest, CodeBadUser, "%v", err)
 		return nil
 	case errors.Is(err, ErrProfileNotFound):
-		httpError(w, http.StatusNotFound, "%v", err)
+		httpErrorCode(w, http.StatusNotFound, CodeProfileNotFound, "%v", err)
 		return nil
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, "%v", err)
@@ -273,15 +332,18 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.pool.Submit(req.User, req.Input)
 	switch {
-	case errors.Is(err, ErrBadUser) || errors.Is(err, core.ErrInvalidSession):
-		httpError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, ErrBadUser):
+		httpErrorCode(w, http.StatusBadRequest, CodeBadUser, "%v", err)
+		return
+	case errors.Is(err, core.ErrInvalidSession):
+		httpErrorCode(w, http.StatusBadRequest, CodeInvalidSession, "%v", err)
 		return
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpErrorCode(w, http.StatusServiceUnavailable, CodeQueueFull, "%v", err)
 		return
 	case errors.Is(err, ErrPoolClosed):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpErrorCode(w, http.StatusServiceUnavailable, CodeDraining, "%v", err)
 		return
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, "%v", err)
@@ -298,7 +360,7 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	st, ok := s.pool.Job(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job %q", id)
+		httpErrorCode(w, http.StatusNotFound, CodeJobNotFound, "no such job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -410,6 +472,40 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.reg.WriteText(w)
 }
 
+// HealthStatus is the body of GET /healthz: enough live load detail for a
+// gateway to do load-aware routing instead of binary up/down. The status
+// code keeps the old binary contract — 200 while serving, 503 once the
+// pool is draining — so plain probes keep working unchanged.
+type HealthStatus struct {
+	// Status is "ok" while accepting work, "draining" during shutdown.
+	Status string `json:"status"`
+	// QueueDepth / QueueCapacity describe the bounded job queue.
+	QueueDepth    int `json:"queueDepth"`
+	QueueCapacity int `json:"queueCapacity"`
+	// WorkersBusy / WorkersTotal describe the solve pool.
+	WorkersBusy  int `json:"workersBusy"`
+	WorkersTotal int `json:"workersTotal"`
+	// ActiveStreamSessions counts live /v1/stream/* sessions.
+	ActiveStreamSessions int `json:"activeStreamSessions"`
+	// Version is the binary's build version.
+	Version string `json:"version"`
+}
+
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	st := HealthStatus{
+		Status:               "ok",
+		QueueDepth:           s.pool.QueueDepth(),
+		QueueCapacity:        s.pool.QueueCapacity(),
+		WorkersBusy:          s.pool.Busy(),
+		WorkersTotal:         s.pool.Workers(),
+		ActiveStreamSessions: s.metrics.activeStreams(),
+		Version:              buildinfo.Version(),
+	}
+	code := http.StatusOK
+	if s.pool.Closed() {
+		st.Status = "draining"
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, st)
 }

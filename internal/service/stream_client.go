@@ -30,14 +30,10 @@ func (c *Client) openStream(ctx context.Context, path string) (*io.PipeWriter, *
 		return nil, nil, err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var ae apiError
-		msg := ""
-		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ae); err == nil {
-			msg = ae.Error
-		}
+		ae := decodeAPIError(resp)
 		resp.Body.Close()
 		pw.Close()
-		return nil, nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return nil, nil, ae
 	}
 	return pw, resp, nil
 }
