@@ -14,8 +14,10 @@ import (
 const guardRegressionThreshold = 1.20
 
 // TestBenchRegressionGuard replays the committed bench.json kernels for
-// the FFT plans, the streaming engine and the sensor-fusion solve, and
-// fails on a >20% ns/op regression. Opt-in (it costs benchmark time):
+// the FFT plans, the streaming engine (convolver and AoA tracker), the
+// sensor-fusion solve on both its exact and cascade paths, and the
+// whole-pipeline personalize records, and fails on a >20% ns/op
+// regression. Opt-in (it costs benchmark time):
 //
 //	BENCH_GUARD=1 go test -run TestBenchRegressionGuard .
 //
@@ -40,7 +42,9 @@ func TestBenchRegressionGuard(t *testing.T) {
 	guarded := 0
 	for _, rec := range sum.Benchmarks {
 		if !strings.HasPrefix(rec.Name, "fft/planned/") &&
-			!strings.HasPrefix(rec.Name, "stream/") && rec.Name != "fuseSensors" {
+			!strings.HasPrefix(rec.Name, "stream/") &&
+			!strings.HasPrefix(rec.Name, "fuseSensors") &&
+			!strings.HasPrefix(rec.Name, "personalize/") {
 			continue
 		}
 		if rec.NsPerOp <= 0 {
@@ -54,6 +58,17 @@ func TestBenchRegressionGuard(t *testing.T) {
 		}
 		guarded++
 		got := float64(r.NsPerOp())
+		// A one-shot replay on a shared runner can land on a transient
+		// load spike far beyond the guard threshold. A real regression
+		// survives re-measurement; noise does not — so re-measure a
+		// kernel that looks regressed (up to twice) and keep the best.
+		for tries := 0; got/rec.NsPerOp > guardRegressionThreshold && tries < 2; tries++ {
+			if r2, ok := measureKernel(rec.Name); ok {
+				if g := float64(r2.NsPerOp()); g > 0 && g < got {
+					got = g
+				}
+			}
+		}
 		ratio := got / rec.NsPerOp
 		if ratio > guardRegressionThreshold {
 			t.Errorf("%s regressed: %.0f ns/op vs committed %.0f ns/op (%.2fx > %.2fx allowed)",

@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -54,10 +55,38 @@ func fuseBenchObservations() ([]core.FusionObservation, error) {
 	return obs, nil
 }
 
+// personalizeBenchSession memoizes the simulated volunteer session shared
+// by every personalize/workers=N kernel, so the guard can replay those
+// records without re-rendering the session per measurement.
+var personalizeBenchSession struct {
+	sync.Once
+	in  core.SessionInput
+	err error
+}
+
+func personalizeBenchInput() (core.SessionInput, error) {
+	s := &personalizeBenchSession
+	s.Do(func() {
+		sess, err := sim.RunSession(sim.NewVolunteer(1, 777), sim.SessionConfig{})
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.in = core.SessionInput{
+			Probe: sess.Probe, SampleRate: sess.SampleRate,
+			IMU: sess.IMU, SystemIR: sess.SystemIR, SyncOffset: sess.SyncOffset,
+		}
+		for _, m := range sess.Measurements {
+			s.in.Stops = append(s.in.Stops, core.StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
+		}
+	})
+	return s.in, s.err
+}
+
 // measureKernel runs the named bench.json kernel with testing.Benchmark.
 // It is shared by the emitter and the bench-smoke regression guard so both
 // measure exactly the same workload. ok is false for names the function
-// does not know (e.g. personalize records, which need session setup).
+// does not know.
 func measureKernel(name string) (testing.BenchmarkResult, bool) {
 	switch {
 	case strings.HasPrefix(name, "fft/planned/pow2-"), strings.HasPrefix(name, "fft/planned/bluestein-"):
@@ -182,15 +211,57 @@ func measureKernel(name string) (testing.BenchmarkResult, bool) {
 				}
 			}
 		}), true
-	case name == "fuseSensors":
+	case name == "fuseSensors", name == "fuseSensors/fast":
+		// "fuseSensors" pins the exact dense solve (the pre-cascade
+		// committed baseline stays comparable across PRs);
+		// "fuseSensors/fast" is the default coarse-to-fine cascade every
+		// production solve now takes.
 		obs, err := fuseBenchObservations()
 		if err != nil {
 			return testing.BenchmarkResult{}, false
 		}
+		opt := core.FusionOptions{Exact: name == "fuseSensors"}
 		return testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.FuseSensors(obs, core.FusionOptions{}); err != nil {
+				if _, err := core.FuseSensors(obs, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), true
+	case strings.HasPrefix(name, "personalize/workers="):
+		// Whole pipeline, coarse fusion, N internal workers (mirrors
+		// BenchmarkPersonalizeParallel). Parallel records raise GOMAXPROCS
+		// to NumCPU for the measurement: go test binaries may start
+		// single-threaded, and a workers=N record measured on one scheduler
+		// thread would claim parallel cost it never paid.
+		var workers int
+		if _, err := fmt.Sscanf(name[strings.LastIndex(name, "=")+1:], "%d", &workers); err != nil || workers <= 0 {
+			return testing.BenchmarkResult{}, false
+		}
+		in, err := personalizeBenchInput()
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		opt := core.PipelineOptions{
+			Workers: workers,
+			Fusion: core.FusionOptions{
+				GridPoints: 2,
+				MaxEvals:   40,
+				Loc:        core.LocalizerOptions{AngleStepDeg: 3, RadiusSteps: 8, BoundaryVertices: 120},
+			},
+			Gesture: core.GestureLimits{MaxResidualDeg: 15},
+		}
+		if workers == 1 {
+			opt.Workers = -1 // sequential: the 1-worker record skips pool overhead
+		}
+		if workers > 1 {
+			prev := runtime.GOMAXPROCS(runtime.NumCPU())
+			defer runtime.GOMAXPROCS(prev)
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Personalize(in, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -252,9 +323,10 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 
 	// FFT engine (plan API, pow2/Bluestein/real), the geometry fast path,
-	// the Localizer delay-field build, and the full sensor-fusion solve —
-	// all measured through the same kernels the bench-smoke regression
-	// guard replays.
+	// the Localizer delay-field build, and the sensor-fusion solve on both
+	// its exact and cascade paths — all measured through the same kernels
+	// the bench-smoke regression guard replays.
+	ns := map[string]float64{}
 	for _, name := range []string{
 		"fft/planned/pow2-1024",
 		"fft/planned/pow2-16384",
@@ -266,62 +338,43 @@ func TestEmitBenchJSON(t *testing.T) {
 		"stream/convolver",
 		"stream/aoa-tracker",
 		"fuseSensors",
+		"fuseSensors/fast",
 	} {
 		r, ok := measureKernel(name)
 		if !ok {
 			t.Fatalf("unknown bench kernel %q", name)
 		}
-		rec := add(name, r)
-		if name == "fuseSensors" && rec.NsPerOp > 0 {
-			sum.Derived["fusionSpeedupVsSeed"] = seedFuseSensorsNsPerOp / rec.NsPerOp
+		ns[name] = add(name, r).NsPerOp
+	}
+	if fast := ns["fuseSensors/fast"]; fast > 0 {
+		// Both headline ratios track the default (cascade) solve — the
+		// path every production session pays.
+		sum.Derived["fusionSpeedupVsSeed"] = seedFuseSensorsNsPerOp / fast
+		if exact := ns["fuseSensors"]; exact > 0 {
+			sum.Derived["fusionFastSpeedupVsExact"] = exact / fast
 		}
 	}
 
-	// Whole pipeline at 1 / 4 / NumCPU internal workers (coarse fusion, as
-	// in BenchmarkPersonalizeParallel).
-	v := sim.NewVolunteer(1, 777)
-	sess, err := sim.RunSession(v, sim.SessionConfig{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	in := core.SessionInput{
-		Probe: sess.Probe, SampleRate: sess.SampleRate,
-		IMU: sess.IMU, SystemIR: sess.SystemIR, SyncOffset: sess.SyncOffset,
-	}
-	for _, m := range sess.Measurements {
-		in.Stops = append(in.Stops, core.StopRecording{Time: m.Time, Left: m.Rec.Left, Right: m.Rec.Right})
-	}
+	// Whole pipeline at 1 and NumCPU internal workers. The parallel record
+	// only exists (and the derived ratio is only emitted) when the machine
+	// actually has more than one CPU — a workers=N record at NumCPU=1
+	// would just restate the sequential number.
 	perWorkers := map[int]float64{}
-	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+	for _, workers := range []int{1, runtime.NumCPU()} {
 		if _, done := perWorkers[workers]; done {
 			continue
 		}
-		opt := core.PipelineOptions{
-			Workers: workers,
-			Fusion: core.FusionOptions{
-				GridPoints: 2,
-				MaxEvals:   40,
-				Loc:        core.LocalizerOptions{AngleStepDeg: 3, RadiusSteps: 8, BoundaryVertices: 120},
-			},
-			Gesture: core.GestureLimits{MaxResidualDeg: 15},
+		name := fmt.Sprintf("personalize/workers=%d", workers)
+		r, ok := measureKernel(name)
+		if !ok {
+			t.Fatalf("unknown bench kernel %q", name)
 		}
-		if workers == 1 {
-			opt.Workers = -1
-		}
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := core.Personalize(in, opt); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-		rec := add(fmt.Sprintf("personalize/workers=%d", workers), r)
-		perSec := 1e9 / rec.NsPerOp
-		sum.Benchmarks[len(sum.Benchmarks)-1].SessionsPerSec = perSec
+		rec := add(name, r)
+		sum.Benchmarks[len(sum.Benchmarks)-1].SessionsPerSec = 1e9 / rec.NsPerOp
 		perWorkers[workers] = rec.NsPerOp
 	}
-	if base, ok := perWorkers[1]; ok {
-		if par, ok := perWorkers[runtime.NumCPU()]; ok && par > 0 {
+	if n := runtime.NumCPU(); n > 1 {
+		if base, par := perWorkers[1], perWorkers[n]; base > 0 && par > 0 {
 			sum.Derived["personalizeSpeedupNumCPUvs1"] = base / par
 		}
 	}

@@ -8,6 +8,7 @@
 //
 //	uniqd [-addr :8080] [-dir ./profiles] [-workers N] [-queue N]
 //	      [-pipeline-workers N] [-job-timeout 10m] [-cache N] [-pprof]
+//	      [-prior] [-prior-refresh N] [-prior-min N]
 //	      [-log-level info] [-log-format text] [-version]
 //
 // API (see DESIGN.md for the full table):
@@ -58,6 +59,10 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job solve deadline")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain deadline")
 	cache := flag.Int("cache", 128, "profiles kept in the in-memory LRU")
+	priorEnabled := flag.Bool("prior", true,
+		"warm-start fusion solves with a population prior fitted over stored profiles")
+	priorRefresh := flag.Int("prior-refresh", 16, "refit the population prior after this many new profiles")
+	priorMin := flag.Int("prior-min", 3, "fewest stored profiles before the population prior is used")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
@@ -79,13 +84,16 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, level, *logFormat)
 
 	svc, err := service.New(service.Config{
-		StoreDir:        *dir,
-		CacheSize:       *cache,
-		Workers:         *workers,
-		PipelineWorkers: *pipelineWorkers,
-		QueueDepth:      *queue,
-		JobTimeout:      *jobTimeout,
-		Logger:          logger,
+		StoreDir:          *dir,
+		CacheSize:         *cache,
+		Workers:           *workers,
+		PipelineWorkers:   *pipelineWorkers,
+		QueueDepth:        *queue,
+		JobTimeout:        *jobTimeout,
+		PriorEnabled:      *priorEnabled,
+		PriorRefreshEvery: *priorRefresh,
+		PriorMinProfiles:  *priorMin,
+		Logger:            logger,
 	})
 	if err != nil {
 		log.Fatalf("uniqd: %v", err)
@@ -94,8 +102,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("uniqd: %v", err)
 	}
-	log.Printf("uniqd %s: store %s holds %d profile(s); %d worker(s), queue %d",
-		buildinfo.Version(), *dir, len(users), *workers, *queue)
+	priorState := "disabled"
+	if *priorEnabled {
+		priorState = "cold"
+		if m := svc.PriorModel(); m != nil {
+			priorState = fmt.Sprintf("fitted over %d profile(s)", m.Count)
+		}
+	}
+	log.Printf("uniqd %s: store %s holds %d profile(s); %d worker(s), queue %d; prior %s",
+		buildinfo.Version(), *dir, len(users), *workers, *queue, priorState)
 
 	handler := svc.Handler()
 	if *enablePprof {

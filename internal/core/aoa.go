@@ -94,132 +94,22 @@ func EstimateAoAKnown(left, right, src []float64, table *hrtf.Table, opt AoAOpti
 // candidate relative delays, each of which maps to a front and a back
 // candidate angle via the HRIR templates; the multiplication-form identity
 // L×HRTF_R(θ) = R×HRTF_L(θ) (eq. 11) disambiguates.
+//
+// This is the one-shot form of AoAEstimator: repeat callers with a fixed
+// window length (the streaming tracker) should hold an estimator instead
+// and skip the per-call planning and scratch setup.
 func EstimateAoAUnknown(left, right []float64, table *hrtf.Table, opt AoAOptions) (AoAEstimate, error) {
-	if table == nil || table.NumAngles() == 0 {
-		return AoAEstimate{}, ErrEmptyTable
+	e, err := NewAoAEstimator(table, len(left), len(right), opt)
+	if err != nil {
+		return AoAEstimate{}, err
 	}
-	sr := table.SampleRate
-	opt.fillDefaults(sr)
-
-	// Relative channel via regularized spectral division (L/R).
-	maxLag := int(1.2e-3 * sr) // beyond the largest human ITD
-	rel := relativeChannel(left, right, maxLag)
-	peaks := dsp.FindPeaks(rel, 0.5, 3)
-	if len(peaks) == 0 {
-		return AoAEstimate{}, ErrNoFirstTap
-	}
-	if len(peaks) > opt.MaxCandidates {
-		// Keep the strongest few.
-		peaks = strongestPeaks(peaks, opt.MaxCandidates)
-	}
-
-	// Table ITD per angle (cached once per table), used to invert delays
-	// into candidate angles.
-	itds := table.FarITDs()
-
-	var candidates []int
-	for _, p := range peaks {
-		dt := float64(p.Index-maxLag) / sr // relative delay (left - right)
-		candidates = append(candidates, anglesForITD(itds, dt)...)
-	}
-	if len(candidates) == 0 {
-		return AoAEstimate{}, ErrEmptyTable
-	}
-
-	// Eq. 11 scoring through the table's cached HRIR spectra: the two ear
-	// recordings are transformed once, then each candidate costs only two
-	// spectrum products and inverse transforms instead of four full
-	// convolutions.
-	n := dsp.NextPow2(max(len(left), len(right)) + table.MaxFarIRLen())
-	spec, specErr := table.FarSpectra(n)
-	var flSpec, frSpec []complex128
-	if specErr == nil {
-		flSpec = dsp.FFTReal(dsp.ZeroPad(left, n))
-		frSpec = dsp.FFTReal(dsp.ZeroPad(right, n))
-	}
-	best := AoAEstimate{Score: math.Inf(1)}
-	for _, idx := range candidates {
-		h := table.Far[idx]
-		if h.Empty() {
-			continue
-		}
-		var score float64
-		if specErr == nil && spec.Left[idx] != nil && spec.Right[idx] != nil {
-			score = eq11MismatchSpec(flSpec, frSpec, spec.Right[idx], spec.Left[idx],
-				len(left)+len(h.Right)-1, len(right)+len(h.Left)-1)
-		} else {
-			score = eq11Mismatch(left, right, h)
-		}
-		if score < best.Score {
-			best = AoAEstimate{AngleDeg: table.Angle(idx), Score: score}
-		}
-	}
-	if math.IsInf(best.Score, 1) {
-		return AoAEstimate{}, ErrEmptyTable
-	}
-	return best, nil
-}
-
-// relativeChannel estimates the time-domain relative channel between the
-// left and right recordings, windowed to lags within ±maxLag around zero;
-// index maxLag corresponds to zero lag.
-func relativeChannel(left, right []float64, maxLag int) []float64 {
-	n := dsp.NextPow2(len(left) + len(right))
-	fl := dsp.FFTReal(dsp.ZeroPad(left, n))
-	fr := dsp.FFTReal(dsp.ZeroPad(right, n))
-	rel := dsp.SpectralDivide(fl, fr, 1e-2)
-	td := dsp.IFFTReal(rel)
-	// Unwrap circularly: positive lags at the front, negative at the end.
-	out := make([]float64, 2*maxLag+1)
-	for k := -maxLag; k <= maxLag; k++ {
-		idx := k
-		if idx < 0 {
-			idx += n
-		}
-		out[k+maxLag] = td[idx]
-	}
-	return out
-}
-
-// strongestPeaks keeps the k peaks with the largest magnitude.
-func strongestPeaks(peaks []dsp.Peak, k int) []dsp.Peak {
-	sorted := append([]dsp.Peak(nil), peaks...)
-	for i := 0; i < len(sorted); i++ {
-		for j := i + 1; j < len(sorted); j++ {
-			if math.Abs(sorted[j].Value) > math.Abs(sorted[i].Value) {
-				sorted[i], sorted[j] = sorted[j], sorted[i]
-			}
-		}
-	}
-	return sorted[:k]
-}
-
-// anglesForITD returns the table indices whose ITD locally best matches dt:
-// the global best and the best on the other side of the front/back split,
-// mirroring the paper's two candidate AoAs per relative delay.
-func anglesForITD(itds []float64, dt float64) []int {
-	if len(itds) == 0 {
-		return nil
-	}
-	half := len(itds) / 2
-	bestFront, bestBack := 0, half
-	for i := 0; i < len(itds); i++ {
-		if i < half {
-			if math.Abs(itds[i]-dt) < math.Abs(itds[bestFront]-dt) {
-				bestFront = i
-			}
-		} else {
-			if math.Abs(itds[i]-dt) < math.Abs(itds[bestBack]-dt) {
-				bestBack = i
-			}
-		}
-	}
-	return []int{bestFront, bestBack}
+	return e.Estimate(left, right)
 }
 
 // eq11Mismatch scores how badly L×HRTF_R(θ) differs from R×HRTF_L(θ),
 // normalized so the score is comparable across angles. Fallback path for
-// entries with a missing ear; the hot path is eq11MismatchSpec.
+// entries whose cached spectra are unavailable; the hot path is
+// eq11ZeroLag.
 func eq11Mismatch(left, right []float64, h hrtf.HRIR) float64 {
 	a := dsp.Convolve(left, h.Right)
 	b := dsp.Convolve(right, h.Left)
@@ -227,30 +117,6 @@ func eq11Mismatch(left, right []float64, h hrtf.HRIR) float64 {
 	// overall gain difference.
 	c, _ := dsp.NormXCorrPeak(a, b)
 	return 1 - c
-}
-
-// eq11MismatchSpec is eq11Mismatch with every operand already in the
-// frequency domain: flSpec/frSpec are the recordings' spectra, hrSpec and
-// hlSpec the candidate HRIRs' cached spectra (all at one FFT size), and
-// lenA/lenB the linear-convolution lengths to keep of L×HRTF_R and
-// R×HRTF_L.
-func eq11MismatchSpec(flSpec, frSpec, hrSpec, hlSpec []complex128, lenA, lenB int) float64 {
-	a := convFromSpec(flSpec, hrSpec, lenA)
-	b := convFromSpec(frSpec, hlSpec, lenB)
-	c, _ := dsp.NormXCorrPeak(a, b)
-	return 1 - c
-}
-
-// convFromSpec multiplies two same-size spectra and returns the first
-// outLen samples of the inverse transform (the linear convolution, when
-// the transform size is large enough).
-func convFromSpec(x, h []complex128, outLen int) []float64 {
-	prod := make([]complex128, len(x))
-	for i := range x {
-		prod[i] = x[i] * h[i]
-	}
-	td := dsp.IFFTReal(prod)
-	return td[:outLen]
 }
 
 // FrontBack classifies an angle in [0,180] as front (<90) or back (>90).

@@ -10,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/head"
 	"repro/internal/optimize"
+	"repro/internal/prior"
 )
 
 // FusionObservation is one measurement's input to the sensor fusion: the
@@ -32,7 +33,8 @@ type FusionOptions struct {
 	ParamLo, ParamHi head.Params
 	// GridPoints per dimension for the seeding search (default 4).
 	GridPoints int
-	// MaxEvals bounds the simplex refinement (default 120).
+	// MaxEvals bounds the simplex refinement (default 120). The fast
+	// cascade splits this budget across its levels.
 	MaxEvals int
 	// Localizer grid options.
 	Loc LocalizerOptions
@@ -57,6 +59,20 @@ type FusionOptions struct {
 	// points are independent and the minimum scan is order-fixed, so the
 	// fit is bit-identical at every worker count.
 	Workers int
+	// Exact forces the frozen single-resolution solve: full grid plus
+	// Nelder-Mead, every evaluation at full field resolution. It is the
+	// pre-cascade code path, bit-identical across releases and pinned by
+	// the golden SHA-256 test. The default (false) runs the coarse-to-fine
+	// cascade, which lands on a near-identical optimum several times
+	// faster but is not bit-compatible with the frozen path.
+	Exact bool
+	// Prior, when usable, warm-starts the fast cascade: the predicted
+	// head parameters join the seed set and the seeding grid shrinks to
+	// the prior's trust region (the simplex still searches the full
+	// bounds, so a wrong prior costs time, not correctness). Ignored by
+	// the exact path. Cold start (nil) falls back to the full seeding
+	// grid.
+	Prior *prior.Model
 }
 
 func (o *FusionOptions) fillDefaults() {
@@ -117,29 +133,40 @@ func FuseSensors(obs []FusionObservation, opt FusionOptions) (FusionResult, erro
 // the pipeline's runtime, so the context is checked on every objective
 // evaluation: once it is done the search short-circuits and the context's
 // error is returned.
+//
+// By default the solve runs as a coarse-to-fine cascade (see
+// fuseSensorsFast); opt.Exact selects the frozen full-resolution path.
 func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt FusionOptions) (FusionResult, error) {
 	opt.fillDefaults()
 	if len(obs) < 5 {
 		return FusionResult{}, ErrTooFewObservations
 	}
-	var evals atomic.Int64
+	if opt.Exact {
+		return fuseSensorsExact(ctx, obs, opt)
+	}
+	return fuseSensorsFast(ctx, obs, opt)
+}
+
+// fusionPriorMean resolves the anthropometric-prior center of the fusion
+// objective.
+func fusionPriorMean(opt *FusionOptions) head.Params {
 	mean := opt.PriorMean
 	if (mean == head.Params{}) {
 		mean = head.DefaultParams()
 	}
-	// Delay fields are memoized across objective evaluations: Nelder-Mead
-	// revisits parameter sets, and the final build repeats the winning
-	// vertex. Cached fields are exact-params matches, so the solve is
-	// bit-identical to building fresh every time.
-	cache := newLocalizerCache(opt.Loc)
-	defer cache.releaseAll()
-	// The objective is called concurrently by the seeding grid search:
-	// everything it touches is read-only (obs, options, the context) except
-	// the evaluation counter and the localizer cache, which synchronize.
-	objective := func(x []float64) float64 {
+	return mean
+}
+
+// fusionObjective builds the fusion cost function over one observation set
+// and one localizer cache. The objective may be called concurrently by the
+// seeding grid search: everything it touches is read-only (obs, options,
+// the context) except the evaluation counter and the localizer cache, which
+// synchronize.
+func fusionObjective(ctx context.Context, obs []FusionObservation, opt *FusionOptions, mean head.Params, cache *localizerCache, evals *atomic.Int64) optimize.Objective {
+	return func(x []float64) float64 {
 		evals.Add(1)
 		if ctx.Err() != nil {
-			return math.Inf(1) // poison the search; checked after Minimize
+			return math.Inf(1) // poison the search; checked after the solve
 		}
 		p := head.Params{A: x[0], B: x[1], C: x[2]}
 		loc, cached, err := cache.get(p)
@@ -164,6 +191,46 @@ func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt Fusion
 		}
 		return total
 	}
+}
+
+// finishFusion runs the final full-resolution locate pass at the winning
+// parameters and assembles the result.
+func finishFusion(obs []FusionObservation, loc *Localizer, eopt head.Params) FusionResult {
+	out := FusionResult{Params: eopt}
+	var sumSq float64
+	for _, ob := range obs {
+		theta, radius, _, err := locateWithHint(loc, ob)
+		if err != nil {
+			// Keep the IMU angle and a nominal radius rather than
+			// dropping the stop.
+			theta = ob.AlphaRad
+			radius = 0.3
+		}
+		d := geom.AngleDiff(theta, ob.AlphaRad)
+		sumSq += d * d
+		fused := fuseAngles(theta, ob.AlphaRad)
+		out.AnglesRad = append(out.AnglesRad, fused)
+		out.Radii = append(out.Radii, radius)
+		out.Positions = append(out.Positions, geom.FromPolar(fused, radius))
+	}
+	out.MeanAngleResidualRad = math.Sqrt(sumSq / float64(len(obs)))
+	return out
+}
+
+// fuseSensorsExact is the frozen single-resolution solve: seeding grid plus
+// Nelder-Mead, every objective evaluation against the full localizer grid
+// and the full stop set. TestPersonalizeGoldenBitExact pins its output
+// hash; nothing here may change observable floats.
+func fuseSensorsExact(ctx context.Context, obs []FusionObservation, opt FusionOptions) (FusionResult, error) {
+	var evals atomic.Int64
+	mean := fusionPriorMean(&opt)
+	// Delay fields are memoized across objective evaluations: Nelder-Mead
+	// revisits parameter sets, and the final build repeats the winning
+	// vertex. Cached fields are exact-params matches, so the solve is
+	// bit-identical to building fresh every time.
+	cache := newLocalizerCache(opt.Loc)
+	defer cache.releaseAll()
+	objective := fusionObjective(ctx, obs, &opt, mean, cache, &evals)
 	bounds := optimize.Bounds{
 		Lo: []float64{opt.ParamLo.A, opt.ParamLo.B, opt.ParamLo.C},
 		Hi: []float64{opt.ParamHi.A, opt.ParamHi.B, opt.ParamHi.C},
@@ -186,7 +253,6 @@ func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt Fusion
 		return FusionResult{}, err
 	}
 	eopt := head.Params{A: res.X[0], B: res.X[1], C: res.X[2]}
-	out := FusionResult{Params: eopt, Evals: int(evals.Load())}
 	// The winning vertex was just evaluated, so this is normally a cache
 	// hit — the solve's most expensive "free" reuse.
 	loc, cached, err := cache.get(eopt)
@@ -196,24 +262,238 @@ func FuseSensorsContext(ctx context.Context, obs []FusionObservation, opt Fusion
 	if !cached {
 		defer loc.Release()
 	}
-	var sumSq float64
-	for _, ob := range obs {
-		theta, radius, _, err := locateWithHint(loc, ob)
-		if err != nil {
-			// Keep the IMU angle and a nominal radius rather than
-			// dropping the stop.
-			theta = ob.AlphaRad
-			radius = 0.3
-		}
-		d := geom.AngleDiff(theta, ob.AlphaRad)
-		sumSq += d * d
-		fused := fuseAngles(theta, ob.AlphaRad)
-		out.AnglesRad = append(out.AnglesRad, fused)
-		out.Radii = append(out.Radii, radius)
-		out.Positions = append(out.Positions, geom.FromPolar(fused, radius))
-	}
-	out.MeanAngleResidualRad = math.Sqrt(sumSq / float64(len(obs)))
+	out := finishFusion(obs, loc, eopt)
+	out.Evals = int(evals.Load())
 	return out, nil
+}
+
+// Fast-cascade budget shaping. The early levels do the exploring at cheap
+// resolutions and the fine level only polishes, so the exact path's
+// MaxEvals budget splits unevenly toward the cheap end.
+const (
+	fastCoarseObsTarget = 10   // decimated stop-set size at the seed/coarse levels
+	fastCoarseShrink    = 0.6  // coarse simplex box, fraction of full extent
+	fastMediumShrink    = 0.4  // medium simplex box, fraction of full extent
+	fastFineShrink      = 0.25 // fine simplex box, fraction of full extent
+	fastFineStep        = 0.02 // fine simplex edge, fraction of full extent
+	fastCoarseMinEvals  = 20
+	fastMediumMinEvals  = 10
+	fastFineMinEvals    = 8
+)
+
+// fuseSensorsFast is the default coarse-to-fine solve, four levels:
+//
+//  1. seed — the seeding grid alone (no simplex), a decimated stop set
+//     against the cheapest localizer grid that still separates basins.
+//     The grid covers the full bounds, or the population prior's trust
+//     region when one is supplied.
+//  2. coarse — the surviving basins re-scored and the best polished on a
+//     sharper (still coarsened) field, still against the decimated stops.
+//  3. medium — the full stop set, same field and delay-field cache as the
+//     coarse level (revisited parameter sets re-score for the price of
+//     the locates alone). This level exists to undo the decimation bias
+//     before any full-resolution evaluation is spent.
+//  4. fine — full resolution; re-scores the surviving basins and polishes
+//     the best with a short simplex in a tightened box. The explicit
+//     initial step matters: the default (5% of the shrunk box) is under
+//     half a millimetre, too timid to cover the coarser levels' residual
+//     grid-quantization offset.
+//
+// Output is deterministic at any worker count but not bit-compatible with
+// the exact path; TestFuseSensorsFastObjectiveEnvelope bounds how far the
+// two optima may drift apart.
+func fuseSensorsFast(ctx context.Context, obs []FusionObservation, opt FusionOptions) (FusionResult, error) {
+	var evals atomic.Int64
+	mean := fusionPriorMean(&opt)
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Fine-level builds happen under the sequential simplex, so idle
+	// workers can go into the per-build ring fan-out (bit-identical by
+	// construction). The coarse level keeps sequential builds: the grid
+	// search already saturates the workers.
+	fineLoc := opt.Loc
+	if workers > 1 && fineLoc.Workers == 0 {
+		fineLoc.Workers = workers
+	}
+	fineCache := newLocalizerCache(fineLoc)
+	defer fineCache.releaseAll()
+	coarseCache := newLocalizerCache(coarsenLoc(opt.Loc))
+	defer coarseCache.releaseAll()
+	seedCache := newLocalizerCache(seedLoc(opt.Loc))
+	defer seedCache.releaseAll()
+	thinned := decimateObs(obs)
+	seedObj := fusionObjective(ctx, thinned, &opt, mean, seedCache, &evals)
+	coarseObj := fusionObjective(ctx, thinned, &opt, mean, coarseCache, &evals)
+	// The medium objective shares the coarse delay-field cache: every
+	// parameter set the coarse simplex already visited re-scores for the
+	// price of the locates alone.
+	mediumObj := fusionObjective(ctx, obs, &opt, mean, coarseCache, &evals)
+	fineObj := fusionObjective(ctx, obs, &opt, mean, fineCache, &evals)
+	bounds := optimize.Bounds{
+		Lo: []float64{opt.ParamLo.A, opt.ParamLo.B, opt.ParamLo.C},
+		Hi: []float64{opt.ParamHi.A, opt.ParamHi.B, opt.ParamHi.C},
+	}
+	gridPts := opt.GridPoints
+	var gridBounds *optimize.Bounds
+	var warm [][]float64
+	if opt.Prior.Usable() {
+		tlo, thi := opt.Prior.TrustRegion(opt.ParamLo, opt.ParamHi)
+		gridBounds = &optimize.Bounds{
+			Lo: []float64{tlo.A, tlo.B, tlo.C},
+			Hi: []float64{thi.A, thi.B, thi.C},
+		}
+		// The trust region is a small box; a dense grid there is wasted.
+		if gridPts > 3 {
+			gridPts = 3
+		}
+		p := opt.Prior.Predict()
+		warm = [][]float64{{p.A, p.B, p.C}}
+	}
+	coarseEvals := opt.MaxEvals / 4
+	if coarseEvals < fastCoarseMinEvals {
+		coarseEvals = fastCoarseMinEvals
+	}
+	mediumEvals := opt.MaxEvals / 8
+	if mediumEvals < fastMediumMinEvals {
+		mediumEvals = fastMediumMinEvals
+	}
+	fineEvals := opt.MaxEvals / 10
+	if fineEvals < fastFineMinEvals {
+		fineEvals = fastFineMinEvals
+	}
+	res, err := optimize.MinimizeCascade(bounds, warm, []optimize.CascadeLevel{
+		{
+			F:          seedObj,
+			GridPoints: gridPts,
+			GridBounds: gridBounds,
+			TopK:       4,
+			Workers:    workers,
+			// Zero NelderMead budget: the seed level only ranks grid points.
+		},
+		{
+			F:          coarseObj,
+			Shrink:     fastCoarseShrink,
+			TopK:       2,
+			RefineTop:  1,
+			NelderMead: optimize.NelderMeadOptions{Tol: 1e-9, MaxEvals: coarseEvals},
+		},
+		{
+			F:          mediumObj,
+			Shrink:     fastMediumShrink,
+			TopK:       2,
+			RefineTop:  1,
+			NelderMead: optimize.NelderMeadOptions{Tol: 1e-9, MaxEvals: mediumEvals},
+		},
+		{
+			F:         fineObj,
+			Shrink:    fastFineShrink,
+			TopK:      1,
+			RefineTop: 1,
+			NelderMead: optimize.NelderMeadOptions{
+				Tol:      1e-10,
+				MaxEvals: fineEvals,
+				InitialStep: []float64{
+					fastFineStep * (opt.ParamHi.A - opt.ParamLo.A),
+					fastFineStep * (opt.ParamHi.B - opt.ParamLo.B),
+					fastFineStep * (opt.ParamHi.C - opt.ParamLo.C),
+				},
+			},
+		},
+	})
+	if cerr := ctx.Err(); cerr != nil {
+		return FusionResult{}, cerr
+	}
+	if err != nil {
+		return FusionResult{}, err
+	}
+	eopt := head.Params{A: res.X[0], B: res.X[1], C: res.X[2]}
+	loc, cached, err := fineCache.get(eopt)
+	if err != nil {
+		return FusionResult{}, err
+	}
+	if !cached {
+		defer loc.Release()
+	}
+	out := finishFusion(obs, loc, eopt)
+	out.Evals = int(evals.Load())
+	return out, nil
+}
+
+// decimateObs thins the stop set for the coarse level: every stride-th
+// observation, stride chosen so roughly fastCoarseObsTarget survive. Small
+// sets pass through untouched, so the coarse objective never sees fewer
+// stops than FuseSensors' own minimum.
+func decimateObs(obs []FusionObservation) []FusionObservation {
+	if len(obs) <= fastCoarseObsTarget {
+		return obs
+	}
+	stride := (len(obs) + fastCoarseObsTarget - 1) / fastCoarseObsTarget
+	out := make([]FusionObservation, 0, (len(obs)+stride-1)/stride)
+	for i := 0; i < len(obs); i += stride {
+		out = append(out, obs[i])
+	}
+	return out
+}
+
+// coarsenLoc derives the coarse level's localizer grid from the configured
+// full-resolution one: 4x wider angle pitch (capped so at least ~40 angle
+// columns remain), half the radius rings, half the boundary vertices — an
+// objective evaluation roughly an order of magnitude cheaper, still sharp
+// enough to rank head-parameter basins.
+func coarsenLoc(opt LocalizerOptions) LocalizerOptions {
+	opt.fillDefaults()
+	c := opt
+	c.AngleStepDeg = opt.AngleStepDeg * 4
+	if c.AngleStepDeg > 9 {
+		c.AngleStepDeg = 9
+	}
+	if c.AngleStepDeg < opt.AngleStepDeg {
+		c.AngleStepDeg = opt.AngleStepDeg
+	}
+	c.RadiusSteps = opt.RadiusSteps / 2
+	if c.RadiusSteps < 6 {
+		c.RadiusSteps = 6
+	}
+	if c.RadiusSteps > opt.RadiusSteps {
+		c.RadiusSteps = opt.RadiusSteps
+	}
+	c.BoundaryVertices = opt.BoundaryVertices / 2
+	if c.BoundaryVertices < 96 {
+		c.BoundaryVertices = 96
+	}
+	if c.BoundaryVertices > opt.BoundaryVertices {
+		c.BoundaryVertices = opt.BoundaryVertices
+	}
+	c.Workers = 0
+	// At 4x the angle pitch the default ±5-column refinement spans cover
+	// tens of degrees and dominate every Locate; the narrow spans keep
+	// sub-cell accuracy where it matters (the winning cell) at a fifth of
+	// the quad solves.
+	c.FastRefine = true
+	return c
+}
+
+// seedLoc derives the seeding grid's localizer from the configured one:
+// the cheapest field that still separates head-parameter basins. Grid
+// points only need ranking — the simplex levels never run here — so the
+// resolution floor sits well below coarsenLoc's.
+func seedLoc(opt LocalizerOptions) LocalizerOptions {
+	c := coarsenLoc(opt)
+	if s := c.AngleStepDeg * 1.5; s <= 9 && s > c.AngleStepDeg {
+		c.AngleStepDeg = s
+	}
+	if c.RadiusSteps > 6 {
+		c.RadiusSteps = 6
+	}
+	if c.BoundaryVertices > 96 {
+		c.BoundaryVertices = 96
+	}
+	return c
 }
 
 // locateWithHint resolves the front/back ambiguity with the IMU angle,

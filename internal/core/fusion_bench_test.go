@@ -49,6 +49,20 @@ func BenchmarkFuseSensors(b *testing.B) {
 	}
 }
 
+// BenchmarkFuseSensorsExact times the dense exact solve (-exact fusion,
+// the pre-cascade behaviour): the reference the coarse-to-fine default is
+// measured against.
+func BenchmarkFuseSensorsExact(b *testing.B) {
+	obs := benchObservations(b, head.Params{A: 0.105, B: 0.085, C: 0.098})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FuseSensors(obs, FusionOptions{Exact: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFuseSensorsCoarse is the coarse-grid configuration the parallel
 // pipeline benchmarks use; it isolates the fusion share of those numbers.
 func BenchmarkFuseSensorsCoarse(b *testing.B) {

@@ -41,6 +41,12 @@ type LocalizerOptions struct {
 	// per-build fan-out only oversubscribes the CPU. Set >1 for builds on
 	// the critical path with idle cores (e.g. the final post-fit build).
 	Workers int
+	// FastRefine shrinks the sub-cell refinement's quad neighbourhood
+	// (±2 columns × ±1 ring instead of ±5 × ±3). On a coarse search grid
+	// the default spans cover tens of degrees and the quad solves dwarf
+	// the column scan, so the fusion cascade's coarse level sets this;
+	// full-resolution solves should leave it false.
+	FastRefine bool
 }
 
 func (o *LocalizerOptions) fillDefaults() {
@@ -277,9 +283,16 @@ func (l *Localizer) Locate(delayL, delayR float64) ([]Candidate, error) {
 		colMin[j] = cell{j: j, k: ck, c: cj}
 	}
 	const maxCands = 4
+	nWant := maxCands
+	if l.opt.FastRefine {
+		// Coarse-search callers only need the dominant front/back pair;
+		// the third and fourth picks exist for nearly symmetric heads at
+		// full resolution and would double the quad solves here.
+		nWant = 2
+	}
 	var picked [maxCands]cell
 	nPicked := 0
-	for nPicked < maxCands {
+	for nPicked < nWant {
 		best := cell{j: -1, c: math.Inf(1)}
 		for _, cm := range colMin {
 			if cm.c >= best.c {
@@ -342,7 +355,10 @@ func angularSep(j1, j2, n int) int {
 func (l *Localizer) refine(j, k int, delayL, delayR float64) Candidate {
 	rs := l.opt.RadiusSteps
 	best := Candidate{Residual: math.Inf(1)}
-	const jSpan, kSpan = 5, 3
+	jSpan, kSpan := 5, 3
+	if l.opt.FastRefine {
+		jSpan, kSpan = 2, 1
+	}
 	// quadSlack pads the corner-bound pruning test. The bilinear
 	// interpolant is a convex combination of its four corners, so in exact
 	// arithmetic a quad whose corner delay ranges exclude the target by

@@ -18,6 +18,11 @@ func coarseOptions(workers int) PipelineOptions {
 	return PipelineOptions{
 		Workers: workers,
 		Fusion: FusionOptions{
+			// Exact pins the frozen pre-cascade solve: the golden SHA-256
+			// test and the worker-determinism/observer tests all hash or
+			// compare output built on these options, and the fast cascade
+			// is deliberately not bit-compatible with it.
+			Exact:      true,
 			GridPoints: 2,
 			MaxEvals:   40,
 			Loc:        LocalizerOptions{AngleStepDeg: 3, RadiusSteps: 8, BoundaryVertices: 120},

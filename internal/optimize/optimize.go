@@ -302,6 +302,266 @@ func GridSearchParallel(f Objective, bounds Bounds, pointsPerDim, workers int) (
 	return best, nil
 }
 
+// GridSearchTopK evaluates f on a regular grid like GridSearchParallel but
+// returns the k best points in ascending objective order. Ties keep the
+// lower flat grid index, and every value is collected by index before the
+// selection scan, so the output is identical at any worker count. The
+// returned evals is the total number of objective calls (the full grid).
+func GridSearchTopK(f Objective, bounds Bounds, pointsPerDim, k, workers int) (best []Result, evals int, err error) {
+	dim := len(bounds.Lo)
+	if dim == 0 {
+		return nil, 0, errors.New("optimize: empty bounds")
+	}
+	if err := bounds.Validate(dim); err != nil {
+		return nil, 0, err
+	}
+	if pointsPerDim < 2 {
+		pointsPerDim = 2
+	}
+	if k < 1 {
+		k = 1
+	}
+	total := 1
+	for i := 0; i < dim; i++ {
+		total *= pointsPerDim
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	gridPoint := func(n int, x []float64) {
+		kk := n
+		for i := 0; i < dim; i++ {
+			idx := kk % pointsPerDim
+			kk /= pointsPerDim
+			x[i] = bounds.Lo[i] + (bounds.Hi[i]-bounds.Lo[i])*float64(idx)/float64(pointsPerDim-1)
+		}
+	}
+	vals := make([]float64, total)
+	if workers == 1 {
+		x := make([]float64, dim)
+		for n := 0; n < total; n++ {
+			gridPoint(n, x)
+			vals[n] = f(x)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				x := make([]float64, dim)
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= total {
+						return
+					}
+					gridPoint(n, x)
+					vals[n] = f(x)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if k > total {
+		k = total
+	}
+	// Partial selection: walk indices ascending and insert strictly better
+	// values, so equal values keep the earliest index.
+	type scored struct {
+		n int
+		v float64
+	}
+	top := make([]scored, 0, k)
+	for n, v := range vals {
+		if len(top) == k && v >= top[k-1].v {
+			continue
+		}
+		pos := len(top)
+		for pos > 0 && v < top[pos-1].v {
+			pos--
+		}
+		if len(top) < k {
+			top = append(top, scored{})
+		}
+		copy(top[pos+1:], top[pos:len(top)-1])
+		top[pos] = scored{n: n, v: v}
+	}
+	best = make([]Result, len(top))
+	for i, s := range top {
+		x := make([]float64, dim)
+		gridPoint(s.n, x)
+		best[i] = Result{X: x, F: s.v, Converged: true}
+	}
+	return best, total, nil
+}
+
+// CascadeLevel describes one resolution level of MinimizeCascade. Levels
+// run coarsest first: each level seeds from the previous level's survivors
+// (re-evaluated under its own objective) plus, optionally, its own grid
+// search, refines the best of them with Nelder-Mead, and promotes its TopK
+// best points to the next level.
+type CascadeLevel struct {
+	// F is the objective at this level's resolution. Values are only
+	// comparable within a level; survivors are always re-scored when they
+	// cross into the next one.
+	F Objective
+	// GridPoints per dimension for this level's seeding grid; 0 skips
+	// seeding and the level works from carried survivors / warm starts
+	// alone.
+	GridPoints int
+	// GridBounds optionally confines the seeding grid to a sub-box of the
+	// search bounds (a trust region); nil means the full bounds. Simplex
+	// refinement always runs against the full bounds (subject to Shrink),
+	// so a misplaced trust region slows the solve but cannot trap it.
+	GridBounds *Bounds
+	// TopK points survive this level (default 1).
+	TopK int
+	// RefineTop bounds how many of the kept points get simplex refinement
+	// (default: all TopK). Lets a coarse level promote runner-up basins
+	// without paying to polish them.
+	RefineTop int
+	// Shrink, on levels after the first, tightens the simplex bounds to
+	// this fraction of the full box extent centered on each refined point.
+	// Outside (0, 1) the full bounds are used.
+	Shrink float64
+	// NelderMead is this level's simplex budget; MaxEvals <= 0 skips
+	// refinement at this level entirely.
+	NelderMead NelderMeadOptions
+	// Workers parallelizes the seeding grid (<= 0 means GOMAXPROCS).
+	Workers int
+}
+
+// MinimizeCascade runs a coarse-to-fine minimization: cheap low-resolution
+// objectives explore, the final full-resolution objective polishes. warm
+// points (clamped into bounds) join the first level's candidate set — a
+// population-prior prediction slots in here. The result is the best
+// survivor of the last level under the last level's objective, with Evals
+// totalled across every level. For deterministic objectives the outcome is
+// bit-identical at any worker count.
+func MinimizeCascade(bounds Bounds, warm [][]float64, levels []CascadeLevel) (Result, error) {
+	dim := len(bounds.Lo)
+	if dim == 0 {
+		return Result{}, errors.New("optimize: empty bounds")
+	}
+	if err := bounds.Validate(dim); err != nil {
+		return Result{}, err
+	}
+	if len(levels) == 0 {
+		return Result{}, errors.New("optimize: cascade needs at least one level")
+	}
+	for _, lv := range levels {
+		if lv.F == nil {
+			return Result{}, errors.New("optimize: cascade level without objective")
+		}
+	}
+	type cand struct {
+		x []float64
+		f float64
+	}
+	// Stable insertion sort by value: candidate append order is
+	// deterministic, so ties resolve the same way every run.
+	sortCands := func(cs []cand) {
+		for i := 1; i < len(cs); i++ {
+			for j := i; j > 0 && cs[j].f < cs[j-1].f; j-- {
+				cs[j], cs[j-1] = cs[j-1], cs[j]
+			}
+		}
+	}
+	totalEvals := 0
+	var survivors []cand
+	for li, lv := range levels {
+		topK := lv.TopK
+		if topK < 1 {
+			topK = 1
+		}
+		var cands []cand
+		if li == 0 {
+			for _, w := range warm {
+				if len(w) != dim {
+					return Result{}, errors.New("optimize: warm-start dimension mismatch")
+				}
+				x := append([]float64(nil), w...)
+				bounds.Clamp(x)
+				cands = append(cands, cand{x: x, f: lv.F(x)})
+				totalEvals++
+			}
+		} else {
+			for _, s := range survivors {
+				cands = append(cands, cand{x: s.x, f: lv.F(s.x)})
+				totalEvals++
+			}
+		}
+		if lv.GridPoints > 0 {
+			gb := bounds
+			if lv.GridBounds != nil {
+				gb = *lv.GridBounds
+			}
+			top, evals, err := GridSearchTopK(lv.F, gb, lv.GridPoints, topK, lv.Workers)
+			if err != nil {
+				return Result{}, err
+			}
+			totalEvals += evals
+			for _, r := range top {
+				cands = append(cands, cand{x: r.X, f: r.F})
+			}
+		}
+		if len(cands) == 0 {
+			return Result{}, errors.New("optimize: cascade level has no candidates")
+		}
+		sortCands(cands)
+		if len(cands) > topK {
+			cands = cands[:topK]
+		}
+		if lv.NelderMead.MaxEvals > 0 {
+			refine := lv.RefineTop
+			if refine <= 0 || refine > len(cands) {
+				refine = len(cands)
+			}
+			for i := 0; i < refine; i++ {
+				b := bounds
+				if li > 0 && lv.Shrink > 0 && lv.Shrink < 1 {
+					b = shrinkAround(bounds, cands[i].x, lv.Shrink)
+				}
+				r, err := NelderMead(lv.F, cands[i].x, b, lv.NelderMead)
+				if err != nil {
+					return Result{}, err
+				}
+				totalEvals += r.Evals
+				if r.F < cands[i].f {
+					cands[i] = cand{x: r.X, f: r.F}
+				}
+			}
+			sortCands(cands)
+		}
+		survivors = cands
+	}
+	best := survivors[0]
+	return Result{X: best.x, F: best.f, Evals: totalEvals, Converged: true}, nil
+}
+
+// shrinkAround returns bounds tightened to frac of the full extent per
+// dimension, centered on x and clipped into the original box.
+func shrinkAround(bounds Bounds, x []float64, frac float64) Bounds {
+	dim := len(bounds.Lo)
+	out := Bounds{Lo: make([]float64, dim), Hi: make([]float64, dim)}
+	for i := 0; i < dim; i++ {
+		h := 0.5 * frac * (bounds.Hi[i] - bounds.Lo[i])
+		lo, hi := x[i]-h, x[i]+h
+		if lo < bounds.Lo[i] {
+			lo = bounds.Lo[i]
+		}
+		if hi > bounds.Hi[i] {
+			hi = bounds.Hi[i]
+		}
+		out.Lo[i], out.Hi[i] = lo, hi
+	}
+	return out
+}
+
 // GoldenSection minimizes a 1-D function on [lo, hi] to the given tolerance.
 func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
 	if tol <= 0 {

@@ -1,0 +1,237 @@
+package prior
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/head"
+	"repro/internal/sim"
+)
+
+func synthSamples(n int, rng *rand.Rand) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		p := head.Params{
+			A: 0.095 + 0.006*rng.NormFloat64(),
+			B: 0.075 + 0.004*rng.NormFloat64(),
+			C: 0.090 + 0.005*rng.NormFloat64(),
+		}
+		// Signature linearly coupled to the geometry plus noise — the
+		// regression should recover the coupling.
+		spec := []float64{
+			2 + 40*(p.A-0.095) + 0.01*rng.NormFloat64(),
+			1 - 25*(p.B-0.075) + 0.01*rng.NormFloat64(),
+			0.5 + 10*(p.C-0.090) + 0.01*rng.NormFloat64(),
+			-1 + 5*(p.A-0.095) - 5*(p.B-0.075) + 0.01*rng.NormFloat64(),
+		}
+		out[i] = Sample{Params: p, ResidualDeg: 1 + 2*rng.Float64(), Spectrum: spec}
+	}
+	return out
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit(nil, FitOptions{}); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("Fit(nil) = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestFitSingleProfile(t *testing.T) {
+	p := head.Params{A: 0.101, B: 0.082, C: 0.094}
+	m, err := Fit([]Sample{{Params: p, ResidualDeg: 2}}, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Usable() || m.Count != 1 {
+		t.Fatalf("single-profile model unusable: %+v", m)
+	}
+	got := m.Predict()
+	if got != p {
+		t.Errorf("Predict() = %+v, want the lone sample %+v", got, p)
+	}
+	lo := head.Params{A: 0.070, B: 0.055, C: 0.068}
+	hi := head.Params{A: 0.125, B: 0.100, C: 0.120}
+	tlo, thi := m.TrustRegion(lo, hi)
+	// Zero dispersion must fall back to the minimum half-width, not a
+	// degenerate point box.
+	for _, d := range [][2]float64{{tlo.A, thi.A}, {tlo.B, thi.B}, {tlo.C, thi.C}} {
+		if !(d[0] < d[1]) {
+			t.Fatalf("degenerate trust region: %+v .. %+v", tlo, thi)
+		}
+		if d[1]-d[0] < 0.008 {
+			t.Errorf("trust region width %g below the minimum", d[1]-d[0])
+		}
+	}
+	if tlo.A > p.A || thi.A < p.A {
+		t.Errorf("trust region %g..%g excludes the sample mean %g", tlo.A, thi.A, p.A)
+	}
+}
+
+func TestFitRecoversPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, err := Fit(synthSamples(200, rng), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mean[0]-0.095) > 0.002 || math.Abs(m.Mean[1]-0.075) > 0.002 || math.Abs(m.Mean[2]-0.090) > 0.002 {
+		t.Errorf("mean %v far from the generating population", m.Mean)
+	}
+	for j, sigma := range []float64{0.006, 0.004, 0.005} {
+		if m.Std[j] < sigma/2 || m.Std[j] > sigma*2 {
+			t.Errorf("std[%d] = %g, generating sigma %g", j, m.Std[j], sigma)
+		}
+	}
+	// Eigen decomposition sanity: descending, non-negative, orthonormal.
+	for i := 1; i < len(m.Eigenvalues); i++ {
+		if m.Eigenvalues[i] > m.Eigenvalues[i-1]+1e-18 {
+			t.Errorf("eigenvalues not descending: %v", m.Eigenvalues)
+		}
+	}
+	for i := range m.Components {
+		if m.Eigenvalues[i] < -1e-12 {
+			t.Errorf("negative eigenvalue %g", m.Eigenvalues[i])
+		}
+		for j := range m.Components {
+			dot := 0.0
+			for k := 0; k < 3; k++ {
+				dot += m.Components[i][k] * m.Components[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Errorf("components not orthonormal: <%d,%d> = %g", i, j, dot)
+			}
+		}
+	}
+	// Spectral regression recovers the planted linear coupling.
+	probe := head.Params{A: 0.100, B: 0.072, C: 0.093}
+	spec := m.PredictSpectrum(probe)
+	if len(spec) != 4 {
+		t.Fatalf("PredictSpectrum length %d, want 4", len(spec))
+	}
+	want := []float64{
+		2 + 40*(probe.A-0.095),
+		1 - 25*(probe.B-0.075),
+		0.5 + 10*(probe.C-0.090),
+		-1 + 5*(probe.A-0.095) - 5*(probe.B-0.075),
+	}
+	for b := range want {
+		if math.Abs(spec[b]-want[b]) > 0.05 {
+			t.Errorf("band %d predicted %g, want ~%g", b, spec[b], want[b])
+		}
+	}
+}
+
+func TestFitDownweightsNoisyProfiles(t *testing.T) {
+	good := make([]Sample, 0, 21)
+	for i := 0; i < 20; i++ {
+		good = append(good, Sample{Params: head.Params{A: 0.095, B: 0.075, C: 0.090}, ResidualDeg: 1})
+	}
+	outlier := Sample{Params: head.Params{A: 0.124, B: 0.099, C: 0.119}, ResidualDeg: 60}
+	m, err := Fit(append(good, outlier), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unweighted mean would move A by (0.124-0.095)/21 ≈ 1.4 mm; the
+	// quality weight must keep the shift an order of magnitude smaller.
+	if d := math.Abs(m.Mean[0] - 0.095); d > 0.0002 {
+		t.Errorf("noisy outlier moved the mean by %.4g m", d)
+	}
+}
+
+func TestTrustRegionClampsToBounds(t *testing.T) {
+	m := &Model{Version: Version, Count: 5, Mean: [3]float64{0.071, 0.099, 0.090}, Std: [3]float64{0.02, 0.02, 0}}
+	lo := head.Params{A: 0.070, B: 0.055, C: 0.068}
+	hi := head.Params{A: 0.125, B: 0.100, C: 0.120}
+	tlo, thi := m.TrustRegion(lo, hi)
+	if tlo.A < lo.A || thi.B > hi.B {
+		t.Errorf("trust region escaped bounds: %+v .. %+v", tlo, thi)
+	}
+	if !(tlo.A < thi.A && tlo.B < thi.B && tlo.C < thi.C) {
+		t.Errorf("trust region degenerate after clamping: %+v .. %+v", tlo, thi)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := Fit(synthSamples(40, rng), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), FileName)
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != m.Count || got.Mean != m.Mean || got.Std != m.Std {
+		t.Errorf("round trip changed the model: %+v vs %+v", got, m)
+	}
+	// No staging litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("staging litter after Save: %v", entries)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, FileName)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file: %v, want ErrNotExist", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt file should fail")
+	}
+	stale := filepath.Join(dir, "stale.json")
+	os.WriteFile(stale, []byte(`{"version":99,"count":3}`), 0o644)
+	if _, err := Load(stale); err == nil {
+		t.Error("version mismatch should fail")
+	}
+}
+
+func TestSpectralSignature(t *testing.T) {
+	tab, err := sim.MeasureGroundTruthFar(sim.NewVolunteer(2, 7), 48000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := SpectralSignature(tab, 8)
+	if len(sig) != 8 {
+		t.Fatalf("signature length %d, want 8", len(sig))
+	}
+	again := SpectralSignature(tab, 8)
+	for b := range sig {
+		if sig[b] != again[b] {
+			t.Fatal("signature not deterministic")
+		}
+		if math.IsNaN(sig[b]) || math.IsInf(sig[b], 0) {
+			t.Fatalf("band %d is %g", b, sig[b])
+		}
+	}
+	// Different heads → different signatures.
+	other, err := sim.MeasureGroundTruthFar(sim.NewVolunteer(9, 7), 48000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for b, v := range SpectralSignature(other, 8) {
+		diff += math.Abs(v - sig[b])
+	}
+	if diff == 0 {
+		t.Error("distinct volunteers produced identical signatures")
+	}
+	if SpectralSignature(nil, 8) != nil {
+		t.Error("nil table should give nil")
+	}
+}

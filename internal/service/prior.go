@@ -1,0 +1,118 @@
+package service
+
+import (
+	"errors"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/prior"
+)
+
+// priorSpectrumBands is the spectral-signature resolution fitted into the
+// population prior. Small on purpose: the regression has three inputs.
+const priorSpectrumBands = 8
+
+// priorManager owns the service's population prior: one model loaded (or
+// fitted) at startup, swapped atomically on every background refit, and
+// persisted under the store directory so the next process starts warm. The
+// model itself is immutable once published; solvers read whatever version
+// is current when their job starts.
+type priorManager struct {
+	store *Store
+	path  string
+	min   int // fewest profiles worth fitting over
+	every int // refit after this many newly stored profiles
+	log   *slog.Logger
+
+	model atomic.Pointer[prior.Model]
+
+	stored atomic.Int64 // profiles stored since the last refit
+	mu     sync.Mutex   // serializes refits (Fit + Save + swap)
+}
+
+func newPriorManager(store *Store, refreshEvery, minProfiles int, log *slog.Logger) *priorManager {
+	if refreshEvery <= 0 {
+		refreshEvery = 16
+	}
+	if minProfiles <= 0 {
+		minProfiles = 3
+	}
+	m := &priorManager{
+		store: store,
+		path:  filepath.Join(store.Dir(), prior.FileName),
+		min:   minProfiles,
+		every: refreshEvery,
+		log:   log,
+	}
+	// Warm start: a persisted model wins (it is exactly what the last
+	// process fitted); otherwise fit once from whatever profiles already
+	// exist on disk.
+	if pm, err := prior.Load(m.path); err == nil {
+		m.model.Store(pm)
+		m.log.Info("population prior loaded", "path", m.path, "profiles", pm.Count)
+	} else {
+		if !errors.Is(err, os.ErrNotExist) {
+			m.log.Warn("population prior unreadable, refitting", "path", m.path, "err", err)
+		}
+		m.refit()
+	}
+	return m
+}
+
+// current returns the latest published model (nil before the store has
+// enough profiles). The returned model is immutable.
+func (m *priorManager) current() *prior.Model {
+	return m.model.Load()
+}
+
+// onStored counts a newly persisted profile and kicks an asynchronous
+// refit once enough have accumulated. Safe from any worker goroutine.
+func (m *priorManager) onStored() {
+	if m.stored.Add(1) < int64(m.every) {
+		return
+	}
+	m.stored.Store(0)
+	go m.refit()
+}
+
+// refit fits a fresh model over every stored profile and publishes it.
+// Refits serialize on m.mu; a failure leaves the previous model in place.
+func (m *priorManager) refit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	users, err := m.store.Users()
+	if err != nil {
+		m.log.Warn("prior refit: listing profiles failed", "err", err)
+		return
+	}
+	samples := make([]prior.Sample, 0, len(users))
+	for _, u := range users {
+		p, err := m.store.Get(u)
+		if err != nil {
+			continue // racing deletion or a corrupt file; fit over the rest
+		}
+		samples = append(samples, prior.Sample{
+			Params:      p.HeadParams,
+			ResidualDeg: p.MeanResidualDeg,
+			Spectrum:    prior.SpectralSignature(p.Table, priorSpectrumBands),
+		})
+	}
+	if len(samples) < m.min {
+		return
+	}
+	model, err := prior.Fit(samples, prior.FitOptions{})
+	if err != nil {
+		m.log.Warn("prior refit failed", "profiles", len(samples), "err", err)
+		return
+	}
+	if err := prior.Save(m.path, model); err != nil {
+		m.log.Warn("prior persist failed", "path", m.path, "err", err)
+		// Still publish: the fit is good even if the disk is not.
+	}
+	m.model.Store(model)
+	m.log.Info("population prior refitted", "profiles", model.Count,
+		"meanA", model.Mean[0], "meanB", model.Mean[1], "meanC", model.Mean[2])
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/head"
+	"repro/internal/prior"
+)
+
+// priorProbe is a stub solver that records the prior each solve received
+// and returns profiles with distinct head geometries.
+type priorProbe struct {
+	mu     sync.Mutex
+	priors []*prior.Model
+	n      int
+}
+
+func (p *priorProbe) run(_ context.Context, _ core.SessionInput, opt core.PipelineOptions) (*core.Personalization, error) {
+	p.mu.Lock()
+	p.priors = append(p.priors, opt.Fusion.Prior)
+	p.n++
+	n := p.n
+	p.mu.Unlock()
+	res := fakeResult()
+	res.HeadParams = head.Params{
+		A: 0.100 + 0.002*float64(n%3),
+		B: 0.080 + 0.001*float64(n%4),
+		C: 0.092 + 0.001*float64(n%2),
+	}
+	res.MeanResidualDeg = 2
+	return res, nil
+}
+
+func (p *priorProbe) prior(i int) *prior.Model {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.priors[i]
+}
+
+// submitAndWait pushes one session through the pool and requires it done.
+func submitAndWait(t *testing.T, svc *Service, user string) {
+	t.Helper()
+	st, err := svc.Pool().Submit(user, tinySession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitState(t, svc.Pool(), st.ID); final.State != JobDone {
+		t.Fatalf("job for %s finished %s (%s)", user, final.State, final.Error)
+	}
+}
+
+// waitPrior polls until the service publishes a prior (refits are
+// asynchronous) or the deadline passes.
+func waitPrior(svc *Service, d time.Duration) *prior.Model {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if m := svc.PriorModel(); m != nil {
+			return m
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// TestPriorLifecycle walks the population prior through its whole life:
+// cold start (no profiles, solves run without a prior), warm-up (refits
+// kick in once the store crosses the minimum), injection (later solves see
+// the model), persistence (the model file lives beside the profiles,
+// hidden from the user listing), and reload (a fresh service starts warm).
+func TestPriorLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	probe := &priorProbe{}
+	cfg := Config{
+		StoreDir:          dir,
+		Workers:           1,
+		PriorEnabled:      true,
+		PriorRefreshEvery: 1,
+		PriorMinProfiles:  2,
+		run:               probe.run,
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold start: an empty store fits nothing.
+	if m := svc.PriorModel(); m != nil {
+		t.Fatalf("cold service published a prior: %+v", m)
+	}
+	submitAndWait(t, svc, "u1")
+	if probe.prior(0) != nil {
+		t.Error("first solve should run without a prior")
+	}
+
+	// One profile is below PriorMinProfiles; still cold.
+	if m := waitPrior(svc, 200*time.Millisecond); m != nil {
+		t.Fatalf("prior fitted below the profile minimum: count %d", m.Count)
+	}
+	submitAndWait(t, svc, "u2")
+	m := waitPrior(svc, 5*time.Second)
+	if m == nil {
+		t.Fatal("prior never fitted after reaching the minimum")
+	}
+	if m.Count != 2 {
+		t.Errorf("prior fitted over %d profiles, want 2", m.Count)
+	}
+
+	// A later solve receives the model.
+	submitAndWait(t, svc, "u3")
+	if probe.prior(2) == nil {
+		t.Error("third solve should have been warm-started")
+	}
+
+	// Persisted beside the profiles, hidden from the user listing.
+	path := filepath.Join(dir, prior.FileName)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("prior not persisted: %v", err)
+	}
+	users, err := svc.Store().Users()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users {
+		if u == "" || u[0] == '.' {
+			t.Errorf("prior file leaked into the user listing: %q", u)
+		}
+	}
+	if len(users) != 3 {
+		t.Errorf("store lists %d users, want 3: %v", len(users), users)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh service over the same directory loads the persisted model
+	// immediately — OpenStore's staging sweep must not eat it.
+	svc2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc2.Shutdown(ctx)
+	}()
+	m2 := svc2.PriorModel()
+	if m2 == nil {
+		t.Fatal("restarted service did not load the persisted prior")
+	}
+	if m2.Count < 2 {
+		t.Errorf("reloaded prior count %d, want >= 2", m2.Count)
+	}
+}
+
+// TestPriorSingleProfile pins the smallest warm store: with the minimum at
+// one, a single profile yields a usable (if degenerate) model predicting
+// that profile's geometry.
+func TestPriorSingleProfile(t *testing.T) {
+	probe := &priorProbe{}
+	svc, err := New(Config{
+		StoreDir:          t.TempDir(),
+		Workers:           1,
+		PriorEnabled:      true,
+		PriorRefreshEvery: 1,
+		PriorMinProfiles:  1,
+		run:               probe.run,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	}()
+	submitAndWait(t, svc, "solo")
+	m := waitPrior(svc, 5*time.Second)
+	if m == nil {
+		t.Fatal("single-profile prior never fitted")
+	}
+	if m.Count != 1 || !m.Usable() {
+		t.Fatalf("single-profile model unusable: %+v", m)
+	}
+	prof, err := svc.Store().Get("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(); got != prof.HeadParams {
+		t.Errorf("Predict() = %+v, want the lone profile's %+v", got, prof.HeadParams)
+	}
+}
+
+// TestPriorDisabled pins the default-off path: no model, no file, no
+// injection.
+func TestPriorDisabled(t *testing.T) {
+	dir := t.TempDir()
+	probe := &priorProbe{}
+	svc, err := New(Config{StoreDir: dir, Workers: 1, run: probe.run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	}()
+	for i := 0; i < 3; i++ {
+		submitAndWait(t, svc, fmt.Sprintf("user%d", i))
+	}
+	if m := svc.PriorModel(); m != nil {
+		t.Errorf("disabled prior published a model: %+v", m)
+	}
+	if _, err := os.Stat(filepath.Join(dir, prior.FileName)); !os.IsNotExist(err) {
+		t.Errorf("disabled prior left a file on disk: %v", err)
+	}
+	for i, p := range probe.priors {
+		if p != nil {
+			t.Errorf("solve %d received a prior while disabled", i)
+		}
+	}
+}

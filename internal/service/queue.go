@@ -88,6 +88,10 @@ type PoolConfig struct {
 
 	// run overrides the solver (tests); nil means core.PersonalizeContext.
 	run func(context.Context, core.SessionInput, core.PipelineOptions) (*core.Personalization, error)
+
+	// onStored is called after a profile is successfully persisted (the
+	// prior manager's refresh hook); nil disables.
+	onStored func(*StoredProfile)
 }
 
 // Pool is the bounded job queue plus the workers draining it. Completed
@@ -292,7 +296,10 @@ func (p *Pool) runJob(j *job) {
 	res, err := p.cfg.run(ctx, j.input, p.cfg.Pipeline)
 	cancel()
 	if err == nil {
-		err = p.cfg.Store.Put(profileFrom(j, res))
+		prof := profileFrom(j, res)
+		if err = p.cfg.Store.Put(prof); err == nil && p.cfg.onStored != nil {
+			p.cfg.onStored(prof)
+		}
 	}
 	p.finish(j, err)
 }

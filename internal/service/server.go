@@ -12,6 +12,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/prior"
 	"repro/internal/render"
 )
 
@@ -33,6 +34,17 @@ type Config struct {
 	// fusion seeding grid across cores. Independent of Workers (concurrent
 	// solves): total parallelism is roughly Workers × PipelineWorkers.
 	PipelineWorkers int
+	// PriorEnabled turns on the population prior: at startup the service
+	// loads (or fits from stored profiles) a model persisted under the
+	// store directory, injects it into every non-exact fusion solve as a
+	// warm start, and refits it in the background as profiles accumulate.
+	PriorEnabled bool
+	// PriorRefreshEvery refits the prior after that many newly stored
+	// profiles (default 16).
+	PriorRefreshEvery int
+	// PriorMinProfiles is the fewest stored profiles a prior may be fitted
+	// over (default 3); below it solves run cold.
+	PriorMinProfiles int
 	// MaxBodyBytes bounds request bodies (default 64 MiB — a measurement
 	// session is a few MB of JSON).
 	MaxBodyBytes int64
@@ -60,6 +72,7 @@ type Service struct {
 	cfg     Config
 	store   *Store
 	pool    *Pool
+	prior   *priorManager // nil unless PriorEnabled
 	metrics *serviceMetrics
 	log     *slog.Logger
 	handler http.Handler
@@ -91,6 +104,27 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	var (
+		pm       *priorManager
+		onStored func(*StoredProfile)
+	)
+	if cfg.PriorEnabled {
+		pm = newPriorManager(store, cfg.PriorRefreshEvery, cfg.PriorMinProfiles, cfg.Logger)
+		onStored = func(*StoredProfile) { pm.onStored() }
+		// Inject the current model into every solve. The exact path ignores
+		// FusionOptions.Prior, so the frozen bit-exact mode stays frozen
+		// even with the prior enabled.
+		inner := cfg.run
+		if inner == nil {
+			inner = core.PersonalizeContext
+		}
+		cfg.run = func(ctx context.Context, in core.SessionInput, opt core.PipelineOptions) (*core.Personalization, error) {
+			if m := pm.current(); m.Usable() && opt.Fusion.Prior == nil {
+				opt.Fusion.Prior = m
+			}
+			return inner(ctx, in, opt)
+		}
+	}
 	pool, err := NewPool(PoolConfig{
 		Workers:    cfg.Workers,
 		QueueDepth: cfg.QueueDepth,
@@ -99,6 +133,7 @@ func New(cfg Config) (*Service, error) {
 		Store:      store,
 		Logger:     cfg.Logger,
 		run:        cfg.run,
+		onStored:   onStored,
 	})
 	if err != nil {
 		return nil, err
@@ -107,6 +142,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:     cfg,
 		store:   store,
 		pool:    pool,
+		prior:   pm,
 		metrics: newServiceMetrics(reg, pool, store),
 		log:     cfg.Logger,
 	}
@@ -141,6 +177,15 @@ func (s *Service) Store() *Store { return s.store }
 
 // Pool exposes the job pool.
 func (s *Service) Pool() *Pool { return s.pool }
+
+// PriorModel returns the current population-prior model, or nil when the
+// prior is disabled or still cold (too few stored profiles).
+func (s *Service) PriorModel() *prior.Model {
+	if s.prior == nil {
+		return nil
+	}
+	return s.prior.current()
+}
 
 // Shutdown drains the job pool; see Pool.Shutdown. The HTTP server is
 // drained separately by its own Shutdown.

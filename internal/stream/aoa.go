@@ -57,12 +57,11 @@ type AngleEvent struct {
 // An AoATracker is single-goroutine; wrap it like Session wraps Convolver
 // for concurrent use.
 type AoATracker struct {
-	table *hrtf.Table
-	sr    float64
+	est *core.AoAEstimator
+	sr  float64
 
 	window, hop int
 	alpha, hyst float64
-	aoa         core.AoAOptions
 	maxPending  int
 
 	left, right []float64 // pending stereo samples
@@ -70,6 +69,8 @@ type AoATracker struct {
 
 	started        bool
 	ema, committed float64
+
+	events []AngleEvent // reused across pushes
 
 	windows, estErrs, overruns uint64
 }
@@ -115,17 +116,24 @@ func NewAoATracker(t *hrtf.Table, opt TrackerOptions) (*AoATracker, error) {
 	if maxPending < window {
 		maxPending = window
 	}
+	// One estimator for the tracker's lifetime: the FFT plans, the table's
+	// cached spectra/ITDs, and all per-window scratch are set up here once,
+	// so the steady Push path never allocates.
+	est, err := core.NewAoAEstimator(t, window, window, opt.AoA)
+	if err != nil {
+		return nil, err
+	}
 	return &AoATracker{
-		table:      t,
+		est:        est,
 		sr:         sr,
 		window:     window,
 		hop:        hop,
 		alpha:      alpha,
 		hyst:       hyst,
-		aoa:        opt.AoA,
 		maxPending: maxPending,
 		left:       make([]float64, 0, maxPending),
 		right:      make([]float64, 0, maxPending),
+		events:     make([]AngleEvent, 0, maxPending/hop+1),
 	}, nil
 }
 
@@ -150,7 +158,8 @@ func (tr *AoATracker) EstimateErrors() uint64 { return tr.estErrs }
 // Push appends stereo samples (per-ear slices; the shorter length wins)
 // and returns the angle events produced by the windows this push
 // completed. Samples beyond the pending bound are dropped and counted as
-// overruns.
+// overruns. The returned slice is reused by the next Push — copy events
+// that must outlive it.
 func (tr *AoATracker) Push(left, right []float64) []AngleEvent {
 	n := min(len(left), len(right))
 	room := tr.maxPending - len(tr.left)
@@ -161,9 +170,9 @@ func (tr *AoATracker) Push(left, right []float64) []AngleEvent {
 	tr.left = append(tr.left, left[:take]...)
 	tr.right = append(tr.right, right[:take]...)
 
-	var events []AngleEvent
+	events := tr.events[:0]
 	for len(tr.left) >= tr.window {
-		est, err := core.EstimateAoAUnknown(tr.left[:tr.window], tr.right[:tr.window], tr.table, tr.aoa)
+		est, err := tr.est.Estimate(tr.left[:tr.window], tr.right[:tr.window])
 		tr.windows++
 		if err != nil {
 			tr.estErrs++
@@ -175,6 +184,10 @@ func (tr *AoATracker) Push(left, right []float64) []AngleEvent {
 		tr.left = tr.left[:len(tr.left)-tr.hop]
 		tr.right = tr.right[:len(tr.right)-tr.hop]
 		tr.consumed += tr.hop
+	}
+	tr.events = events[:0]
+	if len(events) == 0 {
+		return nil
 	}
 	return events
 }

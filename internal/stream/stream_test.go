@@ -446,6 +446,33 @@ func TestAoATrackerOverruns(t *testing.T) {
 	}
 }
 
+// TestAoATrackerZeroAllocSteadyState pins the estimation hot path: once the
+// estimator's plans and scratch are warm, a hop of stereo input in and one
+// eq. 11 estimate out must not allocate at all.
+func TestAoATrackerZeroAllocSteadyState(t *testing.T) {
+	tab := testTable(t)
+	tr, err := stream.NewAoATracker(tab, stream.TrackerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tr.Window()
+	l, r := synthStatic(t, tab, 40, w, 4)
+	// Prime one full window so every subsequent push completes a hop, and
+	// warm the FFT scratch pools.
+	if ev := tr.Push(l, r); len(ev) == 0 {
+		t.Fatal("priming window produced no estimate")
+	}
+	hop := tr.Hop()
+	allocs := testing.AllocsPerRun(100, func() {
+		if ev := tr.Push(l[:hop], r[:hop]); len(ev) == 0 {
+			t.Fatal("hop produced no estimate")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Push allocates %.1f times per hop, want 0", allocs)
+	}
+}
+
 // TestSessionUnderrunsAndPose covers the remaining Session surface:
 // underrun accounting for a starved reader, pose updates changing the
 // rendered image, and stats totals.
