@@ -43,6 +43,7 @@ func TestBenchRegressionGuard(t *testing.T) {
 	for _, rec := range sum.Benchmarks {
 		if !strings.HasPrefix(rec.Name, "fft/planned/") &&
 			!strings.HasPrefix(rec.Name, "stream/") &&
+			!strings.HasPrefix(rec.Name, "store/") &&
 			!strings.HasPrefix(rec.Name, "fuseSensors") &&
 			!strings.HasPrefix(rec.Name, "personalize/") {
 			continue

@@ -1,0 +1,270 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/head"
+	"repro/internal/hrtf"
+	"repro/internal/segstore"
+	"repro/internal/sim"
+)
+
+// Store bench shape: enough profiles that reads stride across records, a
+// realistic measured table per profile (smooth HRIRs — what the XOR codec
+// sees in production, not sparse synthetic impulses).
+const (
+	storeBenchProfiles  = 32
+	storeBenchBulkBatch = 64
+)
+
+// storeBenchTable memoizes one measured ground-truth table shared by every
+// store kernel (measuring it costs more than the benchmarks themselves).
+var storeBenchTable struct {
+	sync.Once
+	tab *hrtf.Table
+	err error
+}
+
+func storeBenchTab() (*hrtf.Table, error) {
+	s := &storeBenchTable
+	s.Do(func() { s.tab, s.err = sim.MeasureGroundTruthFar(sim.NewVolunteer(1, 3), 48000, 10) })
+	return s.tab, s.err
+}
+
+// storeBenchProfile builds one profile around the shared table. The
+// metadata varies per user so records are not byte-identical.
+func storeBenchProfile(user string, i int, tab *hrtf.Table) *segstore.Profile {
+	return &segstore.Profile{
+		User:            user,
+		JobID:           fmt.Sprintf("bench%016x", i),
+		CreatedUnixMS:   1700000000000 + int64(i),
+		HeadParams:      head.Params{A: 0.09 + float64(i)*1e-4, B: 0.08, C: 0.095},
+		MeanResidualDeg: 1.5 + float64(i)*0.01,
+		GestureOK:       true,
+		Table:           tab,
+	}
+}
+
+func storeBenchUsers(n int) []string {
+	users := make([]string, n)
+	for i := range users {
+		users[i] = fmt.Sprintf("bench-user-%03d", i)
+	}
+	return users
+}
+
+// openColdStore fills a fresh segment store under dir with n profiles.
+func openColdStore(dir string, n int) (*segstore.Store, []string, error) {
+	tab, err := storeBenchTab()
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := segstore.Open(dir, segstore.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	users := storeBenchUsers(n)
+	batch := make([]*segstore.Profile, n)
+	for i, u := range users {
+		batch[i] = storeBenchProfile(u, i, tab)
+	}
+	if err := st.PutBatch(batch); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return st, users, nil
+}
+
+// writeLegacyJSONStore renders the same profiles in the pre-segment layout
+// (one JSON file per user) and returns the paths plus total bytes.
+func writeLegacyJSONStore(dir string, n int) ([]string, int64, error) {
+	tab, err := storeBenchTab()
+	if err != nil {
+		return nil, 0, err
+	}
+	users := storeBenchUsers(n)
+	paths := make([]string, n)
+	var total int64
+	for i, u := range users {
+		data, err := json.Marshal(storeBenchProfile(u, i, tab))
+		if err != nil {
+			return nil, 0, err
+		}
+		paths[i] = filepath.Join(dir, u+".json")
+		if err := os.WriteFile(paths[i], data, 0o644); err != nil {
+			return nil, 0, err
+		}
+		total += int64(len(data))
+	}
+	return paths, total, nil
+}
+
+// measureStoreKernel handles the store/* bench.json kernels. Each one
+// measures the persistence layer with no LRU in front:
+//
+//	store/coldread       indexed point read + binary decode per op
+//	store/coldread-json  the legacy baseline: ReadFile + json.Unmarshal
+//	store/put            one durable profile write (group-commit fsync path)
+//	store/bulkload       PutBatch of storeBenchBulkBatch profiles per op
+func measureStoreKernel(name string) (testing.BenchmarkResult, bool) {
+	switch name {
+	case "store/coldread":
+		dir, err := os.MkdirTemp("", "benchstore")
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		defer os.RemoveAll(dir)
+		st, users, err := openColdStore(dir, storeBenchProfiles)
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		defer st.Close()
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Get(users[i%len(users)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), true
+	case "store/coldread-json":
+		dir, err := os.MkdirTemp("", "benchstore")
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		defer os.RemoveAll(dir)
+		paths, _, err := writeLegacyJSONStore(dir, storeBenchProfiles)
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := os.ReadFile(paths[i%len(paths)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				var p segstore.Profile
+				if err := json.Unmarshal(data, &p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), true
+	case "store/put":
+		dir, err := os.MkdirTemp("", "benchstore")
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		defer os.RemoveAll(dir)
+		tab, err := storeBenchTab()
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		st, err := segstore.Open(dir, segstore.Options{})
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		defer st.Close()
+		users := storeBenchUsers(storeBenchProfiles)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := st.Put(storeBenchProfile(users[i%len(users)], i, tab)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}), true
+	case "store/bulkload":
+		tab, err := storeBenchTab()
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		users := storeBenchUsers(storeBenchBulkBatch)
+		batch := make([]*segstore.Profile, len(users))
+		for i, u := range users {
+			batch[i] = storeBenchProfile(u, i, tab)
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir, err := os.MkdirTemp("", "benchstore")
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := segstore.Open(dir, segstore.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				// The measured span is the bulk-load contract: every profile
+				// appended and the batch durable (one group commit).
+				if err := st.PutBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				st.Close()
+				os.RemoveAll(dir)
+				b.StartTimer()
+			}
+		}), true
+	}
+	return testing.BenchmarkResult{}, false
+}
+
+// storeBenchFootprint reports bytes-on-disk per profile for the segment
+// store vs the legacy JSON layout over the same profile set (the space half
+// of the cold-read comparison; both are also recorded in bench.json).
+func storeBenchFootprint() (segBytes, jsonBytes int64, err error) {
+	segDir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(segDir)
+	st, _, err := openColdStore(segDir, storeBenchProfiles)
+	if err != nil {
+		return 0, 0, err
+	}
+	stats := st.Stats()
+	st.Close()
+	segBytes = stats.DiskBytes / int64(stats.Profiles)
+
+	jsonDir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(jsonDir)
+	_, total, err := writeLegacyJSONStore(jsonDir, storeBenchProfiles)
+	if err != nil {
+		return 0, 0, err
+	}
+	jsonBytes = total / storeBenchProfiles
+	return segBytes, jsonBytes, nil
+}
+
+// TestStoreBenchKernelsRun is a fast sanity check (no env gate) that every
+// store kernel measures successfully — so a rename or setup failure shows
+// up in plain `go test` rather than only in the opt-in bench jobs.
+func TestStoreBenchKernelsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("store bench kernels build real stores; skipped in -short")
+	}
+	for _, name := range []string{"store/coldread", "store/coldread-json", "store/put", "store/bulkload"} {
+		if _, ok := measureKernel(name); !ok {
+			t.Errorf("kernel %q did not measure", name)
+		}
+	}
+	segB, jsonB, err := storeBenchFootprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segB <= 0 || jsonB <= 0 {
+		t.Fatalf("footprint: seg %d, json %d", segB, jsonB)
+	}
+	t.Logf("bytes/profile: segment %d vs json %d (%.2fx)", segB, jsonB, float64(jsonB)/float64(segB))
+}

@@ -12,6 +12,7 @@
 //	                [-source deg] [-yaw-rate deg/s] [-frame ms] [-aoa]
 //	uniqctl metrics -server http://host:8080 [-json] [-grep substr]
 //	uniqctl nodes   -server http://host:8080 [-json]
+//	uniqctl store   migrate|stat|compact -dir ./profiles [-json]
 //	uniqctl -version
 //
 // -compare additionally measures the user's ground-truth HRTF and the
@@ -44,6 +45,9 @@ func main() {
 			return
 		case "nodes":
 			runNodes(os.Args[2:])
+			return
+		case "store":
+			runStore(os.Args[2:])
 			return
 		}
 	}

@@ -1,14 +1,17 @@
 // Command uniqd serves UNIQ HRTF personalization over HTTP: measurement
 // sessions go into a bounded job queue drained by a worker pool running the
-// full pipeline; completed profiles are persisted to a directory of JSON
-// files (with an in-memory LRU in front) and served to readers alongside
-// AoA queries and binaural renders.
+// full pipeline; completed profiles are persisted in an append-only binary
+// segment store (with an in-memory LRU in front) and served to readers
+// alongside AoA queries and binaural renders. Directories written by older
+// builds (one JSON file per user) are migrated into the segment store on
+// startup.
 //
 // Usage:
 //
 //	uniqd [-addr :8080] [-dir ./profiles] [-workers N] [-queue N]
 //	      [-pipeline-workers N] [-job-timeout 10m] [-cache N] [-pprof]
 //	      [-prior] [-prior-refresh N] [-prior-min N]
+//	      [-store-segment-bytes N] [-store-compact-ratio R]
 //	      [-log-level info] [-log-format text] [-version]
 //
 // API (see DESIGN.md for the full table):
@@ -59,6 +62,10 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job solve deadline")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain deadline")
 	cache := flag.Int("cache", 128, "profiles kept in the in-memory LRU")
+	storeSegBytes := flag.Int64("store-segment-bytes", 0,
+		"roll the profile store to a new segment file past this size (0 = 64 MiB default)")
+	storeCompactRatio := flag.Float64("store-compact-ratio", 0,
+		"compact a sealed store segment once this fraction of its bytes is dead (0 = 0.5 default)")
 	priorEnabled := flag.Bool("prior", true,
 		"warm-start fusion solves with a population prior fitted over stored profiles")
 	priorRefresh := flag.Int("prior-refresh", 16, "refit the population prior after this many new profiles")
@@ -86,6 +93,8 @@ func main() {
 	svc, err := service.New(service.Config{
 		StoreDir:          *dir,
 		CacheSize:         *cache,
+		StoreSegmentBytes: *storeSegBytes,
+		StoreCompactRatio: *storeCompactRatio,
 		Workers:           *workers,
 		PipelineWorkers:   *pipelineWorkers,
 		QueueDepth:        *queue,

@@ -1,0 +1,62 @@
+package segstore
+
+import "errors"
+
+// bitWriter appends bits MSB-first into a byte slice. It backs the XOR
+// float compressor; the write path never fails.
+type bitWriter struct {
+	b     []byte
+	nbits uint // bits written so far
+}
+
+// writeBit appends one bit (the low bit of v).
+func (w *bitWriter) writeBit(v uint64) { w.writeBits(v&1, 1) }
+
+// writeBits appends the low n bits of v, most significant first. n <= 64.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.nbits%8 == 0 {
+			w.b = append(w.b, 0)
+		}
+		free := 8 - w.nbits%8
+		take := n
+		if take > free {
+			take = free
+		}
+		chunk := byte((v >> (n - take)) & ((1 << take) - 1))
+		w.b[len(w.b)-1] |= chunk << (free - take)
+		w.nbits += take
+		n -= take
+	}
+}
+
+// errBitUnderflow reports a bitstream read past its end — a corrupt or
+// truncated tap block.
+var errBitUnderflow = errors.New("segstore: bitstream underflow")
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	b   []byte
+	pos uint // bits consumed so far
+}
+
+// readBits returns the next n bits as the low bits of a uint64. n <= 64.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	if r.pos+n > uint(len(r.b))*8 {
+		return 0, errBitUnderflow
+	}
+	var v uint64
+	for n > 0 {
+		byteIdx := r.pos / 8
+		avail := 8 - r.pos%8
+		take := n
+		if take > avail {
+			take = avail
+		}
+		chunk := (r.b[byteIdx] >> (avail - take)) & ((1 << take) - 1)
+		v = v<<take | uint64(chunk)
+		r.pos += take
+		n -= take
+	}
+	return v, nil
+}

@@ -1,0 +1,185 @@
+package segstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// maybeKickCompaction nudges the background compactor without blocking.
+func (s *Store) maybeKickCompaction() {
+	if s.opt.ReadOnly || s.opt.DisableCompaction {
+		return
+	}
+	select {
+	case s.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+// compactor drains kick signals and rewrites segments until no victim
+// qualifies.
+func (s *Store) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closeCh:
+			return
+		case <-s.kickCh:
+		}
+		for {
+			select {
+			case <-s.closeCh:
+				return
+			default:
+			}
+			compacted, err := s.compactOnce()
+			if err != nil || !compacted {
+				break
+			}
+		}
+	}
+}
+
+// Compact synchronously rewrites qualifying segments until none is past
+// the dead-bytes threshold. It is the explicit form of what the
+// background compactor does on its own.
+func (s *Store) Compact() error {
+	if s.opt.ReadOnly {
+		return ErrReadOnly
+	}
+	for {
+		compacted, err := s.compactOnce()
+		if err != nil {
+			return err
+		}
+		if !compacted {
+			return nil
+		}
+	}
+}
+
+// pickVictim chooses the sealed segment most worth rewriting: past the
+// dead-ratio threshold (or fully dead), largest dead-byte count first.
+func (s *Store) pickVictim() *segment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var victim *segment
+	for _, seg := range s.segs {
+		if seg == s.active {
+			continue
+		}
+		total := seg.live + seg.dead
+		fullyDead := total > 0 && seg.live == 0
+		pastRatio := seg.dead >= int64(float64(total)*s.opt.CompactRatio) &&
+			total >= s.opt.MinCompactBytes && s.opt.CompactRatio < 1
+		empty := total == 0 // header-only leftover
+		if !fullyDead && !pastRatio && !empty {
+			continue
+		}
+		if victim == nil || seg.dead > victim.dead {
+			victim = seg
+		}
+	}
+	return victim
+}
+
+// oldestSegID returns the smallest live segment id (tombstone GC bound).
+func (s *Store) oldestSegID() uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	oldest := ^uint32(0)
+	for id := range s.segs {
+		if id < oldest {
+			oldest = id
+		}
+	}
+	return oldest
+}
+
+// compactOnce rewrites one victim segment: every record the index still
+// points at is re-appended to the active segment and repointed; superseded
+// records are dropped; tombstones are carried forward unless the victim is
+// the oldest segment (then nothing older can resurrect the key, so the
+// tombstone itself is garbage). The victim file is deleted once the
+// relocated records are durable.
+func (s *Store) compactOnce() (bool, error) {
+	if s.closed.Load() {
+		return false, nil
+	}
+	victim := s.pickVictim()
+	if victim == nil {
+		return false, nil
+	}
+	oldest := s.oldestSegID() == victim.id
+
+	var relocated bool
+	sr := io.NewSectionReader(victim.f, segHeaderSize, victim.size.Load()-segHeaderSize)
+	_, err := scanSegment(sr, segHeaderSize, func(rec record, off, size int64) error {
+		s.mu.RLock()
+		cur, ok := s.index[rec.key]
+		s.mu.RUnlock()
+		if !ok || cur.seg != victim.id || cur.off != off {
+			return nil // superseded: drop
+		}
+		if rec.kind == kindTombstone && oldest {
+			// No older segment can hold a put for this key; the tombstone
+			// has nothing left to shadow.
+			s.mu.Lock()
+			if cur2 := s.index[rec.key]; cur2.seg == victim.id && cur2.off == off {
+				delete(s.index, rec.key)
+				victim.live -= size
+				victim.dead += size
+			}
+			s.mu.Unlock()
+			return nil
+		}
+		// Relocate, preserving the original LSN so replay ordering is
+		// unchanged, then repoint the index only if no racing Put won.
+		newLoc, _, err := s.appendRecordLSN(rec.kind, rec.key, rec.payload, rec.lsn, false)
+		if err != nil {
+			return err
+		}
+		relocated = true
+		s.mu.Lock()
+		if cur2, ok := s.index[rec.key]; ok && cur2.seg == victim.id && cur2.off == off {
+			s.repointLocked(rec.key, newLoc)
+		} else if seg := s.segs[newLoc.seg]; seg != nil {
+			// A concurrent Put superseded us mid-flight: the fresh copy is
+			// immediately dead.
+			seg.dead += newLoc.size
+		}
+		s.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return false, fmt.Errorf("segstore: compact %s: %w", segName(victim.id), err)
+	}
+
+	// Relocated records must be durable before their only other copy is
+	// unlinked — even on NoSync stores.
+	if relocated {
+		s.appendMu.Lock()
+		f := s.active.f
+		s.appendMu.Unlock()
+		if err := f.Sync(); err != nil {
+			return false, fmt.Errorf("segstore: compact sync: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	// The roll path can have made the victim active again only if ids
+	// wrapped, which they do not; double-check anyway.
+	if s.segs[victim.id] != victim || victim == s.active {
+		s.mu.Unlock()
+		return false, nil
+	}
+	delete(s.segs, victim.id)
+	s.mu.Unlock()
+	victim.f.Close()
+	if err := os.Remove(victim.path); err != nil {
+		return false, fmt.Errorf("segstore: remove %s: %w", segName(victim.id), err)
+	}
+	s.compactions.Add(1)
+	return true, nil
+}

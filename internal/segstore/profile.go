@@ -1,0 +1,45 @@
+package segstore
+
+import (
+	"errors"
+
+	"repro/internal/head"
+	"repro/internal/hrtf"
+)
+
+// Profile is the persisted form of a completed personalization: the §4.4
+// lookup table plus the provenance a deployment wants alongside it. The
+// JSON tags are the service API's wire shape (service.StoredProfile is an
+// alias of this type); the binary segment codec in codec.go is the on-disk
+// shape.
+type Profile struct {
+	// User is the profile owner's identifier.
+	User string `json:"user"`
+	// JobID is the job that produced the profile (empty for imports).
+	JobID string `json:"jobId,omitempty"`
+	// CreatedUnixMS is the completion time, Unix milliseconds.
+	CreatedUnixMS int64 `json:"createdUnixMs"`
+	// HeadParams is the fitted head geometry E_opt.
+	HeadParams head.Params `json:"headParams"`
+	// MeanResidualDeg is the sensor-fusion residual (profile trust signal).
+	MeanResidualDeg float64 `json:"meanResidualDeg"`
+	// GestureOK / GestureReason summarize the sweep quality report.
+	GestureOK     bool   `json:"gestureOk"`
+	GestureReason string `json:"gestureReason,omitempty"`
+	// SkippedStops / StopError surface degraded sweeps: stops dropped by
+	// channel estimation and the first per-stop error (empty when none).
+	SkippedStops int    `json:"skippedStops,omitempty"`
+	StopError    string `json:"stopError,omitempty"`
+	// Table is the personalized near/far lookup table.
+	Table *hrtf.Table `json:"table"`
+}
+
+// Store-level errors.
+var (
+	// ErrNotFound is returned by Get for keys with no live record.
+	ErrNotFound = errors.New("segstore: key not found")
+	// ErrClosed is returned by mutating calls after Close.
+	ErrClosed = errors.New("segstore: store is closed")
+	// ErrReadOnly is returned by mutating calls on a read-only store.
+	ErrReadOnly = errors.New("segstore: store is read-only")
+)

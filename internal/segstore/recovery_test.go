@@ -1,0 +1,221 @@
+package segstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fillStore writes n profiles and closes the store, returning the segment
+// file path and the byte offsets where each record's frame ends (so tests
+// can truncate at record boundaries or mid-record).
+func fillStore(t *testing.T, dir string, n int) string {
+	t.Helper()
+	s, err := Open(dir, Options{NoSync: true, DisableCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put(testProfile(fmt.Sprintf("user-%02d", i), 3, 24, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, segName(1))
+}
+
+// reopenAndCheck opens dir and verifies that exactly the users in want are
+// readable and bit-exact, and that the recovery report matches wantDamage.
+func reopenAndCheck(t *testing.T, dir string, want []int, wantDamage bool) {
+	t.Helper()
+	s, err := Open(dir, Options{DisableCompaction: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	rec := s.Stats().Recovery
+	if rec.Damaged() != wantDamage {
+		t.Fatalf("Damaged() = %v, want %v (report %+v)", rec.Damaged(), wantDamage, rec)
+	}
+	if wantDamage && len(rec.Details) == 0 {
+		t.Fatal("damage reported with no details")
+	}
+	if got := s.Len(); got != len(want) {
+		t.Fatalf("recovered %d profiles, want %d (keys %v)", got, len(want), s.Keys())
+	}
+	for _, i := range want {
+		u := fmt.Sprintf("user-%02d", i)
+		got, err := s.Get(u)
+		if err != nil {
+			t.Fatalf("%s lost: %v", u, err)
+		}
+		profilesBitsEqual(t, testProfile(u, 3, 24, int64(i)), got)
+	}
+}
+
+func TestRecoveryTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path := fillStore(t, dir, 5)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop 11 bytes off the last record: a torn write. The first four
+	// records must survive; the tail must be reported and truncated away.
+	if err := os.WriteFile(path, data[:len(data)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, dir, []int{0, 1, 2, 3}, true)
+	// The damaged tail was truncated on open, so a second open is clean.
+	reopenAndCheck(t, dir, []int{0, 1, 2, 3}, false)
+}
+
+func TestRecoveryBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := fillStore(t, dir, 6)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit roughly two-thirds in: records before the flip survive,
+	// everything after is untrusted (the chain would let stale blocks
+	// masquerade as valid otherwise).
+	pos := len(data) * 2 / 3
+	data[pos] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{DisableCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := s.Stats().Recovery
+	if !rec.Damaged() {
+		t.Fatal("bit flip not reported")
+	}
+	if rec.DroppedBytes == 0 {
+		t.Fatal("bit flip reported but no dropped bytes counted")
+	}
+	// Every profile the store does serve must be bit-exact.
+	for _, u := range s.Keys() {
+		got, err := s.Get(u)
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		var i int
+		fmt.Sscanf(u, "user-%02d", &i)
+		profilesBitsEqual(t, testProfile(u, 3, 24, int64(i)), got)
+	}
+	// The store must accept new writes after recovery.
+	if err := s.Put(testProfile("after-crash", 3, 24, 99)); err != nil {
+		t.Fatalf("post-recovery put: %v", err)
+	}
+	s.Close()
+	s2, err := Open(dir, Options{DisableCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Stats().Recovery.Damaged() {
+		t.Fatalf("second open still damaged: %+v", s2.Stats().Recovery)
+	}
+	if _, err := s2.Get("after-crash"); err != nil {
+		t.Fatalf("post-recovery write lost: %v", err)
+	}
+}
+
+func TestRecoveryReadOnlyDoesNotTruncate(t *testing.T) {
+	dir := t.TempDir()
+	path := fillStore(t, dir, 4)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.Stats().Recovery.Damaged() {
+		t.Fatal("read-only open hid the damage")
+	}
+	ro.Close()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(len(data)-7) {
+		t.Fatalf("read-only open changed the file: %d -> %d bytes", len(data)-7, fi.Size())
+	}
+}
+
+func TestRecoveryGarbageAppendedAfterCleanRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := fillStore(t, dir, 3)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 300)
+	for i := range junk {
+		junk[i] = byte(i * 7)
+	}
+	if _, err := f.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reopenAndCheck(t, dir, []int{0, 1, 2}, true)
+}
+
+func TestRecoveryDamageInNonTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 4 << 10, NoSync: true, DisableCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(testProfile(fmt.Sprintf("user-%02d", i), 3, 24, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Segments < 2 {
+		t.Skip("profiles too small to roll segments at this size")
+	}
+	s.Close()
+	// Corrupt the middle of the FIRST segment. Records before the flip in
+	// seg 1 plus everything in later segments must survive; the store must
+	// not silently pretend seg 1 was fine.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{DisableCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.Stats().Recovery
+	if !rec.Damaged() || rec.DamagedSegments == 0 {
+		t.Fatalf("non-tail damage not reported: %+v", rec)
+	}
+	// Later segments' records must all still be present and exact.
+	for _, u := range s2.Keys() {
+		got, err := s2.Get(u)
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		var i int
+		fmt.Sscanf(u, "user-%02d", &i)
+		profilesBitsEqual(t, testProfile(u, 3, 24, int64(i)), got)
+	}
+}

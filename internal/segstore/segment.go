@@ -1,0 +1,302 @@
+package segstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Segment file identity.
+const (
+	segHeaderSize        = 16
+	segVersion    uint16 = 1
+)
+
+// segMagic opens every segment file.
+var segMagic = [8]byte{'U', 'Q', 'S', 'E', 'G', 0, 0, 1}
+
+// Record framing.
+const (
+	recMagic uint32 = 0x31525155 // "UQR1" little-endian
+
+	kindProfile   byte = 1
+	kindTombstone byte = 2
+
+	// maxKeyLen bounds record keys; service user ids are <= 64 bytes.
+	maxKeyLen = 4096
+	// maxPayloadLen bounds a single record; a dense 181-angle float64
+	// table is ~1.5 MB, so 256 MB is far beyond any real profile.
+	maxPayloadLen = 256 << 20
+)
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// chainSeed starts each segment's hash chain (the FNV-1a 64 offset basis).
+const chainSeed uint64 = 14695981039346656037
+
+// chainStep folds one record's CRC into the running chain hash.
+func chainStep(prev uint64, crc uint32) uint64 {
+	h := prev
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(crc >> (8 * i)))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// segFileHeader renders the 16-byte segment header.
+func segFileHeader() []byte {
+	b := make([]byte, segHeaderSize)
+	copy(b, segMagic[:])
+	binary.LittleEndian.PutUint16(b[8:], segVersion)
+	return b
+}
+
+func checkSegHeader(b []byte) error {
+	if len(b) < segHeaderSize {
+		return fmt.Errorf("segstore: segment header truncated (%d bytes)", len(b))
+	}
+	if [8]byte(b[:8]) != segMagic {
+		return errors.New("segstore: bad segment magic")
+	}
+	if v := binary.LittleEndian.Uint16(b[8:]); v != segVersion {
+		return fmt.Errorf("segstore: unsupported segment version %d", v)
+	}
+	return nil
+}
+
+// appendRecordBytes frames one record: header fields, CRC over them, and
+// the chain word derived from the previous chain state. It returns the
+// framed bytes and the new chain state.
+func appendRecordBytes(dst []byte, kind byte, lsn uint64, key string, payload []byte, prevChain uint64) ([]byte, uint64) {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, recMagic)
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, lsn)
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	chain := chainStep(prevChain, crc)
+	dst = binary.LittleEndian.AppendUint64(dst, chain)
+	return dst, chain
+}
+
+// record is one framed record as seen by the scanner or a point read.
+type record struct {
+	kind    byte
+	lsn     uint64
+	key     string
+	payload []byte
+	crc     uint32
+}
+
+// parseRecordBytes parses a complete framed record from buf (as read back
+// by Get via the index, so the length is already known). It verifies the
+// CRC but not the chain — chain verification needs sequential context and
+// happens in scanSegment.
+func parseRecordBytes(buf []byte) (record, error) {
+	var rec record
+	r := &byteReader{b: buf}
+	magic, err := r.u32()
+	if err != nil {
+		return rec, err
+	}
+	if magic != recMagic {
+		return rec, fmt.Errorf("segstore: bad record magic %#x", magic)
+	}
+	if rec.kind, err = r.u8(); err != nil {
+		return rec, err
+	}
+	if rec.lsn, err = r.uvarint(); err != nil {
+		return rec, err
+	}
+	if rec.key, err = r.str(); err != nil {
+		return rec, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if n > maxPayloadLen {
+		return rec, fmt.Errorf("segstore: record payload %d exceeds limit", n)
+	}
+	if rec.payload, err = r.take(int(n)); err != nil {
+		return rec, err
+	}
+	crcEnd := r.pos
+	if rec.crc, err = r.u32(); err != nil {
+		return rec, err
+	}
+	if got := crc32.Checksum(buf[:crcEnd], crcTable); got != rec.crc {
+		return rec, fmt.Errorf("segstore: record CRC mismatch (%#x vs %#x)", got, rec.crc)
+	}
+	if _, err = r.take(8); err != nil { // chain word
+		return rec, err
+	}
+	if r.pos != len(buf) {
+		return rec, fmt.Errorf("segstore: %d trailing bytes after record", len(buf)-r.pos)
+	}
+	return rec, nil
+}
+
+// scanResult summarizes one segment scan.
+type scanResult struct {
+	// goodEnd is the byte offset just past the last verified record.
+	goodEnd int64
+	// chain is the chain state after the last verified record.
+	chain uint64
+	// maxLSN is the highest sequence number seen.
+	maxLSN uint64
+	// damage is nil for a clean segment; otherwise it describes the first
+	// corruption (everything from goodEnd on is unreadable).
+	damage error
+}
+
+// scanSegment sequentially verifies a segment stream (positioned just past
+// the header) and calls fn for each valid record with its offset and
+// framed size. Scanning stops at the first damaged record: a torn tail
+// from a crash, a flipped bit, or a chain break from stale blocks.
+func scanSegment(r io.Reader, startOffset int64, fn func(rec record, off, size int64) error) (scanResult, error) {
+	res := scanResult{goodEnd: startOffset, chain: chainSeed}
+	br := bufio.NewReaderSize(r, 1<<20)
+	var buf []byte
+	for {
+		// Peek the fixed prefix first: a clean EOF here is the normal end.
+		head, err := br.Peek(5)
+		if err == io.EOF && len(head) == 0 {
+			return res, nil
+		}
+		// From here on any failure — including EOF mid-record — is a torn
+		// tail to report, not a clean end.
+		rec, size, chain, err := readOneRecord(br, &buf, res.chain)
+		if err != nil {
+			res.damage = err
+			return res, nil
+		}
+		if err := fn(rec, res.goodEnd, size); err != nil {
+			return res, err
+		}
+		res.goodEnd += size
+		res.chain = chain
+		if rec.lsn > res.maxLSN {
+			res.maxLSN = rec.lsn
+		}
+	}
+}
+
+// readOneRecord reads and verifies a single record from br. buf is reused
+// across calls. It returns the record, its framed size, and the new chain
+// state.
+func readOneRecord(br *bufio.Reader, buf *[]byte, prevChain uint64) (record, int64, uint64, error) {
+	var rec record
+	b := (*buf)[:0]
+	readN := func(n int) ([]byte, error) {
+		start := len(b)
+		for i := 0; i < n; i++ {
+			c, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("segstore: record truncated: %w", err)
+			}
+			b = append(b, c)
+		}
+		return b[start:], nil
+	}
+	readUvarint := func() (uint64, error) {
+		var v uint64
+		for shift := 0; ; shift += 7 {
+			if shift >= 64 {
+				return 0, errors.New("segstore: varint overflow")
+			}
+			c, err := br.ReadByte()
+			if err != nil {
+				return 0, fmt.Errorf("segstore: record truncated: %w", err)
+			}
+			b = append(b, c)
+			v |= uint64(c&0x7f) << shift
+			if c&0x80 == 0 {
+				return v, nil
+			}
+		}
+	}
+
+	magicB, err := readN(4)
+	if err != nil {
+		*buf = b
+		return rec, 0, 0, err
+	}
+	if got := binary.LittleEndian.Uint32(magicB); got != recMagic {
+		*buf = b
+		return rec, int64(len(b)), 0, fmt.Errorf("segstore: bad record magic %#x", got)
+	}
+	kindB, err := readN(1)
+	if err != nil {
+		*buf = b
+		return rec, 0, 0, err
+	}
+	rec.kind = kindB[0]
+	if rec.lsn, err = readUvarint(); err != nil {
+		*buf = b
+		return rec, 0, 0, err
+	}
+	keyLen, err := readUvarint()
+	if err != nil {
+		*buf = b
+		return rec, 0, 0, err
+	}
+	if keyLen > maxKeyLen {
+		*buf = b
+		return rec, int64(len(b)), 0, fmt.Errorf("segstore: record key length %d exceeds limit", keyLen)
+	}
+	keyB, err := readN(int(keyLen))
+	if err != nil {
+		*buf = b
+		return rec, 0, 0, err
+	}
+	rec.key = string(keyB)
+	payloadLen, err := readUvarint()
+	if err != nil {
+		*buf = b
+		return rec, 0, 0, err
+	}
+	if payloadLen > maxPayloadLen {
+		*buf = b
+		return rec, int64(len(b)), 0, fmt.Errorf("segstore: record payload length %d exceeds limit", payloadLen)
+	}
+	if rec.payload, err = readN(int(payloadLen)); err != nil {
+		*buf = b
+		return rec, 0, 0, err
+	}
+	crcEnd := len(b)
+	crcB, err := readN(4)
+	if err != nil {
+		*buf = b
+		return rec, 0, 0, err
+	}
+	rec.crc = binary.LittleEndian.Uint32(crcB)
+	if got := crc32.Checksum(b[:crcEnd], crcTable); got != rec.crc {
+		*buf = b
+		return rec, int64(len(b)), 0, fmt.Errorf("segstore: record CRC mismatch (%#x vs %#x)", got, rec.crc)
+	}
+	chainB, err := readN(8)
+	if err != nil {
+		*buf = b
+		return rec, 0, 0, err
+	}
+	wantChain := chainStep(prevChain, rec.crc)
+	if got := binary.LittleEndian.Uint64(chainB); got != wantChain {
+		*buf = b
+		return rec, int64(len(b)), 0, fmt.Errorf("segstore: record chain mismatch (%#x vs %#x)", got, wantChain)
+	}
+	// rec.payload aliases b, which the next call reuses: copy it out.
+	rec.payload = append([]byte(nil), rec.payload...)
+	size := int64(len(b))
+	*buf = b
+	return rec, size, wantChain, nil
+}

@@ -102,15 +102,23 @@ func newServiceMetrics(reg *obs.Registry, pool *Pool, store *Store) *serviceMetr
 	})
 
 	// Store: persisted profiles, cache occupancy, and the hit/miss/
-	// not-found/eviction counters.
+	// not-found/eviction counters. Profile count and byte accounting are
+	// in-memory index reads on the segment store — scrapes cost no disk I/O.
 	reg.GaugeFunc("uniqd_profiles_stored", "Profiles persisted on disk.",
-		func() float64 {
-			users, err := store.Users()
-			if err != nil {
-				return 0
-			}
-			return float64(len(users))
-		})
+		func() float64 { return float64(store.SegStats().Profiles) })
+	reg.GaugeFunc("uniqd_store_segments", "Segment files in the profile store.",
+		func() float64 { return float64(store.SegStats().Segments) })
+	reg.GaugeFunc("uniqd_store_disk_bytes", "Bytes on disk across store segments.",
+		func() float64 { return float64(store.SegStats().DiskBytes) })
+	reg.GaugeFunc("uniqd_store_dead_bytes", "Bytes superseded but not yet compacted.",
+		func() float64 { return float64(store.SegStats().DeadBytes) })
+	reg.CounterFunc("uniqd_store_group_commits_total", "Fsync batches on the store's append path.",
+		func() uint64 { return store.SegStats().GroupCommits })
+	reg.CounterFunc("uniqd_store_commit_waiters_total",
+		"Writes that waited on a group commit (waiters/commits = batching factor).",
+		func() uint64 { return store.SegStats().CommitWaiters })
+	reg.CounterFunc("uniqd_store_compactions_total", "Segment compactions completed.",
+		func() uint64 { return store.SegStats().Compactions })
 	reg.GaugeFunc("uniqd_profile_cache_entries", "Decoded profiles held in memory.",
 		func() float64 { return float64(store.Cached()) })
 	reg.CounterFunc("uniqd_profile_cache_hits_total", "Profile reads served from the cache.",

@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prior"
 	"repro/internal/render"
+	"repro/internal/segstore"
 )
 
 // Config assembles a Service.
@@ -22,6 +23,12 @@ type Config struct {
 	StoreDir string
 	// CacheSize bounds the in-memory profile cache (default 128).
 	CacheSize int
+	// StoreSegmentBytes rolls the profile store to a new segment file past
+	// this size (default 64 MiB).
+	StoreSegmentBytes int64
+	// StoreCompactRatio triggers background segment compaction once this
+	// fraction of a sealed segment's bytes is dead (default 0.5).
+	StoreCompactRatio float64
 	// Workers / QueueDepth / JobTimeout tune the solve pool (see
 	// PoolConfig).
 	Workers    int
@@ -100,9 +107,18 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Pipeline.Observer == nil {
 		cfg.Pipeline.Observer = obs.NewPipelineObserver(reg, cfg.Logger)
 	}
-	store, err := OpenStore(cfg.StoreDir, cfg.CacheSize)
+	store, err := OpenStoreWith(cfg.StoreDir, cfg.CacheSize, segstore.Options{
+		SegmentBytes: cfg.StoreSegmentBytes,
+		CompactRatio: cfg.StoreCompactRatio,
+	})
 	if err != nil {
 		return nil, err
+	}
+	if n := store.Migrated(); n > 0 {
+		cfg.Logger.Info("migrated legacy JSON profiles", "count", n)
+	}
+	for _, issue := range store.MigrationIssues() {
+		cfg.Logger.Warn("legacy profile left unmigrated", "issue", issue)
 	}
 	var (
 		pm       *priorManager
@@ -187,10 +203,17 @@ func (s *Service) PriorModel() *prior.Model {
 	return s.prior.current()
 }
 
-// Shutdown drains the job pool; see Pool.Shutdown. The HTTP server is
-// drained separately by its own Shutdown.
+// Shutdown drains the job pool (see Pool.Shutdown), then closes the
+// profile store — stopping its background compactor and flushing the
+// active segment. Stored profiles stay readable afterwards, so in-flight
+// response writes finish cleanly. The HTTP server is drained separately by
+// its own Shutdown.
 func (s *Service) Shutdown(ctx context.Context) error {
-	return s.pool.Shutdown(ctx)
+	err := s.pool.Shutdown(ctx)
+	if cerr := s.store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // statusRecorder captures the response code for metrics.

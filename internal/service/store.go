@@ -8,48 +8,30 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/head"
-	"repro/internal/hrtf"
+	"repro/internal/segstore"
 )
 
 // StoredProfile is the persisted form of a completed personalization: the
 // §4.4 lookup table plus the provenance a deployment wants alongside it.
-type StoredProfile struct {
-	// User is the profile owner's identifier.
-	User string `json:"user"`
-	// JobID is the job that produced the profile (empty for imports).
-	JobID string `json:"jobId,omitempty"`
-	// CreatedUnixMS is the completion time, Unix milliseconds.
-	CreatedUnixMS int64 `json:"createdUnixMs"`
-	// HeadParams is the fitted head geometry E_opt.
-	HeadParams head.Params `json:"headParams"`
-	// MeanResidualDeg is the sensor-fusion residual (profile trust signal).
-	MeanResidualDeg float64 `json:"meanResidualDeg"`
-	// GestureOK / GestureReason summarize the sweep quality report.
-	GestureOK     bool   `json:"gestureOk"`
-	GestureReason string `json:"gestureReason,omitempty"`
-	// SkippedStops / StopError surface degraded sweeps: stops dropped by
-	// channel estimation and the first per-stop error (empty when none).
-	SkippedStops int    `json:"skippedStops,omitempty"`
-	StopError    string `json:"stopError,omitempty"`
-	// Table is the personalized near/far lookup table.
-	Table *hrtf.Table `json:"table"`
-}
+// It is an alias of segstore.Profile so the binary store, the service API
+// and the CLI all share one type (the JSON tags on it are the wire shape;
+// the segment codec is the disk shape).
+type StoredProfile = segstore.Profile
 
 // ErrProfileNotFound is returned by Store.Get for unknown users.
 var ErrProfileNotFound = errors.New("service: no profile stored for that user")
 
-// ErrBadUser is returned for user identifiers the store refuses to map to
-// filenames.
+// ErrBadUser is returned for user identifiers the store refuses to accept
+// as keys.
 var ErrBadUser = errors.New("service: invalid user id")
 
-// validUser matches the identifiers accepted as profile owners: they double
-// as filenames, so the alphabet is deliberately narrow.
+// validUser matches the identifiers accepted as profile owners: they
+// historically doubled as filenames (and still name legacy import files),
+// so the alphabet is deliberately narrow.
 var validUser = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 
 // ValidUser reports whether a user identifier is acceptable to the store.
@@ -57,28 +39,55 @@ func ValidUser(user string) bool {
 	return validUser.MatchString(user) && !strings.Contains(user, "..")
 }
 
-// Store persists profiles as one JSON file per user under dir, with an LRU
-// cache of decoded profiles in front. Writes are atomic (temp file +
-// rename), so a crash never leaves a half-written profile, and a fresh
-// Store opened on the same directory serves everything previously Put.
+// Store persists profiles in an append-only binary segment store under dir
+// (see internal/segstore), with an LRU cache of decoded profiles in front.
+// Directories written by older builds — one JSON file per user — are
+// migrated into the segment store on open, so a seed deployment upgrades
+// in place.
 //
 // Profiles returned by Get are shared: callers must treat them (and their
 // tables) as read-only.
 type Store struct {
 	dir string
 	cap int
+	seg *segstore.Store
 
-	mu    sync.Mutex
-	byKey map[string]*list.Element // user -> element; value is *StoredProfile
-	order *list.List               // front = most recently used
+	mu       sync.Mutex
+	byKey    map[string]*list.Element // user -> element; value is *StoredProfile
+	order    *list.List               // front = most recently used
+	inflight map[string]*loadCall     // user -> in-progress cold read
 
 	hits, misses, notFound, evictions atomic.Uint64
+
+	migrated   int      // legacy JSON profiles imported on open
+	migrateErr []string // legacy files left behind (corrupt / unreadable)
+
+	// putStall, when set, runs during Put's disk-write section while no
+	// lock is held (regression seam: a slow write must not block reads).
+	putStall func()
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// loadCall is one in-flight cold read; concurrent Gets for the same user
+// wait on done instead of decoding the record again.
+type loadCall struct {
+	done chan struct{}
+	p    *StoredProfile
+	err  error
 }
 
 // OpenStore opens (creating if needed) a profile store rooted at dir.
 // cacheCap bounds the number of decoded profiles kept in memory (<= 0
 // means the default 128).
 func OpenStore(dir string, cacheCap int) (*Store, error) {
+	return OpenStoreWith(dir, cacheCap, segstore.Options{})
+}
+
+// OpenStoreWith opens a store with explicit segment-store tuning (segment
+// roll size, compaction thresholds, read-only).
+func OpenStoreWith(dir string, cacheCap int, opt segstore.Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("service: store needs a directory")
 	}
@@ -89,18 +98,91 @@ func OpenStore(dir string, cacheCap int) (*Store, error) {
 		cacheCap = 128
 	}
 	sweepStaging(dir)
-	return &Store{
-		dir:   dir,
-		cap:   cacheCap,
-		byKey: make(map[string]*list.Element),
-		order: list.New(),
-	}, nil
+	seg, err := segstore.Open(dir, opt)
+	if err != nil {
+		return nil, fmt.Errorf("service: open segment store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		cap:      cacheCap,
+		seg:      seg,
+		byKey:    make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*loadCall),
+	}
+	if !opt.ReadOnly {
+		if err := s.migrateLegacyJSON(); err != nil {
+			seg.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
+// migrateLegacyJSON imports pre-segment profiles (one <user>.json per
+// user) into the segment store and removes the files once the batch is
+// durable. A JSON file whose user already has a segment record is simply
+// removed: the segment copy is at least as new (a crash between a prior
+// import and its cleanup, or a later Put). Unreadable files are left in
+// place and reported via MigrationIssues, never silently deleted.
+func (s *Store) migrateLegacyJSON() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("service: scan store dir: %w", err)
+	}
+	var batch []*StoredProfile
+	var imported, dupes []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		user := strings.TrimSuffix(name, ".json")
+		if !ValidUser(user) {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		if s.seg.Has(user) {
+			dupes = append(dupes, path)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.migrateErr = append(s.migrateErr, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		var p StoredProfile
+		if err := json.Unmarshal(data, &p); err != nil || p.Table == nil {
+			s.migrateErr = append(s.migrateErr, fmt.Sprintf("%s: not a stored profile", name))
+			continue
+		}
+		p.User = user // the filename is authoritative, as it was for reads
+		batch = append(batch, &p)
+		imported = append(imported, path)
+	}
+	if len(batch) > 0 {
+		// One group commit covers the whole import; only after it returns
+		// (records durable) may the JSON copies go away.
+		if err := s.seg.PutBatch(batch); err != nil {
+			return fmt.Errorf("service: migrate legacy profiles: %w", err)
+		}
+	}
+	for _, path := range append(imported, dupes...) {
+		os.Remove(path) // best-effort: a leftover is re-checked next open
+	}
+	s.migrated = len(batch)
+	return nil
+}
+
+// Migrated returns how many legacy JSON profiles this open imported.
+func (s *Store) Migrated() int { return s.migrated }
+
+// MigrationIssues lists legacy files that could not be imported (left in
+// place on disk).
+func (s *Store) MigrationIssues() []string { return s.migrateErr }
+
 // sweepStaging removes staging files abandoned by a crash between
-// CreateTemp and Rename. They match the Put temp pattern — a "."-prefixed
-// name containing ".tmp-" — which Users() already hides, but without the
-// sweep they would accumulate on disk forever. Best-effort: a racing
+// CreateTemp and Rename in older builds' Put path. Best-effort: a racing
 // removal or permission error just leaves the file for the next open.
 func sweepStaging(dir string) {
 	ents, err := os.ReadDir(dir)
@@ -118,12 +200,9 @@ func sweepStaging(dir string) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-func (s *Store) path(user string) string {
-	return filepath.Join(s.dir, user+".json")
-}
-
 // Put persists a profile and caches it. The profile must carry a valid
-// user and a table.
+// user and a table. The disk write runs without the cache lock, so cached
+// reads never stall behind a slow device.
 func (s *Store) Put(p *StoredProfile) error {
 	if p == nil || p.Table == nil {
 		return errors.New("service: refusing to store an empty profile")
@@ -131,38 +210,21 @@ func (s *Store) Put(p *StoredProfile) error {
 	if !ValidUser(p.User) {
 		return fmt.Errorf("%w: %q", ErrBadUser, p.User)
 	}
-	data, err := json.Marshal(p)
-	if err != nil {
-		return fmt.Errorf("service: encode profile: %w", err)
+	if s.putStall != nil {
+		s.putStall()
+	}
+	if err := s.seg.Put(p); err != nil {
+		return fmt.Errorf("service: store profile: %w", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Atomic write: a reader either sees the old profile or the new one,
-	// never a torn file; rename is atomic on POSIX filesystems.
-	tmp, err := os.CreateTemp(s.dir, "."+p.User+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("service: stage profile: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("service: stage profile: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("service: stage profile: %w", err)
-	}
-	if err := os.Rename(tmpName, s.path(p.User)); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("service: commit profile: %w", err)
-	}
 	s.cacheLocked(p)
+	s.mu.Unlock()
 	return nil
 }
 
 // Get returns the profile for a user, from cache when warm, otherwise from
-// disk. It returns ErrProfileNotFound when the user has no profile.
+// the segment store. Concurrent cold reads for the same user share one
+// decode. It returns ErrProfileNotFound when the user has no profile.
 func (s *Store) Get(user string) (*StoredProfile, error) {
 	if !ValidUser(user) {
 		return nil, fmt.Errorf("%w: %q", ErrBadUser, user)
@@ -175,34 +237,45 @@ func (s *Store) Get(user string) (*StoredProfile, error) {
 		s.hits.Add(1)
 		return p, nil
 	}
+	if c, ok := s.inflight[user]; ok {
+		// Another goroutine is already decoding this user: share its result
+		// (and its one decode) instead of hitting the segment store again.
+		s.mu.Unlock()
+		<-c.done
+		if c.err == nil {
+			s.hits.Add(1)
+		}
+		return c.p, c.err
+	}
+	c := &loadCall{done: make(chan struct{})}
+	s.inflight[user] = c
 	s.mu.Unlock()
 
-	data, err := os.ReadFile(s.path(user))
-	if errors.Is(err, os.ErrNotExist) {
-		// Not a cache miss: there is no profile for the cache to have held.
-		// Counting these as misses made the hit rate look arbitrarily bad
-		// under probes for unknown users.
+	p, err := s.seg.Get(user)
+	switch {
+	case errors.Is(err, segstore.ErrNotFound):
 		s.notFound.Add(1)
-		return nil, fmt.Errorf("%w: %q", ErrProfileNotFound, user)
+		err = fmt.Errorf("%w: %q", ErrProfileNotFound, user)
+	case err != nil:
+		err = fmt.Errorf("service: read profile %q: %w", user, err)
+	case p.Table == nil:
+		err = fmt.Errorf("service: profile %q has no table", user)
+	default:
+		s.misses.Add(1)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("service: read profile: %w", err)
-	}
-	s.misses.Add(1)
-	var p StoredProfile
-	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("service: decode profile %q: %w", user, err)
-	}
-	if p.Table == nil {
-		return nil, fmt.Errorf("service: profile %q has no table", user)
-	}
+
 	s.mu.Lock()
-	s.cacheLocked(&p)
-	// Another goroutine may have cached the same user while we read disk;
-	// return the canonical cached copy so everyone shares one table.
-	canonical := s.byKey[user].Value.(*StoredProfile)
+	delete(s.inflight, user)
+	if err == nil {
+		s.cacheLocked(p)
+	}
 	s.mu.Unlock()
-	return canonical, nil
+	if err != nil {
+		p = nil
+	}
+	c.p, c.err = p, err
+	close(c.done)
+	return p, err
 }
 
 // cacheLocked inserts or refreshes a cache entry, evicting from the LRU
@@ -222,25 +295,10 @@ func (s *Store) cacheLocked(p *StoredProfile) {
 	}
 }
 
-// Users lists every user with a persisted profile, sorted.
+// Users lists every user with a persisted profile, sorted. It is an
+// in-memory index read — no directory scan, no disk I/O.
 func (s *Store) Users() ([]string, error) {
-	ents, err := os.ReadDir(s.dir)
-	if err != nil {
-		return nil, fmt.Errorf("service: list profiles: %w", err)
-	}
-	var users []string
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
-			continue
-		}
-		user := strings.TrimSuffix(name, ".json")
-		if ValidUser(user) {
-			users = append(users, user)
-		}
-	}
-	sort.Strings(users)
-	return users, nil
+	return s.seg.Keys(), nil
 }
 
 // Cached returns the number of profiles currently held in memory.
@@ -251,8 +309,26 @@ func (s *Store) Cached() int {
 }
 
 // Stats reports the cache counters (for /debug/metrics): hits served from
-// memory, misses that went to disk for a stored profile, not-found reads
-// for users with no profile at all, and LRU evictions.
+// memory (including reads coalesced onto an in-flight decode), misses that
+// decoded a stored record, not-found reads for users with no profile at
+// all, and LRU evictions.
 func (s *Store) Stats() (hits, misses, notFound, evictions uint64) {
 	return s.hits.Load(), s.misses.Load(), s.notFound.Load(), s.evictions.Load()
+}
+
+// SegStats exposes the segment store's counters (segments, disk/dead
+// bytes, group commits, compactions, recovery report) for metrics and the
+// CLI.
+func (s *Store) SegStats() segstore.Stats {
+	return s.seg.Stats()
+}
+
+// Compact synchronously rewrites segments past the dead-bytes threshold.
+func (s *Store) Compact() error { return s.seg.Compact() }
+
+// Close flushes and closes the segment store. Cached and stored profiles
+// remain readable; writes fail afterwards.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.seg.Close() })
+	return s.closeErr
 }

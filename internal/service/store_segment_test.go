@@ -1,0 +1,267 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPutDoesNotBlockCachedReads pins the satellite fix for the old store,
+// which held the cache mutex across the whole disk write: a slow device
+// stalled every read, cached or not. Now the write runs lock-free, so a
+// stalled Put must leave unrelated cached Gets unaffected.
+func TestPutDoesNotBlockCachedReads(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(sampleProfile("cached")); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.putStall = func() {
+		close(entered)
+		<-release
+	}
+	putDone := make(chan error, 1)
+	go func() { putDone <- s.Put(sampleProfile("slow-writer")) }()
+	<-entered // the Put is now mid-"disk write"
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := s.Get("cached")
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("cached read failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cached read blocked behind an in-flight Put")
+	}
+
+	close(release)
+	if err := <-putDone; err != nil {
+		t.Fatalf("stalled put failed: %v", err)
+	}
+	if _, err := s.Get("slow-writer"); err != nil {
+		t.Fatalf("slow-writer profile lost: %v", err)
+	}
+}
+
+// TestColdReadsShareOneDecode pins the satellite fix for the old store's
+// double-decode race: concurrent cold Gets for the same user each read and
+// unmarshalled the file. Now they coalesce onto one segment-store decode.
+func TestColdReadsShareOneDecode(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(sampleProfile("alice")); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// Fresh store: cold cache, so every Get would have decoded before.
+	s2, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	const readers = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	profiles := make([]*StoredProfile, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			p, err := s2.Get("alice")
+			if err != nil {
+				t.Errorf("reader %d: %v", i, err)
+				return
+			}
+			profiles[i] = p
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// The segment store counts every record decode; coalescing means the
+	// stampede cost exactly one.
+	if gets := s2.SegStats().Gets; gets != 1 {
+		t.Fatalf("%d segment-store decodes for %d concurrent cold reads, want 1", gets, readers)
+	}
+	for i := 1; i < readers; i++ {
+		if profiles[i] != profiles[0] {
+			t.Fatal("readers got different profile pointers; cache not shared")
+		}
+	}
+	hits, misses, _, _ := s2.Stats()
+	if misses != 1 || hits != readers-1 {
+		t.Fatalf("counters hits=%d misses=%d, want %d/1", hits, misses, readers-1)
+	}
+}
+
+// TestOpenStoreMigratesLegacyJSON covers the upgrade path: a directory of
+// one-JSON-file-per-user profiles (the pre-segment layout) is imported on
+// open, served bit-exactly, and the files removed once durable. Unreadable
+// files are reported and left alone; dot-files (the population prior) are
+// never touched.
+func TestOpenStoreMigratesLegacyJSON(t *testing.T) {
+	dir := t.TempDir()
+	want := map[string]*StoredProfile{}
+	for _, u := range []string{"alice", "bob"} {
+		p := sampleProfile(u)
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, u+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want[u] = p
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".population-prior.json"), []byte(`{"k":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Migrated(); got != 2 {
+		t.Fatalf("Migrated() = %d, want 2", got)
+	}
+	if issues := s.MigrationIssues(); len(issues) != 1 {
+		t.Fatalf("MigrationIssues() = %v, want the broken file", issues)
+	}
+	users, err := s.Users()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 2 || users[0] != "alice" || users[1] != "bob" {
+		t.Fatalf("Users() = %v", users)
+	}
+	for u, w := range want {
+		got, err := s.Get(u)
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		if got.JobID != w.JobID || got.CreatedUnixMS != w.CreatedUnixMS || got.HeadParams != w.HeadParams {
+			t.Fatalf("%s metadata lost in migration", u)
+		}
+		tablesBitsEqual(t, w.Table, got.Table)
+	}
+	// Imported files are gone; the broken one and the prior stay.
+	for _, u := range []string{"alice", "bob"} {
+		if _, err := os.Stat(filepath.Join(dir, u+".json")); !os.IsNotExist(err) {
+			t.Fatalf("%s.json still on disk after migration", u)
+		}
+	}
+	for _, name := range []string{"broken.json", ".population-prior.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("%s removed by migration: %v", name, err)
+		}
+	}
+	s.Close()
+
+	// Second open: nothing left to migrate, everything still served.
+	s2, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Migrated(); got != 0 {
+		t.Fatalf("reopen migrated %d profiles, want 0", got)
+	}
+	got, err := s2.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesBitsEqual(t, want["alice"].Table, got.Table)
+}
+
+// TestMigrationPrefersSegmentRecordOverStaleJSON: a JSON file left behind
+// by a crash mid-cleanup must not clobber a newer segment record for the
+// same user.
+func TestMigrationPrefersSegmentRecordOverStaleJSON(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newer := sampleProfile("alice")
+	newer.JobID = "newer-segment-record"
+	if err := s.Put(newer); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	stale := sampleProfile("alice")
+	stale.JobID = "stale-json-leftover"
+	data, err := json.Marshal(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "alice.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != "newer-segment-record" {
+		t.Fatalf("stale JSON won over segment record: JobID %q", got.JobID)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "alice.json")); !os.IsNotExist(err) {
+		t.Fatal("stale JSON left on disk")
+	}
+}
+
+// TestStoreUsersIsIndexRead: Users() must not depend on directory contents
+// (it is an in-memory index read now) — junk files in the store dir are
+// invisible.
+func TestStoreUsersIsIndexRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(sampleProfile("zed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(sampleProfile("amy")); err != nil {
+		t.Fatal(err)
+	}
+	// Junk that the old ReadDir implementation would have had to filter.
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte("x"), 0o644)
+	users, err := s.Users()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 2 || users[0] != "amy" || users[1] != "zed" {
+		t.Fatalf("Users() = %v, want [amy zed]", users)
+	}
+}
