@@ -1,6 +1,7 @@
 package segstore
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -113,9 +114,23 @@ func (s *Store) compactOnce() (bool, error) {
 	}
 	oldest := s.oldestSegID() == victim.id
 
-	var relocated bool
+	// Segments that received relocated records; each must be made durable
+	// before the victim — the only other copy — is unlinked.
+	relocSegs := make(map[uint32]bool)
 	sr := io.NewSectionReader(victim.f, segHeaderSize, victim.size.Load()-segHeaderSize)
 	_, err := scanSegment(sr, segHeaderSize, func(rec record, off, size int64) error {
+		if s.compactHook != nil {
+			s.compactHook(rec.key)
+		}
+		// appendMu is held across check + relocate + repoint. Writers
+		// update the index under appendMu too (appendAndIndex), so the
+		// entry checked here cannot be superseded mid-relocation. Without
+		// that, a Delete racing this callback leaves a stale low-LSN copy
+		// of the put in a segment NEWER than its tombstone; when the
+		// tombstone is later GC'd, a restart's LSN replay resurrects the
+		// deleted key from the stale copy.
+		s.appendMu.Lock()
+		defer s.appendMu.Unlock()
 		s.mu.RLock()
 		cur, ok := s.index[rec.key]
 		s.mu.RUnlock()
@@ -123,32 +138,26 @@ func (s *Store) compactOnce() (bool, error) {
 			return nil // superseded: drop
 		}
 		if rec.kind == kindTombstone && oldest {
-			// No older segment can hold a put for this key; the tombstone
-			// has nothing left to shadow.
+			// No older segment can hold a put for this key, and no newer
+			// segment can hold a lower-LSN record for it (relocations land
+			// strictly before the tombstone in log order — see the locking
+			// note above): the tombstone has nothing left to shadow.
 			s.mu.Lock()
-			if cur2 := s.index[rec.key]; cur2.seg == victim.id && cur2.off == off {
-				delete(s.index, rec.key)
-				victim.live -= size
-				victim.dead += size
-			}
+			delete(s.index, rec.key)
+			victim.live -= size
+			victim.dead += size
 			s.mu.Unlock()
 			return nil
 		}
 		// Relocate, preserving the original LSN so replay ordering is
-		// unchanged, then repoint the index only if no racing Put won.
-		newLoc, _, err := s.appendRecordLSN(rec.kind, rec.key, rec.payload, rec.lsn, false)
+		// unchanged, then repoint the index at the new copy.
+		newLoc, _, err := s.appendLocked(rec.kind, rec.key, rec.payload, rec.lsn, false)
 		if err != nil {
 			return err
 		}
-		relocated = true
+		relocSegs[newLoc.seg] = true
 		s.mu.Lock()
-		if cur2, ok := s.index[rec.key]; ok && cur2.seg == victim.id && cur2.off == off {
-			s.repointLocked(rec.key, newLoc)
-		} else if seg := s.segs[newLoc.seg]; seg != nil {
-			// A concurrent Put superseded us mid-flight: the fresh copy is
-			// immediately dead.
-			seg.dead += newLoc.size
-		}
+		s.repointLocked(rec.key, newLoc)
 		s.mu.Unlock()
 		return nil
 	})
@@ -157,13 +166,21 @@ func (s *Store) compactOnce() (bool, error) {
 	}
 
 	// Relocated records must be durable before their only other copy is
-	// unlinked — even on NoSync stores.
-	if relocated {
-		s.appendMu.Lock()
-		f := s.active.f
-		s.appendMu.Unlock()
-		if err := f.Sync(); err != nil {
-			return false, fmt.Errorf("segstore: compact sync: %w", err)
+	// unlinked — even on NoSync stores. Sync every segment that received a
+	// relocation, not just the current active one: a roll mid-scan seals a
+	// segment holding relocated records, and on NoSync stores the seal
+	// skips its fsync.
+	for id := range relocSegs {
+		s.mu.RLock()
+		seg := s.segs[id]
+		s.mu.RUnlock()
+		if seg == nil {
+			// A concurrent explicit Compact already rewrote this segment;
+			// it synced the relocated copies onward before unlinking it.
+			continue
+		}
+		if err := seg.f.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
+			return false, fmt.Errorf("segstore: compact sync %s: %w", segName(id), err)
 		}
 	}
 

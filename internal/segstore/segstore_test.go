@@ -429,6 +429,177 @@ func TestTombstoneSurvivesCompactionUntilOldest(t *testing.T) {
 	}
 }
 
+// TestCompactDeleteRaceNoResurrection pins the exact interleaving that used
+// to resurrect deleted keys: a Delete landing while the compactor is
+// relocating that key's put. The tombstone then sat in an OLDER segment
+// than the stale relocated copy (original low LSN), so once tombstone GC
+// dropped it, a reopen's LSN replay brought the key back from the stale
+// copy. compactOnce now holds appendMu across check + relocate + repoint,
+// which forces the Delete to either complete first (the compactor then
+// skips the relocation) or land after it (tombstone wins in log order).
+func TestCompactDeleteRaceNoResurrection(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{
+		MinCompactBytes: 1, CompactRatio: 0.2, NoSync: true, DisableCompaction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	roll := func() {
+		s.appendMu.Lock()
+		err := s.rollLocked()
+		s.appendMu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// seg1: a dead filler copy (compaction bait), the ghost put, and the
+	// filler overwrite. Then seal it.
+	if err := s.Put(testProfile("filler", 3, 16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testProfile("ghost", 3, 16, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testProfile("filler", 3, 16, 2)); err != nil {
+		t.Fatal(err)
+	}
+	roll()
+	if err := s.Put(testProfile("anchor", 3, 16, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// At the moment the compactor reaches any record of the ghost's
+	// segment, delete the ghost and roll — so the tombstone lands in the
+	// current segment and any (buggy) stale relocation would land in a
+	// newer one.
+	fired := false
+	s.compactHook = func(key string) {
+		if fired || key != "ghost" {
+			return
+		}
+		fired = true
+		if err := s.Delete("ghost"); err != nil {
+			t.Errorf("delete ghost: %v", err)
+		}
+		roll()
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.compactHook = nil
+	if !fired {
+		t.Fatal("compaction never visited the ghost record")
+	}
+	if s.Has("ghost") {
+		t.Fatal("ghost still live right after delete + compaction")
+	}
+	// Kill the tombstone's segment: overwrite its other live record so it
+	// passes the dead ratio, then compact it away as the oldest segment
+	// (tombstone GC).
+	if err := s.Put(testProfile("anchor", 3, 16, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// The replayed log must agree that the key is gone.
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Has("ghost") {
+		t.Fatal("deleted key resurrected by reopen: stale relocated copy outlived its tombstone")
+	}
+	if _, err := s2.Get("anchor"); err != nil {
+		t.Fatalf("anchor lost: %v", err)
+	}
+}
+
+// TestCompactDeleteChurnNoResurrection interleaves deletes with compaction
+// relocations and then replays the log: a delete must stay deleted across
+// compaction and reopen. The dangerous interleaving is a Delete landing
+// between the compactor's index check and its relocation — without the
+// appendMu serialization in compactOnce, the relocated put (original low
+// LSN) ends up after the tombstone in log order, and once the tombstone's
+// segment is compacted away as oldest, a reopen resurrects the key.
+func TestCompactDeleteChurnNoResurrection(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{
+		SegmentBytes: 4 << 10, MinCompactBytes: 1, CompactRatio: 0.3,
+		NoSync: true, DisableCompaction: true, // compaction driven by the goroutine below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 6
+	for round := 0; round < 60; round++ {
+		// Put the churn keys, then overwrite long-lived keys so the puts'
+		// segment rolls and becomes a compaction victim holding live records.
+		for k := 0; k < keys; k++ {
+			if err := s.Put(testProfile(fmt.Sprintf("churn%d", k), 3, 32, int64(round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if err := s.Put(testProfile(fmt.Sprintf("keep%d", i), 3, 32, int64(round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Now race the deletes against the compactor relocating those puts.
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(keys + 1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := s.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+			}
+		}()
+		for k := 0; k < keys; k++ {
+			go func(k int) {
+				defer wg.Done()
+				<-start
+				if err := s.Delete(fmt.Sprintf("churn%d", k)); err != nil {
+					t.Errorf("delete churn%d: %v", k, err)
+				}
+			}(k)
+		}
+		close(start)
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+	}
+	// Seal the tombstones' segment and give compaction a chance to GC them.
+	for i := 0; i < 8; i++ {
+		if err := s.Put(testProfile(fmt.Sprintf("fill%d", i), 5, 64, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec := s2.Stats().Recovery; rec.Damaged() {
+		t.Fatalf("churned store reopened damaged: %+v", rec)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("churn%d", k)
+		if s2.Has(key) {
+			t.Errorf("deleted key %s resurrected after compaction + reopen", key)
+		}
+	}
+}
+
 func TestGroupCommitBatchesFsyncs(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir, Options{DisableCompaction: true})

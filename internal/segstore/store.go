@@ -158,7 +158,8 @@ type Store struct {
 	puts, gets, deletes         atomic.Uint64
 	groupCommits, commitWaiters atomic.Uint64
 	compactions                 atomic.Uint64
-	syncHook                    func() // test seam: runs in the sync leader before fsync
+	syncHook    func()           // test seam: runs in the sync leader before fsync
+	compactHook func(key string) // test seam: runs before each compaction record's locked section
 }
 
 const segSuffix = ".uqs"
@@ -238,8 +239,27 @@ func (s *Store) load() error {
 			s.recovery.Details = append(s.recovery.Details,
 				fmt.Sprintf("%s: %d bytes dropped after offset %d: %v", segName(id), dropped, res.goodEnd, res.damage))
 			if last && !s.opt.ReadOnly {
+				if res.goodEnd < segHeaderSize {
+					res.goodEnd = segHeaderSize
+				}
 				if err := seg.f.Truncate(res.goodEnd); err != nil {
 					return fmt.Errorf("segstore: truncate damaged tail of %s: %w", segName(id), err)
+				}
+				if res.goodEnd == segHeaderSize {
+					// No record survived past the header, which means the
+					// header itself may be short or corrupt (a crash between
+					// createSegment and the header reaching disk leaves a
+					// 0-byte file). Rewrite it before accepting appends:
+					// otherwise records appended — and fsync-acknowledged —
+					// from here on sit behind a bad header, and the next Open
+					// fails the magic check at offset 0 and silently truncates
+					// them all away.
+					if _, err := seg.f.WriteAt(segFileHeader(), 0); err != nil {
+						return fmt.Errorf("segstore: rewrite %s header: %w", segName(id), err)
+					}
+					if err := seg.f.Sync(); err != nil {
+						return fmt.Errorf("segstore: sync %s header: %w", segName(id), err)
+					}
 				}
 				s.recovery.TruncatedTail = true
 			}
@@ -371,6 +391,16 @@ func (s *Store) createSegment(id uint32) (*segment, error) {
 		os.Remove(path)
 		return nil, fmt.Errorf("segstore: write %s header: %w", segName(id), err)
 	}
+	if !s.opt.NoSync {
+		// Make the header durable up front so a crash right after a roll
+		// cannot leave a headerless tail file. (load repairs that case too;
+		// this just keeps the common path from ever needing the repair.)
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, fmt.Errorf("segstore: sync %s header: %w", segName(id), err)
+		}
+	}
 	seg := &segment{id: id, path: path, f: f}
 	seg.size.Store(segHeaderSize)
 	return seg, nil
@@ -455,9 +485,16 @@ func (s *Store) Delete(key string) error {
 }
 
 // appendAndIndex frames and appends one record, then repoints the index.
-// It returns the record's commit sequence number.
+// Both steps happen under appendMu: a writer's append and its index update
+// are atomic with respect to the compactor's check-relocate-repoint
+// sequence, so compaction can never relocate a copy the writer's record
+// just superseded — which would put a stale low-LSN record into the log
+// AFTER a tombstone and let a later replay resurrect the key once the
+// tombstone is GC'd. It returns the record's commit sequence number.
 func (s *Store) appendAndIndex(kind byte, key string, payload []byte) (uint64, error) {
-	loc, seq, err := s.appendRecord(kind, key, payload)
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	loc, seq, err := s.appendLocked(kind, key, payload, 0, true)
 	if err != nil {
 		return 0, err
 	}
@@ -467,25 +504,18 @@ func (s *Store) appendAndIndex(kind byte, key string, payload []byte) (uint64, e
 	return seq, nil
 }
 
-// appendRecord writes one framed record to the active segment (rolling it
-// first if full), stamping it with a fresh LSN. Only the append lock is
-// held; fsync happens later in commit.
-func (s *Store) appendRecord(kind byte, key string, payload []byte) (recLoc, uint64, error) {
-	return s.appendRecordLSN(kind, key, payload, 0, true)
-}
-
-// appendRecordLSN is appendRecord with LSN control: compaction relocates
-// records under their *original* LSN, so a replay after restart still
-// ranks them below any Put that raced the compactor.
-func (s *Store) appendRecordLSN(kind byte, key string, payload []byte, lsn uint64, fresh bool) (recLoc, uint64, error) {
+// appendLocked writes one framed record to the active segment (rolling it
+// first if full). With fresh=true the record is stamped with a new LSN;
+// compaction passes fresh=false to relocate records under their *original*
+// LSN, so a replay after restart still ranks them below any Put that raced
+// the compactor. Caller holds appendMu; fsync happens later in commit.
+func (s *Store) appendLocked(kind byte, key string, payload []byte, lsn uint64, fresh bool) (recLoc, uint64, error) {
 	if s.opt.ReadOnly {
 		return recLoc{}, 0, ErrReadOnly
 	}
 	if s.closed.Load() {
 		return recLoc{}, 0, ErrClosed
 	}
-	s.appendMu.Lock()
-	defer s.appendMu.Unlock()
 	if s.active.size.Load() >= s.opt.SegmentBytes {
 		if err := s.rollLocked(); err != nil {
 			return recLoc{}, 0, err

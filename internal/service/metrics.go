@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsp"
 	"repro/internal/obs"
+	"repro/internal/segstore"
 )
 
 // latencyBuckets are the endpoint-histogram upper bounds in seconds. The
@@ -103,22 +104,31 @@ func newServiceMetrics(reg *obs.Registry, pool *Pool, store *Store) *serviceMetr
 
 	// Store: persisted profiles, cache occupancy, and the hit/miss/
 	// not-found/eviction counters. Profile count and byte accounting are
-	// in-memory index reads on the segment store — scrapes cost no disk I/O.
+	// in-memory index reads on the segment store — scrapes cost no disk
+	// I/O — but each SegStats call takes the store's read lock and walks
+	// the whole index, so one snapshot per scrape (OnCollect runs before
+	// any collector is read) feeds all seven series instead of seven walks.
+	var segStats atomic.Pointer[segstore.Stats]
+	segStats.Store(&segstore.Stats{})
+	reg.OnCollect(func() {
+		st := store.SegStats()
+		segStats.Store(&st)
+	})
 	reg.GaugeFunc("uniqd_profiles_stored", "Profiles persisted on disk.",
-		func() float64 { return float64(store.SegStats().Profiles) })
+		func() float64 { return float64(segStats.Load().Profiles) })
 	reg.GaugeFunc("uniqd_store_segments", "Segment files in the profile store.",
-		func() float64 { return float64(store.SegStats().Segments) })
+		func() float64 { return float64(segStats.Load().Segments) })
 	reg.GaugeFunc("uniqd_store_disk_bytes", "Bytes on disk across store segments.",
-		func() float64 { return float64(store.SegStats().DiskBytes) })
+		func() float64 { return float64(segStats.Load().DiskBytes) })
 	reg.GaugeFunc("uniqd_store_dead_bytes", "Bytes superseded but not yet compacted.",
-		func() float64 { return float64(store.SegStats().DeadBytes) })
+		func() float64 { return float64(segStats.Load().DeadBytes) })
 	reg.CounterFunc("uniqd_store_group_commits_total", "Fsync batches on the store's append path.",
-		func() uint64 { return store.SegStats().GroupCommits })
+		func() uint64 { return segStats.Load().GroupCommits })
 	reg.CounterFunc("uniqd_store_commit_waiters_total",
 		"Writes that waited on a group commit (waiters/commits = batching factor).",
-		func() uint64 { return store.SegStats().CommitWaiters })
+		func() uint64 { return segStats.Load().CommitWaiters })
 	reg.CounterFunc("uniqd_store_compactions_total", "Segment compactions completed.",
-		func() uint64 { return store.SegStats().Compactions })
+		func() uint64 { return segStats.Load().Compactions })
 	reg.GaugeFunc("uniqd_profile_cache_entries", "Decoded profiles held in memory.",
 		func() float64 { return float64(store.Cached()) })
 	reg.CounterFunc("uniqd_profile_cache_hits_total", "Profile reads served from the cache.",
