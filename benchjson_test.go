@@ -17,6 +17,8 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/geom"
 	"repro/internal/head"
+	"repro/internal/hrtf"
+	"repro/internal/room"
 	"repro/internal/sim"
 	"repro/internal/stream"
 )
@@ -211,6 +213,10 @@ func measureKernel(name string) (testing.BenchmarkResult, bool) {
 				}
 			}
 		}), true
+	case strings.HasPrefix(name, "stream/scene-"):
+		// Scene saturation kernels (multi-source render with room
+		// acoustics); mirrors the internal/stream BenchmarkScene* workloads.
+		return measureSceneKernel(name)
 	case name == "fuseSensors", name == "fuseSensors/fast":
 		// "fuseSensors" pins the exact dense solve (the pre-cascade
 		// committed baseline stays comparable across PRs);
@@ -269,6 +275,102 @@ func measureKernel(name string) (testing.BenchmarkResult, bool) {
 					b.Fatal(err)
 				}
 			}
+		}), true
+	}
+	return testing.BenchmarkResult{}, false
+}
+
+// sceneBenchTable memoizes the profile shared by the scene kernels (three
+// kernels, one simulated measurement).
+var sceneBenchTable struct {
+	sync.Once
+	tab *hrtf.Table
+	err error
+}
+
+func sceneKernelTable() (*hrtf.Table, error) {
+	s := &sceneBenchTable
+	s.Do(func() {
+		s.tab, s.err = sim.MeasureGroundTruthFar(sim.NewVolunteer(1, 3), 48000, 10)
+	})
+	return s.tab, s.err
+}
+
+// newSceneKernel builds an n-source scene in the default order-2 room,
+// primed to steady state (one hop in per source, one mixed hop out per op).
+func newSceneKernel(tab *hrtf.Table, n int) (*stream.Scene, []float64, []float64, []float64, error) {
+	srcs := make([]stream.SceneSource, n)
+	for i := range srcs {
+		srcs[i] = stream.SceneSource{BearingDeg: 30 + 300*float64(i)/float64(n)}
+	}
+	sc, err := stream.NewScene(tab, stream.SceneOptions{
+		Room:    room.DefaultConfig(),
+		Sources: srcs,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	hop := sc.BlockSize() / 2
+	in := make([]float64, hop)
+	for i := range in {
+		in[i] = math.Sin(float64(i) * 0.013)
+	}
+	outL := make([]float64, hop)
+	outR := make([]float64, hop)
+	for i := 0; i < 8; i++ {
+		for s := 0; s < n; s++ {
+			sc.PushFrame(s, in)
+		}
+		sc.ReadFrame(outL, outR)
+	}
+	return sc, in, outL, outR, nil
+}
+
+func measureSceneKernel(name string) (testing.BenchmarkResult, bool) {
+	tab, err := sceneKernelTable()
+	if err != nil {
+		return testing.BenchmarkResult{}, false
+	}
+	switch name {
+	case "stream/scene-4src-order2", "stream/scene-8src-order2":
+		// Sources-per-session scaling: one scene hop, 4 or 8 sources, each
+		// with a direct path plus 16 order-2 image arrivals.
+		n := 4
+		if name == "stream/scene-8src-order2" {
+			n = 8
+		}
+		sc, in, outL, outR, err := newSceneKernel(tab, n)
+		if err != nil {
+			return testing.BenchmarkResult{}, false
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(n * len(in) * 8))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < n; s++ {
+					sc.PushFrame(s, in)
+				}
+				sc.ReadFrame(outL, outR)
+			}
+		}), true
+	case "stream/scene-saturation":
+		// Sessions-per-machine capacity: every core drives its own 4-source
+		// scene (mirrors BenchmarkSceneSessionsParallel). ns/op is machine
+		// wall time per hop across all concurrent scenes.
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				sc, in, outL, outR, err := newSceneKernel(tab, 4)
+				if err != nil {
+					panic(err)
+				}
+				for pb.Next() {
+					for s := 0; s < 4; s++ {
+						sc.PushFrame(s, in)
+					}
+					sc.ReadFrame(outL, outR)
+				}
+			})
 		}), true
 	}
 	return testing.BenchmarkResult{}, false
@@ -344,6 +446,9 @@ func TestEmitBenchJSON(t *testing.T) {
 		"localizer/build",
 		"stream/convolver",
 		"stream/aoa-tracker",
+		"stream/scene-4src-order2",
+		"stream/scene-8src-order2",
+		"stream/scene-saturation",
 		"fuseSensors",
 		"fuseSensors/fast",
 	} {
@@ -353,6 +458,28 @@ func TestEmitBenchJSON(t *testing.T) {
 		}
 		ns[name] = add(name, r).NsPerOp
 	}
+	// Scene capacity headlines: one op is one hop of audio, so the
+	// real-time budget per op is hop/sampleRate seconds, and budget/ns is
+	// how many such scenes (or, scaled by source count, source channels)
+	// run in real time — per core for the serial kernels, per machine for
+	// the saturation kernel.
+	if tab, err := sceneKernelTable(); err == nil {
+		if c, err := stream.NewConvolver(tab, stream.ConvolverOptions{}); err == nil {
+			hopSec := float64(c.BlockSize()/2) / tab.SampleRate
+			if v := ns["stream/scene-4src-order2"]; v > 0 {
+				sum.Derived["sceneSessionsPerCoreRealtime"] = hopSec / (v / 1e9)
+			}
+			if v := ns["stream/scene-8src-order2"]; v > 0 {
+				sum.Derived["sceneSourcesPerCoreRealtime"] = 8 * hopSec / (v / 1e9)
+			}
+			if v := ns["stream/scene-saturation"]; v > 0 {
+				sum.Derived["sceneSaturationSessionsPerMachine"] = hopSec / (v / 1e9)
+			}
+		}
+	} else {
+		t.Fatalf("scene kernel table: %v", err)
+	}
+
 	// Profile store: cache-bypassing cold reads and durable writes on the
 	// binary segment store, against the legacy JSON-per-user layout read
 	// the way the old store read it. Disk footprint per profile rides on

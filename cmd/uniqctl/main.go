@@ -9,7 +9,7 @@
 //	uniqctl submit  -server http://host:8080 [-user N] [-seed N] [-quality good|droop|wild] [-name ID]
 //	uniqctl get     -server http://host:8080 -name ID [-out profile.json]
 //	uniqctl stream  -server http://host:8080 -name ID -in in.wav [-out out.wav]
-//	                [-source deg] [-yaw-rate deg/s] [-frame ms] [-aoa]
+//	                [-source deg] [-scene scene.json] [-yaw-rate deg/s] [-frame ms] [-aoa]
 //	uniqctl metrics -server http://host:8080 [-json] [-grep substr]
 //	uniqctl nodes   -server http://host:8080 [-json]
 //	uniqctl store   migrate|stat|compact -dir ./profiles [-json]

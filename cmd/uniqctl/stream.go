@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -16,41 +17,47 @@ import (
 // server. The default mode renders: mono audio (stereo inputs are mixed
 // down) goes up in real-sized frames with optional head-yaw motion, and
 // the personalized binaural result comes back frame by frame into -out.
+// With -scene a JSON scene file places multiple sources (each with its
+// own WAV) in a room and the server mixes them with early reflections.
 // With -aoa the input must be a stereo earbud recording; the server's
 // angle estimates are printed as they arrive.
 func runStream(args []string) {
 	fs := flag.NewFlagSet("uniqctl stream", flag.ExitOnError)
 	server := fs.String("server", "http://127.0.0.1:8080", "uniqd base URL")
 	name := fs.String("name", "", "profile owner id on the server (required)")
-	in := fs.String("in", "", "input WAV file (required)")
-	out := fs.String("out", "uniq-stream.wav", "output WAV file (render mode)")
+	in := fs.String("in", "", "input WAV file (required unless every -scene source names one)")
+	out := fs.String("out", "uniq-stream.wav", "output WAV file (render modes)")
 	source := fs.Float64("source", 90, "world-frame source bearing, degrees")
-	yawRate := fs.Float64("yaw-rate", 0, "head yaw rate, degrees/second (render mode)")
+	scene := fs.String("scene", "", "scene JSON file: multi-source render with room acoustics")
+	yawRate := fs.Float64("yaw-rate", 0, "head yaw rate, degrees/second (render modes)")
 	frameMS := fs.Float64("frame", 20, "frame size, milliseconds")
 	aoa := fs.Bool("aoa", false, "run angle-of-arrival tracking instead of rendering")
 	timeout := fs.Duration("timeout", 5*time.Minute, "give up after this long")
 	fs.Parse(args)
-	if *name == "" || *in == "" {
-		fmt.Fprintln(os.Stderr, "uniqctl stream: -name and -in are required")
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "uniqctl stream: -name is required")
 		os.Exit(2)
 	}
-
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
-	}
-	chans, sr, err := wav.Decode(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	frame := int(*frameMS / 1000 * float64(sr))
-	if frame < 1 {
-		frame = 1
+	if *aoa && *scene != "" {
+		fmt.Fprintln(os.Stderr, "uniqctl stream: -aoa and -scene are mutually exclusive")
+		os.Exit(2)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	c := service.NewClient(*server)
+	if *scene != "" {
+		streamScene(ctx, c, *name, *scene, *in, *frameMS, *yawRate, *out)
+		return
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "uniqctl stream: -in is required")
+		os.Exit(2)
+	}
+	chans, sr, err := decodeWAVFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	frame := frameSamples(*frameMS, sr)
 	if *aoa {
 		streamAoA(ctx, c, *name, chans, sr, frame)
 		return
@@ -58,15 +65,177 @@ func runStream(args []string) {
 	streamRender(ctx, c, *name, chans, sr, frame, *source, *yawRate, *out)
 }
 
+// decodeWAVFile reads all channels of a WAV file.
+func decodeWAVFile(path string) ([][]float64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return wav.Decode(f)
+}
+
+// downmix folds a decoded WAV to mono (stereo inputs are averaged).
+func downmix(chans [][]float64) []float64 {
+	if len(chans) == 1 {
+		return chans[0]
+	}
+	mono := make([]float64, len(chans[0]))
+	for i := range mono {
+		mono[i] = (chans[0][i] + chans[1][i]) / 2
+	}
+	return mono
+}
+
+func frameSamples(frameMS float64, sr int) int {
+	frame := int(frameMS / 1000 * float64(sr))
+	if frame < 1 {
+		frame = 1
+	}
+	return frame
+}
+
+// sceneFile is the on-disk scene description: the wire SceneDesc plus a
+// per-source "wav" input path. Sources without one fall back to -in.
+type sceneFile struct {
+	Room    *service.SceneRoom `json:"room,omitempty"`
+	Sources []sceneFileSource  `json:"sources"`
+}
+
+type sceneFileSource struct {
+	service.SceneSourceDesc
+	WAV string `json:"wav,omitempty"`
+}
+
+// streamScene renders a multi-source scene: per-source WAVs go up
+// interleaved round-robin (each source ends independently), the mixed
+// binaural result comes back into out.
+func streamScene(ctx context.Context, c *service.Client, name, scenePath, fallbackIn string,
+	frameMS, yawRate float64, out string) {
+	data, err := os.ReadFile(scenePath)
+	if err != nil {
+		fatal(err)
+	}
+	var sf sceneFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", scenePath, err))
+	}
+	if len(sf.Sources) == 0 {
+		fmt.Fprintf(os.Stderr, "uniqctl stream: %s describes no sources\n", scenePath)
+		os.Exit(2)
+	}
+	desc := service.SceneDesc{Room: sf.Room}
+	feeds := make([][]float64, len(sf.Sources))
+	sr := 0
+	for i, src := range sf.Sources {
+		desc.Sources = append(desc.Sources, src.SceneSourceDesc)
+		path := src.WAV
+		if path == "" {
+			path = fallbackIn
+		}
+		if path == "" {
+			fmt.Fprintf(os.Stderr, "uniqctl stream: source %d has no \"wav\" and -in was not given\n", i)
+			os.Exit(2)
+		}
+		chans, fileSR, err := decodeWAVFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if sr == 0 {
+			sr = fileSR
+		} else if fileSR != sr {
+			fatal(fmt.Errorf("source %d (%s) is %d Hz, earlier sources are %d Hz", i, path, fileSR, sr))
+		}
+		feeds[i] = downmix(chans)
+	}
+	frame := frameSamples(frameMS, sr)
+
+	st, err := c.StreamRenderScene(ctx, name, desc)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	longest := 0
+	for _, f := range feeds {
+		longest = max(longest, len(f))
+	}
+	fmt.Printf("streaming %d sources (longest %.1f s at %d Hz)", len(feeds),
+		float64(longest)/float64(sr), sr)
+	if sf.Room != nil {
+		fmt.Printf(" in a %.1fx%.1f m room (order %d)", sf.Room.Width, sf.Room.Depth, sf.Room.MaxOrder)
+	}
+	if yawRate != 0 {
+		fmt.Printf(", head turning at %.0f°/s", yawRate)
+	}
+	fmt.Println("...")
+
+	var left, right []float64
+	recvDone := make(chan error, 1)
+	go func() {
+		for {
+			l, r, err := st.Recv()
+			if err == io.EOF {
+				recvDone <- nil
+				return
+			}
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			left = append(left, l...)
+			right = append(right, r...)
+		}
+	}()
+	frames := 0
+	offs := make([]int, len(feeds))
+	ended := make([]bool, len(feeds))
+	for live := len(feeds); live > 0; {
+		if yawRate != 0 {
+			if err := st.SendPose(yawRate * float64(frames) * float64(frame) / float64(sr)); err != nil {
+				fatal(err)
+			}
+		}
+		for i, feed := range feeds {
+			if ended[i] {
+				continue
+			}
+			if offs[i] >= len(feed) {
+				if err := st.EndSource(i); err != nil {
+					fatal(err)
+				}
+				ended[i] = true
+				live--
+				continue
+			}
+			end := min(offs[i]+frame, len(feed))
+			if err := st.SendSourceAudio(i, feed[offs[i]:end]); err != nil {
+				fatal(err)
+			}
+			offs[i] = end
+		}
+		frames++
+	}
+	if err := st.CloseSend(); err != nil {
+		fatal(err)
+	}
+	if err := <-recvDone; err != nil {
+		fatal(err)
+	}
+	of, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer of.Close()
+	if err := wav.EncodeStereo(of, left, right, sr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sent %d frame rounds, received %d binaural samples; wrote %s\n",
+		frames, len(left), out)
+}
+
 func streamRender(ctx context.Context, c *service.Client, name string,
 	chans [][]float64, sr, frame int, source, yawRate float64, out string) {
-	mono := chans[0]
-	if len(chans) > 1 {
-		mono = make([]float64, len(chans[0]))
-		for i := range mono {
-			mono[i] = (chans[0][i] + chans[1][i]) / 2
-		}
-	}
+	mono := downmix(chans)
 	st, err := c.StreamRender(ctx, name, source)
 	if err != nil {
 		fatal(err)

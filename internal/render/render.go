@@ -10,8 +10,6 @@ import (
 	"errors"
 	"math"
 
-	"repro/internal/dsp"
-	"repro/internal/geom"
 	"repro/internal/hrtf"
 	"repro/internal/room"
 	"repro/internal/stream"
@@ -69,21 +67,11 @@ func (r *Renderer) RenderMoving(mono []float64, angleAt func(t float64) float64)
 // mirrorIntoSpan folds an arbitrary angle into the table's tabulated span
 // ([0,180] for the standard left-hemisphere table): right-hemisphere
 // angles map to their mirror (callers handling true right-side sources
-// should swap channels; HeadTracker does).
+// should swap channels; HeadTracker does). It is the streaming engine's
+// stream.FoldIntoSpan with the hemisphere flag dropped, so batch and
+// stream folds cannot diverge.
 func mirrorIntoSpan(angleDeg float64, t *hrtf.Table) float64 {
-	a := math.Mod(angleDeg, 360)
-	if a < 0 {
-		a += 360
-	}
-	if a > 180 {
-		a = 360 - a
-	}
-	if a < t.MinAngle {
-		a = t.MinAngle
-	}
-	if a > t.MaxAngle() {
-		a = t.MaxAngle()
-	}
+	a, _ := stream.FoldIntoSpan(angleDeg, t)
 	return a
 }
 
@@ -197,58 +185,43 @@ type RoomRenderer struct {
 
 // Render places the mono source at the given polar angle and distance
 // (metres) inside the room and returns the reverberant binaural pair.
+//
+// Like RenderMoving, the whole-buffer path is a thin wrapper over the
+// streaming engine — here a one-source stream.Scene — so batch and live
+// room renders share one kernel and cannot drift apart (the scene tests
+// pin them sample-for-sample). The direct path folds into the table span
+// exactly like the image arrivals: a right-hemisphere source (say 250°)
+// renders through its 110° mirror with the ears swapped, instead of the
+// historical bug of clamping it to 180°.
 func (rr *RoomRenderer) Render(mono []float64, angleDeg, distance float64) (left, right []float64, err error) {
 	if rr.Table == nil || rr.Table.NumAngles() == 0 {
 		return nil, nil, ErrNoTable
 	}
-	if distance <= 0 {
-		distance = 2
+	if len(mono) == 0 {
+		return nil, nil, nil
 	}
-	sr := rr.Table.SampleRate
-	src := geom.FromPolar(geom.Radians(angleDeg), distance)
-	type arrival struct {
-		angle float64
-		gain  float64
-		delay float64 // seconds relative to the direct arrival
-		right bool    // source on the right hemisphere -> swap ears
-	}
-	directDist := src.Norm()
-	arrivals := []arrival{{angle: angleDeg, gain: 1, delay: 0}}
-	for _, img := range rr.Room.Images(src) {
-		d := img.Pos.Norm()
-		a := geom.Degrees(img.Pos.PolarAngle())
-		ar := arrival{
-			angle: a,
-			gain:  img.Gain * directDist / d,
-			delay: (d - directDist) / 343.0,
+	sc, err := stream.NewScene(rr.Table, stream.SceneOptions{
+		Convolver: stream.ConvolverOptions{
+			// One push must accept the whole signal: batch rendering has
+			// no backpressure.
+			MaxPending: len(mono) + 1,
+		},
+		Room:    rr.Room,
+		Sources: []stream.SceneSource{{BearingDeg: angleDeg, Distance: distance}},
+	})
+	if err != nil {
+		if rr.Room.MaxOrder > 0 {
+			if verr := rr.Room.Validate(); verr != nil {
+				return nil, nil, verr
+			}
 		}
-		if ar.delay < 0 {
-			// Only possible when the nominal source position lies
-			// outside the room; such images are not physical.
-			continue
-		}
-		if ar.angle > 180 {
-			ar.angle = 360 - ar.angle
-			ar.right = true
-		}
-		arrivals = append(arrivals, ar)
-	}
-	var outL, outR []float64
-	for _, ar := range arrivals {
-		h, err := rr.Table.FarAt(math.Min(math.Max(ar.angle, rr.Table.MinAngle), rr.Table.MaxAngle()))
-		if err != nil || h.Empty() {
-			continue
-		}
-		l, r := h.Render(mono)
-		if ar.right {
-			l, r = r, l
-		}
-		shift := int(ar.delay * sr)
-		outL = growMix(outL, dsp.Scale(l, ar.gain), shift)
-		outR = growMix(outR, dsp.Scale(r, ar.gain), shift)
-	}
-	if outL == nil {
 		return nil, nil, ErrNoTable
 	}
-	return outL, outR, nil
+	sc.PushFrame(0, mono)
+	sc.Flush()
+	outLen := len(mono) + sc.TailLen()
+	left = make([]float64, outLen)
+	right = make([]float64, outLen)
+	sc.ReadFrame(left, right)
+	return left, right, nil
 }

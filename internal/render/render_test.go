@@ -196,4 +196,146 @@ func TestRoomRendererErrors(t *testing.T) {
 	if _, _, err := rr.Render([]float64{1}, 0, 1); err != ErrNoTable {
 		t.Errorf("want ErrNoTable, got %v", err)
 	}
+	// A reverberant room whose origin lies outside the walls must be
+	// rejected (the fixed room.Config.Validate reaches this path through
+	// the scene engine).
+	bad := &RoomRenderer{Table: testTable(t), Room: room.Config{
+		Width: 4, Depth: 5, Origin: geom.Vec{X: -1, Y: 2}, Absorption: 0.5, MaxOrder: 2,
+	}}
+	if _, _, err := bad.Render([]float64{1}, 45, 1); err == nil {
+		t.Error("out-of-room origin should fail the render")
+	}
+}
+
+// TestRoomRendererDirectPathMirrorPair is the regression test for the
+// direct-arrival hemisphere bug: the pre-fix code clamped a
+// right-hemisphere direct angle into the table span (290° became 180°)
+// while image arrivals folded to their mirror with the ears swapped. In
+// free field, a source at 360-θ must now be exactly the θ render with
+// the channels exchanged.
+func TestRoomRendererDirectPathMirrorPair(t *testing.T) {
+	tab := testTable(t)
+	free := &RoomRenderer{Table: tab, Room: room.Config{
+		Width: 6, Depth: 6, Origin: geom.Vec{X: 3, Y: 3}, Absorption: 0.5, MaxOrder: 0,
+	}}
+	click := dsp.DelayedImpulse(2048, 1024, 1)
+	l1, r1, err := free.Render(click, 70, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, r2, err := free.Render(click, 290, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1) != len(l2) {
+		t.Fatalf("mirror renders differ in length: %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != r2[i] || r1[i] != l2[i] {
+			t.Fatalf("sample %d: 290° render is not the ear-swapped 70° render "+
+				"((%g,%g) vs swapped (%g,%g))", i, l2[i], r2[i], r1[i], l1[i])
+		}
+	}
+	// Sanity: the pair is nontrivial (the two ears actually differ).
+	same := true
+	for i := range l1 {
+		if l1[i] != r1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("70° render has identical ears; mirror test is vacuous")
+	}
+
+	// With a room symmetric about the listener's X axis the whole
+	// reverberant render mirrors too (tolerance: the mirrored image
+	// geometry is float-rounded, not bit-identical).
+	rev := &RoomRenderer{Table: tab, Room: room.Config{
+		Width: 6, Depth: 6, Origin: geom.Vec{X: 3, Y: 3}, Absorption: 0.45, MaxOrder: 2,
+	}}
+	l1, r1, err = rev.Render(click, 70, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, r2, err = rev.Render(click, 290, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l1 {
+		if math.Abs(l1[i]-r2[i]) > 1e-9 || math.Abs(r1[i]-l2[i]) > 1e-9 {
+			t.Fatalf("sample %d: symmetric-room mirror broke: (%g,%g) vs swapped (%g,%g)",
+				i, l2[i], r2[i], r1[i], l1[i])
+		}
+	}
+}
+
+// TestRoomRendererMatchesDirectConvolutionReference pins the physics of
+// the scene-engine room path against a literal direct-convolution
+// image-source reference (the pre-refactor algorithm): per arrival,
+// convolve with the nearest-angle HRIR, scale by wall absorption and
+// spherical spreading, shift by the excess path delay, swap ears on
+// right-hemisphere arrivals. Overlap-add and direct convolution agree to
+// float rounding.
+func TestRoomRendererMatchesDirectConvolutionReference(t *testing.T) {
+	tab := testTable(t)
+	cfg := room.Config{Width: 6, Depth: 6, Origin: geom.Vec{X: 2.2, Y: 3.4}, Absorption: 0.45, MaxOrder: 2}
+	mono := dsp.Tone(500, 0.05, tab.SampleRate)
+	const angle, dist = 45, 1.5
+	sr := tab.SampleRate
+
+	// Reference: direct time-domain convolution per arrival.
+	src := geom.FromPolar(geom.Radians(angle), dist)
+	directDist := src.Norm()
+	type arrival struct {
+		angle, gain, delay float64
+		right              bool
+	}
+	arrivals := []arrival{{angle: angle, gain: 1}}
+	for _, img := range cfg.Images(src) {
+		d := img.Pos.Norm()
+		ar := arrival{
+			angle: geom.Degrees(img.Pos.PolarAngle()),
+			gain:  img.Gain * directDist / d,
+			delay: (d - directDist) / 343.0,
+		}
+		if ar.angle > 180 {
+			ar.angle = 360 - ar.angle
+			ar.right = true
+		}
+		arrivals = append(arrivals, ar)
+	}
+	var refL, refR []float64
+	for _, ar := range arrivals {
+		h, err := tab.FarAt(math.Min(math.Max(ar.angle, tab.MinAngle), tab.MaxAngle()))
+		if err != nil || h.Empty() {
+			continue
+		}
+		l, r := h.Render(mono)
+		if ar.right {
+			l, r = r, l
+		}
+		shift := int(ar.delay * sr)
+		refL = growMix(refL, dsp.Scale(l, ar.gain), shift)
+		refR = growMix(refR, dsp.Scale(r, ar.gain), shift)
+	}
+
+	rr := &RoomRenderer{Table: tab, Room: cfg}
+	gotL, gotR, err := rr.Render(mono, angle, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotL) < len(refL) {
+		t.Fatalf("render %d samples shorter than reference %d", len(gotL), len(refL))
+	}
+	for i := range gotL {
+		wantL, wantR := 0.0, 0.0
+		if i < len(refL) {
+			wantL, wantR = refL[i], refR[i]
+		}
+		if math.Abs(gotL[i]-wantL) > 1e-6 || math.Abs(gotR[i]-wantR) > 1e-6 {
+			t.Fatalf("sample %d: engine (%g,%g), reference (%g,%g)",
+				i, gotL[i], gotR[i], wantL, wantR)
+		}
+	}
 }

@@ -50,7 +50,15 @@ func (c Config) Validate() error {
 	if c.MaxOrder < 0 {
 		return errors.New("room: max order must be non-negative")
 	}
-	if c.Origin.X <= -c.Width/2 && c.Origin.X >= c.Width/2 {
+	// Images works in room coordinates spanning [0,Width]x[0,Depth] with
+	// the head at Origin, so the head must sit strictly inside that box.
+	// (An earlier check compared against ±Width/2 — the wrong coordinate
+	// convention — with && instead of ||, so it could never fire and
+	// never looked at Origin.Y at all.)
+	if c.Origin.X <= 0 || c.Origin.X >= c.Width {
+		return errors.New("room: origin outside room")
+	}
+	if c.Origin.Y <= 0 || c.Origin.Y >= c.Depth {
 		return errors.New("room: origin outside room")
 	}
 	return nil

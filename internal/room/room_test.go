@@ -25,6 +25,42 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsOriginOutsideRoom is the regression test for the
+// origin check. The pre-fix check compared Origin.X against ±Width/2 with
+// && (unsatisfiable, so it never fired) and ignored Origin.Y entirely —
+// every config below validated cleanly even though Images, which works in
+// room coordinates [0,Width]x[0,Depth], would place the head through a
+// wall.
+func TestValidateRejectsOriginOutsideRoom(t *testing.T) {
+	base := Config{Width: 4, Depth: 5, Absorption: 0.5, MaxOrder: 2}
+	cases := []struct {
+		name   string
+		origin geom.Vec
+	}{
+		{"negative X", geom.Vec{X: -1, Y: 2}},
+		{"X past width", geom.Vec{X: 4.5, Y: 2}},
+		{"X on wall", geom.Vec{X: 0, Y: 2}},
+		{"negative Y", geom.Vec{X: 2, Y: -0.1}},
+		{"Y past depth", geom.Vec{X: 2, Y: 5}},
+		{"zero origin", geom.Vec{}},
+	}
+	for _, tc := range cases {
+		c := base
+		c.Origin = tc.origin
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: origin %v accepted, want rejection", tc.name, tc.origin)
+		}
+	}
+	// Strictly-inside origins stay valid.
+	for _, ok := range []geom.Vec{{X: 0.01, Y: 0.01}, {X: 2, Y: 2.5}, {X: 3.99, Y: 4.99}} {
+		c := base
+		c.Origin = ok
+		if err := c.Validate(); err != nil {
+			t.Errorf("origin %v rejected: %v", ok, err)
+		}
+	}
+}
+
 func TestImageCount(t *testing.T) {
 	c := DefaultConfig()
 	c.MaxOrder = 1
@@ -82,6 +118,105 @@ func TestImageGainDecaysWithOrder(t *testing.T) {
 	refl := math.Sqrt(1 - c.Absorption)
 	if math.Abs(maxGain[1]-refl) > 1e-12 {
 		t.Errorf("first-order gain %g, want %g", maxGain[1], refl)
+	}
+}
+
+// TestImagesMatchBruteForceExpansion checks the closed-form mirror
+// recurrence in Images against a literal breadth-first reflection
+// expansion: start from the source in room coordinates, reflect the
+// frontier across each of the four wall planes (x=0, x=Width, y=0,
+// y=Depth), and record every position first reached at depth n as an
+// order-n image. The two constructions must agree on image count per
+// order (4n in a generic room), positions, and gains
+// sqrt(1-Absorption)^order — including for sources pushed up against the
+// walls, where a sign slip in the recurrence would collapse or duplicate
+// images.
+func TestImagesMatchBruteForceExpansion(t *testing.T) {
+	rooms := []Config{
+		{Width: 4, Depth: 5, Origin: geom.Vec{X: 0.75, Y: 1.3}, Absorption: 0.45, MaxOrder: 3},
+		{Width: 2.5, Depth: 7, Origin: geom.Vec{X: 1.2, Y: 3.3}, Absorption: 0.2, MaxOrder: 4},
+		{Width: 6, Depth: 3.5, Origin: geom.Vec{X: 5.1, Y: 0.4}, Absorption: 0.8, MaxOrder: 2},
+	}
+	for _, c := range rooms {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("test room invalid: %v", err)
+		}
+		// Sources in room coordinates, including positions 5 mm to 1 cm
+		// off each wall (strictly inside).
+		srcRooms := []geom.Vec{
+			{X: 0.01, Y: c.Depth / 2},
+			{X: c.Width - 0.01, Y: 0.01},
+			{X: c.Width / 3, Y: c.Depth - 0.005},
+			{X: c.Width / 2, Y: c.Depth / 2},
+			{X: 0.3, Y: 0.4},
+		}
+		for _, srcRoom := range srcRooms {
+			src := srcRoom.Sub(c.Origin)
+			type bruteImage struct {
+				pos   geom.Vec // room coordinates
+				order int
+			}
+			// BFS over reflections, deduplicating positions on a fine
+			// grid (different reflection paths to the same image differ
+			// only by float rounding).
+			quant := func(v geom.Vec) [2]int64 {
+				return [2]int64{int64(math.Round(v.X * 1e7)), int64(math.Round(v.Y * 1e7))}
+			}
+			seen := map[[2]int64]bool{quant(srcRoom): true}
+			frontier := []geom.Vec{srcRoom}
+			var brute []bruteImage
+			for depth := 1; depth <= c.MaxOrder; depth++ {
+				var next []geom.Vec
+				for _, p := range frontier {
+					for _, q := range []geom.Vec{
+						{X: -p.X, Y: p.Y},
+						{X: 2*c.Width - p.X, Y: p.Y},
+						{X: p.X, Y: -p.Y},
+						{X: p.X, Y: 2*c.Depth - p.Y},
+					} {
+						if k := quant(q); !seen[k] {
+							seen[k] = true
+							next = append(next, q)
+							brute = append(brute, bruteImage{pos: q, order: depth})
+						}
+					}
+				}
+				frontier = next
+			}
+
+			imgs := c.Images(src)
+			if len(imgs) != len(brute) {
+				t.Fatalf("room %gx%g src %v: %d images, brute force %d",
+					c.Width, c.Depth, srcRoom, len(imgs), len(brute))
+			}
+			refl := math.Sqrt(1 - c.Absorption)
+			perOrder := map[int]int{}
+			used := make([]bool, len(brute))
+			for _, img := range imgs {
+				perOrder[img.Order]++
+				if want := math.Pow(refl, float64(img.Order)); math.Abs(img.Gain-want) > 1e-12 {
+					t.Errorf("order-%d gain %g, want %g", img.Order, img.Gain, want)
+				}
+				imgRoom := img.Pos.Add(c.Origin)
+				found := false
+				for i, b := range brute {
+					if !used[i] && b.order == img.Order && b.pos.Dist(imgRoom) < 1e-6 {
+						used[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("image %v (order %d) has no brute-force counterpart", imgRoom, img.Order)
+				}
+			}
+			for order := 1; order <= c.MaxOrder; order++ {
+				if perOrder[order] != 4*order {
+					t.Errorf("src %v: order %d has %d images, want %d",
+						srcRoom, order, perOrder[order], 4*order)
+				}
+			}
+		}
 	}
 }
 

@@ -158,8 +158,8 @@ type Store struct {
 	puts, gets, deletes         atomic.Uint64
 	groupCommits, commitWaiters atomic.Uint64
 	compactions                 atomic.Uint64
-	syncHook    func()           // test seam: runs in the sync leader before fsync
-	compactHook func(key string) // test seam: runs before each compaction record's locked section
+	syncHook                    func()           // test seam: runs in the sync leader before fsync
+	compactHook                 func(key string) // test seam: runs before each compaction record's locked section
 }
 
 const segSuffix = ".uqs"

@@ -38,6 +38,11 @@ type serviceMetrics struct {
 	streamUnderruns *obs.Counter
 	renderSessions  atomic.Int64
 	aoaSessions     atomic.Int64
+	sceneSessions   atomic.Int64
+	// sceneSources counts source channels across live scene sessions
+	// (uniqd_stream_scene_sources): a node rendering 3 scenes of 4
+	// sources reports 12.
+	sceneSources atomic.Int64
 }
 
 // streamLatencyBuckets cover per-frame processing times: a render hop is
@@ -72,7 +77,11 @@ func newServiceMetrics(reg *obs.Registry, pool *Pool, store *Store) *serviceMetr
 	reg.OnCollect(func() {
 		streamActive.With("render").Set(float64(m.renderSessions.Load()))
 		streamActive.With("aoa").Set(float64(m.aoaSessions.Load()))
+		streamActive.With("scene").Set(float64(m.sceneSessions.Load()))
 	})
+	reg.GaugeFunc("uniqd_stream_scene_sources",
+		"Source channels across live scene sessions.",
+		func() float64 { return float64(m.sceneSources.Load()) })
 
 	// Pool: queue and worker gauges, terminal-outcome counters, and the
 	// uniqd_jobs{state} family refreshed per scrape.
@@ -168,18 +177,32 @@ func (m *serviceMetrics) Observe(endpoint string, code int, seconds float64) {
 // activeStreams returns the number of live streaming sessions of any kind
 // (the healthz load signal).
 func (m *serviceMetrics) activeStreams() int {
-	return int(m.renderSessions.Load() + m.aoaSessions.Load())
+	return int(m.renderSessions.Load() + m.aoaSessions.Load() + m.sceneSessions.Load())
 }
 
 // streamStart marks a streaming session of the given kind live; the
 // returned func marks it finished.
 func (m *serviceMetrics) streamStart(kind string) func() {
 	n := &m.renderSessions
-	if kind == "aoa" {
+	switch kind {
+	case "aoa":
 		n = &m.aoaSessions
+	case "scene":
+		n = &m.sceneSessions
 	}
 	n.Add(1)
 	return func() { n.Add(-1) }
+}
+
+// sceneStart additionally tracks a scene session's source-channel count;
+// the returned func unwinds both.
+func (m *serviceMetrics) sceneStart(sources int) func() {
+	doneSession := m.streamStart("scene")
+	m.sceneSources.Add(int64(sources))
+	return func() {
+		m.sceneSources.Add(int64(-sources))
+		doneSession()
+	}
 }
 
 // countStreamFrame counts one frame (or AoA event) in the given direction.

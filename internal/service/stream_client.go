@@ -104,6 +104,59 @@ func (s *RenderStream) Close() error {
 	return s.resp.Body.Close()
 }
 
+// SceneStream is a live multi-source scene render session. It speaks the
+// same response protocol as RenderStream (mixed stereo frames), plus the
+// per-source 's'/'b'/'e' request frames. SendAudio and SendPose are
+// inherited with their single-source meaning: audio for source 0 and the
+// shared listener yaw.
+type SceneStream struct {
+	RenderStream
+	sources int
+}
+
+// StreamRenderScene opens a scene render session against user's stored
+// profile. The scene description travels as JSON in the query string, so
+// it relays through gateways that predate scenes untouched.
+func (c *Client) StreamRenderScene(ctx context.Context, user string, scene SceneDesc) (*SceneStream, error) {
+	desc, err := json.Marshal(scene)
+	if err != nil {
+		return nil, err
+	}
+	path := "/v1/stream/render/" + url.PathEscape(user) +
+		"?scene=" + url.QueryEscape(string(desc))
+	pw, resp, err := c.openStream(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return &SceneStream{
+		RenderStream: RenderStream{pw: pw, resp: resp},
+		sources:      len(scene.Sources),
+	}, nil
+}
+
+// NumSources reports the scene's source-channel count.
+func (s *SceneStream) NumSources() int { return s.sources }
+
+// SendSourceAudio ships one mono frame for source i.
+func (s *SceneStream) SendSourceAudio(i int, mono []float64) error {
+	s.sendBuf = appendF32LE(appendU16BE(s.sendBuf[:0], uint16(i)), mono)
+	return writeFrame(s.pw, frameSceneAudio, s.sendBuf)
+}
+
+// SendBearing moves source i's world-frame bearing (degrees); its room
+// image geometry follows.
+func (s *SceneStream) SendBearing(i int, deg float64) error {
+	s.sendBuf = append(appendU16BE(s.sendBuf[:0], uint16(i)), encodeF64BE(deg)...)
+	return writeFrame(s.pw, frameBearing, s.sendBuf)
+}
+
+// EndSource flushes source i while the rest keep streaming; the scene's
+// output timeline stops waiting on it.
+func (s *SceneStream) EndSource(i int) error {
+	s.sendBuf = appendU16BE(s.sendBuf[:0], uint16(i))
+	return writeFrame(s.pw, frameSourceEnd, s.sendBuf)
+}
+
 // AoAStream is a live angle-of-arrival tracking session: stereo audio in,
 // stream.AngleEvent values out. The same backpressure coupling as
 // RenderStream applies, though events are small enough that sequential

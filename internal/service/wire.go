@@ -20,14 +20,45 @@ import (
 //	'p' — pose: one float64 big-endian, the head yaw in degrees
 //	      (render requests only).
 //
-// Unknown frame types are skipped by the server (forward compatibility).
-// AoA responses are not framed: they are newline-delimited JSON
+// Scene sessions (render requests opened with a ?scene= description) add
+// three per-source frame types, each prefixed with a 2-byte big-endian
+// source index:
+//
+//	's' — scene audio: [2 bytes index][float32 LE mono samples].
+//	'b' — bearing:     [2 bytes index][float64 BE degrees], moves that
+//	      source's world-frame bearing (its image geometry follows).
+//	'e' — end:         [2 bytes index], no payload beyond the index;
+//	      flushes that source while the rest keep streaming.
+//
+// On a scene session 'a' frames keep their single-source meaning as audio
+// for source 0 and 'p' frames steer the shared listener yaw, so
+// single-source clients work unchanged against scene sessions. Unknown
+// frame types are skipped by the server (forward compatibility), which is
+// also why scene frames relay through older gateways untouched. AoA
+// responses are not framed: they are newline-delimited JSON
 // (stream.AngleEvent per line), which terminal tooling can consume
 // directly.
 const (
-	frameAudio byte = 'a'
-	framePose  byte = 'p'
+	frameAudio      byte = 'a'
+	framePose       byte = 'p'
+	frameSceneAudio byte = 's'
+	frameBearing    byte = 'b'
+	frameSourceEnd  byte = 'e'
 )
+
+// appendU16BE appends a big-endian source index.
+func appendU16BE(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}
+
+// splitSourceIndex strips the 2-byte big-endian source index off a scene
+// frame payload.
+func splitSourceIndex(payload []byte) (idx int, rest []byte, err error) {
+	if len(payload) < 2 {
+		return 0, nil, fmt.Errorf("service: scene frame payload %d bytes, need a 2-byte source index", len(payload))
+	}
+	return int(binary.BigEndian.Uint16(payload)), payload[2:], nil
+}
 
 // maxFramePayload bounds one frame's payload (1 MiB ≈ 2.7 s of stereo
 // float32 at 48 kHz), keeping a malicious length prefix from ballooning a

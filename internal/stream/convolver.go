@@ -18,11 +18,56 @@ type ConvolverOptions struct {
 	// switches are click-free.
 	BlockSize int
 	// MaxPending bounds the input samples buffered ahead of processing
-	// (default 8 blocks). Pushes beyond the bound are dropped and counted
-	// as overruns. Output buffering is bounded by the same amount: when
-	// the reader lags further behind, processing stalls and input backs up
-	// into the pending bound.
+	// (default 8 blocks). The effective bound is MaxPending + BlockSize:
+	// the FIFO also holds up to one block of overlap history for the
+	// 50%-overlapped windows, so a fresh convolver accepts exactly
+	// MaxPending + BlockSize samples before its first drop (pinned by
+	// TestConvolverPendingBound). Pushes beyond the bound are dropped and
+	// counted as overruns. Output buffering is bounded by the same amount:
+	// when the reader lags further behind, processing stalls and input
+	// backs up into the pending bound.
 	MaxPending int
+	// DelayHeadroom is the largest Arrival.DelaySamples SetArrivals will
+	// accept (default 0: direct arrivals only). It sizes the output
+	// accumulators and extends the stream tail, so scenes pass the
+	// worst-case image-source delay for their room here.
+	DelayHeadroom int
+}
+
+// Arrival is one propagation path from a source to the listener: the HRTF
+// angle it arrives from (already folded into the table span, [0,180] for
+// the standard left-hemisphere table), an amplitude gain, a whole-sample
+// delay, and whether the ears swap (a right-hemisphere arrival rendered
+// through its left-hemisphere mirror). A free-field source is the single
+// arrival {AngleDeg: a, Gain: 1}; a source in a room adds one delayed,
+// attenuated arrival per room.Config image.
+type Arrival struct {
+	AngleDeg     float64
+	Gain         float64
+	DelaySamples int
+	SwapEars     bool
+}
+
+// FoldIntoSpan folds an arbitrary world/relative angle into the table's
+// tabulated span and reports whether the fold crossed hemispheres (the
+// caller renders such an arrival with SwapEars). The standard table covers
+// the left hemisphere [0, 180]; angles beyond map to their mirror 360-a.
+func FoldIntoSpan(angleDeg float64, t *hrtf.Table) (deg float64, swapEars bool) {
+	a := math.Mod(angleDeg, 360)
+	if a < 0 {
+		a += 360
+	}
+	if a > 180 {
+		a = 360 - a
+		swapEars = true
+	}
+	if a < t.MinAngle {
+		a = t.MinAngle
+	}
+	if a > t.MaxAngle() {
+		a = t.MaxAngle()
+	}
+	return a, swapEars
 }
 
 // Convolver renders a mono stream into binaural audio one chunk at a time:
@@ -53,10 +98,14 @@ type Convolver struct {
 	// inner slices alias the table's shared FarSpectra cache.
 	specL, specR [][][]complex128
 
-	// angle state: fixed angle set by SetAngle (already folded into the
-	// table span), or a per-block callback sampled at each block center.
-	angle   float64
-	angleAt func(tSec float64) float64
+	// arrival state: the set of paths rendered per block — a fixed
+	// single arrival set by SetAngle (stored in one, so the common case
+	// never allocates), an arbitrary set installed by SetArrivals, or a
+	// per-block angle callback sampled at each block center.
+	arrivals []Arrival
+	one      [1]Arrival
+	maxDelay int // largest DelaySamples SetArrivals accepts
+	angleAt  func(tSec float64) float64
 
 	// stream positions, all in absolute sample indices.
 	pos      int  // start of the next block to process (first is -hop)
@@ -75,14 +124,32 @@ type Convolver struct {
 	accL, accR []float64
 	accValid   int
 
-	// per-block scratch.
-	padded  []float64
-	freqX   []complex128
-	freqEar []complex128
+	// per-block FFT scratch, shareable across co-resident convolvers.
+	ws *workspace
 
 	// Counters (read through Stats by Session).
 	blocks   uint64 // blocks processed
 	overruns uint64 // input samples dropped at the pending bound
+}
+
+// workspace is the per-block FFT scratch a convolver renders through.
+// Convolvers are single-goroutine, so convolvers driven strictly
+// sequentially — a Scene's sources under the scene lock — share one
+// workspace instead of each holding fftSize floats and 2·fftSize
+// complexes; standalone convolvers own theirs.
+type workspace struct {
+	padded  []float64
+	freqX   []complex128
+	freqEar []complex128
+}
+
+// ensure grows the workspace to serve transforms of length fftSize.
+func (w *workspace) ensure(fftSize int) {
+	if len(w.padded) < fftSize {
+		w.padded = make([]float64, fftSize)
+		w.freqX = make([]complex128, fftSize)
+		w.freqEar = make([]complex128, fftSize)
+	}
 }
 
 // ErrNoFarField is returned when a table carries no usable far-field data.
@@ -90,6 +157,12 @@ var ErrNoFarField = errors.New("stream: table has no far-field HRIRs")
 
 // NewConvolver builds a streaming convolver over a table's far field.
 func NewConvolver(t *hrtf.Table, opt ConvolverOptions) (*Convolver, error) {
+	return newConvolver(t, opt, nil)
+}
+
+// newConvolver is NewConvolver with an optional shared FFT workspace
+// (nil allocates a private one).
+func newConvolver(t *hrtf.Table, opt ConvolverOptions, ws *workspace) (*Convolver, error) {
 	if t == nil || t.NumAngles() == 0 {
 		return nil, ErrNoFarField
 	}
@@ -114,15 +187,17 @@ func NewConvolver(t *hrtf.Table, opt ConvolverOptions) (*Convolver, error) {
 		maxPending = block
 	}
 	c := &Convolver{
-		table: t,
-		sr:    sr,
-		block: block,
-		hop:   block / 2,
-		irLen: irLen,
-		win:   bartlettWindow(block),
-		angle: foldIntoSpan(90, t),
-		pos:   -block / 2,
+		table:    t,
+		sr:       sr,
+		block:    block,
+		hop:      block / 2,
+		irLen:    irLen,
+		win:      bartlettWindow(block),
+		maxDelay: max(opt.DelayHeadroom, 0),
+		pos:      -block / 2,
 	}
+	c.one[0] = Arrival{AngleDeg: foldIntoSpan(90, t), Gain: 1}
+	c.arrivals = c.one[:]
 	// Transform length: at least double the block so a partition is never
 	// shorter than the block itself, stretched further while the whole IR
 	// still fits in one partition (the K == 1 fast path).
@@ -137,12 +212,14 @@ func NewConvolver(t *hrtf.Table, opt ConvolverOptions) (*Convolver, error) {
 		return nil, err
 	}
 	c.pending = make([]float64, 0, maxPending+block)
-	accCap := maxPending + block + irLen
+	accCap := maxPending + block + irLen + c.maxDelay
 	c.accL = make([]float64, accCap)
 	c.accR = make([]float64, accCap)
-	c.padded = make([]float64, c.fftSize)
-	c.freqX = make([]complex128, c.fftSize)
-	c.freqEar = make([]complex128, c.fftSize)
+	if ws == nil {
+		ws = &workspace{}
+	}
+	ws.ensure(c.fftSize)
+	c.ws = ws
 	return c, nil
 }
 
@@ -222,10 +299,45 @@ func (c *Convolver) SetTable(t *hrtf.Table) error {
 }
 
 // SetAngle fixes the source angle (degrees, folded into the table span)
-// used for blocks formed from now on. It overrides any AngleFunc.
+// used for blocks formed from now on. It overrides any AngleFunc or
+// arrival set. This is the classic single-path free-field mode: one
+// unit-gain, zero-delay arrival with no ear swap (Session folds and swaps
+// segments itself for hemisphere crossings).
 func (c *Convolver) SetAngle(deg float64) {
 	c.angleAt = nil
-	c.angle = foldIntoSpan(deg, c.table)
+	c.one[0] = Arrival{AngleDeg: foldIntoSpan(deg, c.table), Gain: 1}
+	c.arrivals = c.one[:]
+}
+
+// SetArrivals installs the set of propagation paths rendered for blocks
+// formed from now on (copied; the caller keeps arr). Angles must already
+// be folded into the table span (FoldIntoSpan). It overrides any
+// AngleFunc. Delays are whole samples in [0, DelayHeadroom]; an arrival
+// outside that range is an error and leaves the previous set in place.
+// The block's input FFT is computed once and reused across all arrivals.
+func (c *Convolver) SetArrivals(arr []Arrival) error {
+	if len(arr) == 0 {
+		return errors.New("stream: empty arrival set")
+	}
+	for _, a := range arr {
+		if a.DelaySamples < 0 || a.DelaySamples > c.maxDelay {
+			return fmt.Errorf("stream: arrival delay %d outside [0, %d] headroom", a.DelaySamples, c.maxDelay)
+		}
+	}
+	c.angleAt = nil
+	if len(arr) == 1 {
+		c.one[0] = arr[0]
+		c.arrivals = c.one[:]
+		return nil
+	}
+	// Multi-arrival sets reuse the previous heap slice when it fits
+	// (c.one has cap 1, so it can never be aliased here).
+	if cap(c.arrivals) < len(arr) {
+		c.arrivals = make([]Arrival, len(arr))
+	}
+	c.arrivals = c.arrivals[:len(arr)]
+	copy(c.arrivals, arr)
+	return nil
 }
 
 // SetAngleFunc installs a per-block angle source: fn is called with the
@@ -237,12 +349,17 @@ func (c *Convolver) SetAngleFunc(fn func(tSec float64) float64) { c.angleAt = fn
 // BlockSize returns the crossfade block length in samples.
 func (c *Convolver) BlockSize() int { return c.block }
 
-// TailLen returns the convolution tail appended after the input ends.
-func (c *Convolver) TailLen() int { return c.irLen }
+// TailLen returns the convolution tail appended after the input ends:
+// the IR length plus the configured delay headroom.
+func (c *Convolver) TailLen() int { return c.irLen + c.maxDelay }
 
 // LatencySamples returns the worst-case algorithmic latency: output sample
 // j is ready once input sample j + block + hop - 1 has been pushed.
 func (c *Convolver) LatencySamples() int { return c.block + c.hop - 1 }
+
+// Drained reports whether the input was flushed and every output sample
+// (including the tail) has been read.
+func (c *Convolver) Drained() bool { return c.flushed && c.emitted >= c.finalOut }
 
 // Overruns returns the cumulative count of input samples dropped because
 // the pending bound was full.
@@ -280,7 +397,7 @@ func (c *Convolver) Flush() {
 		return
 	}
 	c.flushed = true
-	c.finalOut = c.inEnd + c.irLen
+	c.finalOut = c.inEnd + c.irLen + c.maxDelay
 	if c.inEnd == 0 {
 		c.finalOut = 0
 	}
@@ -306,6 +423,12 @@ func (c *Convolver) Read(l, r []float64) int {
 	want := min(len(l), len(r))
 	n := min(want, c.Available())
 	if n > 0 {
+		// With delay headroom the flushed tail can extend past the last
+		// sample any arrival touched; those accumulator entries are
+		// guaranteed zero, so fold them under accValid before shifting.
+		if c.accValid < n {
+			c.accValid = n
+		}
 		copy(l[:n], c.accL[:n])
 		copy(r[:n], c.accR[:n])
 		copy(c.accL, c.accL[n:c.accValid])
@@ -329,8 +452,9 @@ func (c *Convolver) process() {
 		if !ready {
 			return
 		}
-		// Output room for this block's whole contribution span.
-		if c.pos+c.block+c.irLen-1-c.emitted > len(c.accL) {
+		// Output room for this block's whole contribution span
+		// (including the most-delayed arrival it could carry).
+		if c.pos+c.block+c.irLen+c.maxDelay-1-c.emitted > len(c.accL) {
 			return
 		}
 		c.processBlock()
@@ -347,9 +471,12 @@ func (c *Convolver) process() {
 }
 
 // processBlock windows the block at c.pos, transforms it once, and
-// accumulates the per-partition products for both ears.
+// accumulates the per-partition products for both ears of every arrival.
+// The single input FFT is the block-sharing core: a source in an order-2
+// room renders 13 arrivals (direct + 12 images) off one transform.
 func (c *Convolver) processBlock() {
 	c.blocks++
+	padded := c.ws.padded[:c.fftSize]
 	// Window the block; samples outside [pendStart, pendStart+pendLen)
 	// (before the stream start or past its end) are zero.
 	for i := 0; i < c.block; i++ {
@@ -358,40 +485,54 @@ func (c *Convolver) processBlock() {
 		if j >= c.pendStart && j < c.pendStart+c.pendLen {
 			v = c.pending[j-c.pendStart] * c.win[i]
 		}
-		c.padded[i] = v
+		padded[i] = v
 	}
 	for i := c.block; i < c.fftSize; i++ {
-		c.padded[i] = 0
+		padded[i] = 0
 	}
 
-	angle := c.angle
+	arrivals := c.arrivals
 	if c.angleAt != nil {
 		tCenter := (float64(c.pos) + float64(c.block)/2) / c.sr
-		angle = foldIntoSpan(c.angleAt(tCenter), c.table)
+		c.one[0] = Arrival{AngleDeg: foldIntoSpan(c.angleAt(tCenter), c.table), Gain: 1}
+		arrivals = c.one[:]
 	}
-	idx := c.angleIndex(angle)
 
-	c.plan.ForwardReal(c.freqX, c.padded)
-	c.accumulateEar(c.specL[idx], c.accL)
-	c.accumulateEar(c.specR[idx], c.accR)
+	c.plan.ForwardReal(c.ws.freqX[:c.fftSize], padded)
+	maxArrDelay := 0
+	for _, a := range arrivals {
+		idx := c.angleIndex(a.AngleDeg)
+		accL, accR := c.accL, c.accR
+		if a.SwapEars {
+			accL, accR = accR, accL
+		}
+		c.accumulateEar(c.specL[idx], accL, a.Gain, a.DelaySamples)
+		c.accumulateEar(c.specR[idx], accR, a.Gain, a.DelaySamples)
+		if a.DelaySamples > maxArrDelay {
+			maxArrDelay = a.DelaySamples
+		}
+	}
 
-	if end := c.pos + c.block + c.irLen - 1 - c.emitted; end > c.accValid {
+	if end := c.pos + c.block + c.irLen + maxArrDelay - 1 - c.emitted; end > c.accValid {
 		c.accValid = end
 	}
 }
 
-// accumulateEar adds the block's contribution for one ear: for each IR
-// partition k, IFFT(blockSpec × partSpec) placed at offset k·P.
-func (c *Convolver) accumulateEar(parts [][]complex128, acc []float64) {
-	base := c.pos - c.emitted
+// accumulateEar adds one arrival's contribution for one ear: for each IR
+// partition k, IFFT(blockSpec × partSpec) scaled by gain and placed at
+// offset k·P + delay.
+func (c *Convolver) accumulateEar(parts [][]complex128, acc []float64, gain float64, delay int) {
+	base := c.pos - c.emitted + delay
+	freqX := c.ws.freqX[:c.fftSize]
+	freqEar := c.ws.freqEar[:c.fftSize]
 	for k, spec := range parts {
 		if spec == nil {
 			continue
 		}
-		for i := range c.freqEar {
-			c.freqEar[i] = c.freqX[i] * spec[i]
+		for i := range freqEar {
+			freqEar[i] = freqX[i] * spec[i]
 		}
-		c.plan.Inverse(c.freqEar)
+		c.plan.Inverse(freqEar)
 		off := base + k*c.part
 		span := c.block + c.part - 1
 		if k == len(parts)-1 {
@@ -401,10 +542,22 @@ func (c *Convolver) accumulateEar(parts [][]complex128, acc []float64) {
 				span = s
 			}
 		}
+		if gain == 1 {
+			// The direct path's unit gain skips the multiply so the
+			// single-source stream stays bit-identical to the batch
+			// renderer (and slightly cheaper).
+			for i := 0; i < span; i++ {
+				j := off + i
+				if j >= 0 && j < len(acc) {
+					acc[j] += real(freqEar[i])
+				}
+			}
+			continue
+		}
 		for i := 0; i < span; i++ {
 			j := off + i
 			if j >= 0 && j < len(acc) {
-				acc[j] += real(c.freqEar[i])
+				acc[j] += gain * real(freqEar[i])
 			}
 		}
 	}
@@ -442,23 +595,10 @@ func bartlettWindow(n int) []float64 {
 	return w
 }
 
-// foldIntoSpan folds an arbitrary angle into the table's tabulated span:
-// the standard left-hemisphere table covers [0, 180], so right-hemisphere
-// angles map to their mirror (callers handling true right-side sources swap
-// ears; Session does).
+// foldIntoSpan folds an arbitrary angle into the table's tabulated span,
+// discarding the hemisphere flag (callers handling true right-side sources
+// swap ears themselves; Session does).
 func foldIntoSpan(angleDeg float64, t *hrtf.Table) float64 {
-	a := math.Mod(angleDeg, 360)
-	if a < 0 {
-		a += 360
-	}
-	if a > 180 {
-		a = 360 - a
-	}
-	if a < t.MinAngle {
-		a = t.MinAngle
-	}
-	if a > t.MaxAngle() {
-		a = t.MaxAngle()
-	}
+	a, _ := FoldIntoSpan(angleDeg, t)
 	return a
 }

@@ -12,7 +12,12 @@ type SessionOptions struct {
 	Convolver ConvolverOptions
 	// SourceDeg is the initial world-frame source bearing in degrees
 	// (default 90: straight ahead in the paper's [0, 180] convention).
+	// A zero value means "unset" unless HasSource is true.
 	SourceDeg float64
+	// HasSource marks SourceDeg as explicitly set, so a hard-side 0°
+	// bearing is requestable. Without it, SourceDeg == 0 keeps its
+	// historical meaning of "use the 90° default".
+	HasSource bool
 }
 
 // SessionStats is a point-in-time snapshot of a session's accounting.
@@ -64,7 +69,9 @@ func NewSession(t *hrtf.Table, opt SessionOptions) (*Session, error) {
 		return nil, err
 	}
 	source := opt.SourceDeg
-	if source == 0 {
+	if source == 0 && !opt.HasSource {
+		// Zero value means "unset": keep the 90° straight-ahead default.
+		// Callers that really want a 0° bearing set HasSource.
 		source = 90
 	}
 	s := &Session{conv: conv, sourceDeg: source}
